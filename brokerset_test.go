@@ -1,0 +1,308 @@
+package brokerset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testNetwork(t testing.TB) *Network {
+	t.Helper()
+	net, err := GenerateInternet(0.02, 1)
+	if err != nil {
+		t.Fatalf("GenerateInternet: %v", err)
+	}
+	return net
+}
+
+func TestGenerateInternetFacade(t *testing.T) {
+	net := testNetwork(t)
+	if net.NumNodes() != net.NumASes()+net.NumIXPs() {
+		t.Fatalf("node partition broken: %d != %d + %d", net.NumNodes(), net.NumASes(), net.NumIXPs())
+	}
+	if net.NumLinks() == 0 {
+		t.Fatal("no links generated")
+	}
+	if _, err := GenerateInternet(-1, 1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if net.Name(0) == "" || net.Class(0) == "" {
+		t.Fatal("node metadata empty")
+	}
+	if net.Degree(0) <= 0 {
+		t.Fatal("node 0 has no degree")
+	}
+	found := false
+	for u := 0; u < net.NumNodes(); u++ {
+		if net.IsIXP(u) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no IXPs exposed")
+	}
+}
+
+func TestSaveLoadFacade(t *testing.T) {
+	net := testNetwork(t)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != net.NumNodes() || got.NumLinks() != net.NumLinks() {
+		t.Fatalf("round trip changed network: %d/%d vs %d/%d",
+			got.NumNodes(), got.NumLinks(), net.NumNodes(), net.NumLinks())
+	}
+}
+
+func TestSelectAllStrategies(t *testing.T) {
+	net := testNetwork(t)
+	for _, s := range Strategies() {
+		bs, err := net.Select(s, 20)
+		if err != nil {
+			t.Fatalf("Select(%s): %v", s, err)
+		}
+		if bs.Size() == 0 {
+			t.Fatalf("Select(%s): empty broker set", s)
+		}
+		conn := bs.Connectivity()
+		if conn < 0 || conn > 1 {
+			t.Fatalf("Select(%s): connectivity %f outside [0,1]", s, conn)
+		}
+		if cov := bs.Coverage(); cov < bs.Size() {
+			t.Fatalf("Select(%s): coverage %d below set size %d", s, cov, bs.Size())
+		}
+	}
+	if _, err := net.Select("bogus", 5); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := net.Select(StrategyMaxSG, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSelectCompleteAndPrefix(t *testing.T) {
+	net := testNetwork(t)
+	alliance, err := net.SelectComplete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn := alliance.Connectivity(); conn < 0.97 {
+		t.Fatalf("complete alliance connectivity = %f, want >= 0.97", conn)
+	}
+	small := alliance.Prefix(10)
+	if small.Size() != 10 {
+		t.Fatalf("Prefix(10) size = %d", small.Size())
+	}
+	if small.Connectivity() >= alliance.Connectivity() {
+		t.Fatal("prefix should have lower connectivity than full alliance")
+	}
+	if alliance.Prefix(1<<30).Size() != alliance.Size() {
+		t.Fatal("oversized prefix changed the set")
+	}
+	// Members returns a defensive copy.
+	m := alliance.Members()
+	m[0] = -99
+	if alliance.Members()[0] == -99 {
+		t.Fatal("Members leaked internal storage")
+	}
+}
+
+func TestRouteAndGuarantees(t *testing.T) {
+	net := testNetwork(t)
+	bs, err := net.Select(StrategyMaxSG, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bs.GuaranteesDominatingPaths() {
+		t.Fatal("MaxSG set does not guarantee dominating paths")
+	}
+	// Find two covered nodes and route between them.
+	members := bs.Members()
+	src, dst := int(members[0]), int(members[len(members)-1])
+	path, err := bs.Route(src, dst)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if path[0] != int32(src) || path[len(path)-1] != int32(dst) {
+		t.Fatalf("route endpoints wrong: %v", path)
+	}
+	if _, err := bs.Route(-1, 0); err == nil {
+		t.Fatal("out-of-range src accepted")
+	}
+	if _, err := bs.Route(0, net.NumNodes()); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+}
+
+func TestLHopConnectivityFacade(t *testing.T) {
+	net := testNetwork(t)
+	bs, err := net.Select(StrategyGreedy, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := bs.LHopConnectivity(6, 200)
+	if len(conn) != 6 {
+		t.Fatalf("curve length %d, want 6", len(conn))
+	}
+	for i := 1; i < len(conn); i++ {
+		if conn[i]+1e-9 < conn[i-1] {
+			t.Fatalf("curve not nondecreasing: %v", conn)
+		}
+	}
+	sat := bs.Connectivity()
+	if conn[5] > sat+0.05 {
+		t.Fatalf("l-hop connectivity %f exceeds saturated %f", conn[5], sat)
+	}
+}
+
+func TestPolicyConnectivityFacade(t *testing.T) {
+	net := testNetwork(t)
+	bs, err := net.Select(StrategyMaxSG, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := bs.PolicyConnectivity(0, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := bs.PolicyConnectivity(1, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv < dir {
+		t.Fatalf("full conversion %f below directional %f", conv, dir)
+	}
+	if _, err := bs.PolicyConnectivity(2, 100, 1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestAlphaForBetaFacade(t *testing.T) {
+	net := testNetwork(t)
+	alpha := net.AlphaForBeta(4, 200)
+	if alpha < 0.9 || alpha > 1 {
+		t.Fatalf("AlphaForBeta(4) = %f, want near 1", alpha)
+	}
+}
+
+func TestClassHistogramFacade(t *testing.T) {
+	net := testNetwork(t)
+	bs, err := net.Select(StrategyIXP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := bs.ClassHistogram()
+	if h["ixp"] != bs.Size() {
+		t.Fatalf("IXP strategy histogram = %v, want all ixp", h)
+	}
+}
+
+func TestNashBargainFacade(t *testing.T) {
+	out, err := NashBargain(1.0, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.EmployeePrice-0.5) > 1e-9 {
+		t.Fatalf("EmployeePrice = %f, want 0.5", out.EmployeePrice)
+	}
+	if out.EmployeeUtility <= 0 || out.CoalitionUtility <= 0 {
+		t.Fatalf("non-positive utilities: %+v", out)
+	}
+	if _, err := NashBargain(0.01, 0.05, 4); err == nil {
+		t.Fatal("no-surplus bargain accepted")
+	}
+}
+
+func TestPriceMarketFacade(t *testing.T) {
+	without, err := PriceMarket(20, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := PriceMarket(20, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.MeanAdoption <= without.MeanAdoption {
+		t.Fatalf("high-tier inclusion did not raise adoption: %f vs %f",
+			with.MeanAdoption, without.MeanAdoption)
+	}
+	if _, err := PriceMarket(0, false, 1); err == nil {
+		t.Fatal("zero customers accepted")
+	}
+}
+
+func TestRevenueSharesFacade(t *testing.T) {
+	net := testNetwork(t)
+	bs, err := net.Select(StrategyMaxSG, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, err := bs.RevenueShares(6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 6 {
+		t.Fatalf("shares length %d, want 6", len(shares))
+	}
+	var sum float64
+	for _, s := range shares {
+		if s < -1e-9 {
+			t.Fatalf("negative share %f", s)
+		}
+		sum += s
+	}
+	grand := 100 * bs.Prefix(6).Connectivity()
+	if math.Abs(sum-grand) > 1e-6 {
+		t.Fatalf("shares sum %f != grand coalition value %f (efficiency)", sum, grand)
+	}
+	if _, err := bs.RevenueShares(0, 100); err == nil {
+		t.Fatal("players=0 accepted")
+	}
+	if _, err := bs.RevenueShares(100, 100); err == nil {
+		t.Fatal("players > size accepted")
+	}
+}
+
+func TestMaintainFacade(t *testing.T) {
+	net := testNetwork(t)
+	// From scratch: meet a 0.7 target.
+	res, err := net.Maintain(nil, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Connectivity < 0.7 {
+		t.Fatalf("maintained connectivity %f below target", res.Connectivity)
+	}
+	if res.Set.Size() == 0 {
+		t.Fatal("empty maintained set")
+	}
+	// Maintaining an adequate set against the same network adds nothing.
+	again, err := net.Maintain(res.Set, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Added) != 0 {
+		t.Fatalf("re-maintenance added %d brokers", len(again.Added))
+	}
+	// Against a re-measured snapshot, maintenance heals the set.
+	newer, err := GenerateInternet(0.02, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, err := newer.Maintain(res.Set, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Connectivity < 0.7 {
+		t.Fatalf("healed connectivity %f below target", healed.Connectivity)
+	}
+	if _, err := net.Maintain(nil, 0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+}

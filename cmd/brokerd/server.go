@@ -1,0 +1,290 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"brokerset/internal/broker"
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// server exposes the broker coalition over HTTP: path queries against the
+// dominated subgraph and QoS session setup/teardown through the
+// control-plane two-phase commit.
+type server struct {
+	top     *topology.Topology
+	brokers []int32
+	engine  *routing.Engine
+
+	mu       sync.Mutex
+	plane    *ctrlplane.Plane
+	sessions map[int]*ctrlplane.Session
+}
+
+// newServer wires a server for the topology: it selects k brokers with
+// MaxSG and builds the routing engine and control plane.
+func newServer(top *topology.Topology, k int) (*server, error) {
+	var (
+		brokers []int32
+		err     error
+	)
+	if k <= 0 {
+		brokers, err = broker.MaxSGComplete(top.Graph)
+	} else {
+		brokers, err = broker.MaxSG(top.Graph, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// One metrics instance backs both the read-only /path engine and the
+	// control plane's capacity ledgers, so reported latencies match the
+	// links sessions actually reserve.
+	metrics := routing.DefaultMetrics(top, nil)
+	return &server{
+		top:      top,
+		brokers:  brokers,
+		engine:   routing.NewEngine(top, metrics, brokers),
+		plane:    ctrlplane.New(top, metrics, brokers),
+		sessions: make(map[int]*ctrlplane.Session),
+	}, nil
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/brokers", s.handleBrokers)
+	mux.HandleFunc("/path", s.handlePath)
+	mux.HandleFunc("/sessions", s.handleSessions)
+	mux.HandleFunc("/sessions/", s.handleSessionByID)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsResponse struct {
+	Nodes        int     `json:"nodes"`
+	ASes         int     `json:"ases"`
+	IXPs         int     `json:"ixps"`
+	Links        int     `json:"links"`
+	Brokers      int     `json:"brokers"`
+	Connectivity float64 `json:"connectivity"`
+	Sessions     int     `json:"active_sessions"`
+	Commits      int     `json:"commits"`
+	Aborts       int     `json:"aborts"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	st := s.plane.Stats()
+	active := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Nodes:        s.top.NumNodes(),
+		ASes:         s.top.NumASes(),
+		IXPs:         s.top.NumIXPs(),
+		Links:        s.top.Graph.NumEdges(),
+		Brokers:      len(s.brokers),
+		Connectivity: s.connectivity(),
+		Sessions:     active,
+		Commits:      st.Commits,
+		Aborts:       st.Aborts,
+	})
+}
+
+func (s *server) connectivity() float64 {
+	// Coverage is static per broker set; cheap enough to recompute.
+	return coverageConnectivity(s.top, s.brokers)
+}
+
+type brokerInfo struct {
+	ID     int32  `json:"id"`
+	Name   string `json:"name"`
+	Class  string `json:"class"`
+	Degree int    `json:"degree"`
+}
+
+func (s *server) handleBrokers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out := make([]brokerInfo, 0, len(s.brokers))
+	for _, b := range s.brokers {
+		out = append(out, brokerInfo{
+			ID: b, Name: s.top.Name[b], Class: s.top.Class[b].String(), Degree: s.top.Graph.Degree(int(b)),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type pathResponse struct {
+	Nodes     []int32  `json:"nodes"`
+	Names     []string `json:"names"`
+	Hops      int      `json:"hops"`
+	LatencyMs float64  `json:"latency_ms"`
+}
+
+func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	src, err1 := strconv.Atoi(r.URL.Query().Get("src"))
+	dst, err2 := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "src and dst must be integer node ids")
+		return
+	}
+	opts := routing.Options{}
+	if v := r.URL.Query().Get("maxhops"); v != "" {
+		mh, err := strconv.Atoi(v)
+		if err != nil || mh < 1 {
+			writeError(w, http.StatusBadRequest, "maxhops must be a positive integer")
+			return
+		}
+		opts.MaxHops = mh
+	}
+	if v := r.URL.Query().Get("minbw"); v != "" {
+		bw, err := strconv.ParseFloat(v, 64)
+		if err != nil || bw < 0 {
+			writeError(w, http.StatusBadRequest, "minbw must be a non-negative number")
+			return
+		}
+		opts.MinBandwidth = bw
+	}
+	if src < 0 || src >= s.top.NumNodes() || dst < 0 || dst >= s.top.NumNodes() {
+		writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
+		return
+	}
+	s.mu.Lock()
+	p, err := s.engine.BestPath(src, dst, opts)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	names := make([]string, len(p.Nodes))
+	for i, u := range p.Nodes {
+		names[i] = s.top.Name[u]
+	}
+	writeJSON(w, http.StatusOK, pathResponse{
+		Nodes: p.Nodes, Names: names, Hops: p.Hops(), LatencyMs: p.Latency,
+	})
+}
+
+type sessionRequest struct {
+	Src  int     `json:"src"`
+	Dst  int     `json:"dst"`
+	Gbps float64 `json:"gbps"`
+}
+
+type sessionResponse struct {
+	ID        int     `json:"id"`
+	Nodes     []int32 `json:"nodes"`
+	Hops      int     `json:"hops"`
+	Bandwidth float64 `json:"gbps"`
+}
+
+func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		out := make([]sessionResponse, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			out = append(out, sessionResponse{
+				ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
+			})
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req sessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Src < 0 || req.Src >= s.top.NumNodes() || req.Dst < 0 || req.Dst >= s.top.NumNodes() {
+			writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
+			return
+		}
+		s.mu.Lock()
+		sess, err := s.plane.Setup(req.Src, req.Dst, req.Gbps, routing.Options{})
+		if err == nil {
+			s.sessions[sess.ID] = sess
+		}
+		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, sessionResponse{
+			ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad session id %q", idStr)
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		s.mu.Lock()
+		sess, ok := s.sessions[id]
+		if ok {
+			err = s.plane.Teardown(sess)
+			delete(s.sessions, id)
+		}
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no session %d", id)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	case http.MethodGet:
+		s.mu.Lock()
+		sess, ok := s.sessions[id]
+		s.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no session %d", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, sessionResponse{
+			ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
+		})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE")
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"brokerset/internal/topology"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(top, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndStats(t *testing.T) {
+	srv, ts := testServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+	var stats statsResponse
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Nodes != srv.top.NumNodes() || stats.Brokers != len(srv.brokers) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Connectivity <= 0 || stats.Connectivity > 1 {
+		t.Fatalf("connectivity = %f", stats.Connectivity)
+	}
+}
+
+func TestBrokersEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	var brokers []brokerInfo
+	if code := getJSON(t, ts.URL+"/brokers", &brokers); code != http.StatusOK {
+		t.Fatalf("brokers status %d", code)
+	}
+	if len(brokers) != len(srv.brokers) {
+		t.Fatalf("got %d brokers, want %d", len(brokers), len(srv.brokers))
+	}
+	if brokers[0].Name == "" || brokers[0].Class == "" {
+		t.Fatalf("broker info incomplete: %+v", brokers[0])
+	}
+}
+
+func TestPathEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	src, dst := int(srv.brokers[0]), int(srv.brokers[len(srv.brokers)-1])
+	var p pathResponse
+	url := fmt.Sprintf("%s/path?src=%d&dst=%d", ts.URL, src, dst)
+	if code := getJSON(t, url, &p); code != http.StatusOK {
+		t.Fatalf("path status %d", code)
+	}
+	if p.Hops < 1 || len(p.Nodes) != p.Hops+1 || len(p.Names) != len(p.Nodes) {
+		t.Fatalf("path = %+v", p)
+	}
+	if p.LatencyMs <= 0 {
+		t.Fatalf("latency = %f", p.LatencyMs)
+	}
+	// Constrained query.
+	url = fmt.Sprintf("%s/path?src=%d&dst=%d&maxhops=%d&minbw=0.1", ts.URL, src, dst, p.Hops)
+	if code := getJSON(t, url, nil); code != http.StatusOK {
+		t.Fatalf("constrained path status %d", code)
+	}
+	// Bad requests.
+	for _, bad := range []string{
+		"/path?src=abc&dst=1",
+		"/path?src=0&dst=999999",
+		"/path?src=0&dst=1&maxhops=0",
+		"/path?src=0&dst=1&minbw=-2",
+	} {
+		if code := getJSON(t, ts.URL+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("%s status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv, ts := testServer(t)
+	src, dst := int(srv.brokers[0]), int(srv.brokers[len(srv.brokers)-1])
+
+	body, _ := json.Marshal(sessionRequest{Src: src, Dst: dst, Gbps: 0.5})
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess sessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d", resp.StatusCode)
+	}
+	if sess.ID == 0 || sess.Hops < 1 {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	// Listed and fetchable.
+	var list []sessionResponse
+	if code := getJSON(t, ts.URL+"/sessions", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list status %d len %d", code, len(list))
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/sessions/%d", ts.URL, sess.ID), nil); code != http.StatusOK {
+		t.Fatalf("get session status %d", code)
+	}
+
+	// Teardown.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, sess.ID), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", dresp.StatusCode)
+	}
+	// Gone now.
+	if code := getJSON(t, fmt.Sprintf("%s/sessions/%d", ts.URL, sess.ID), nil); code != http.StatusNotFound {
+		t.Fatalf("get deleted session status %d", code)
+	}
+	dresp2, _ := http.DefaultClient.Do(req)
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d", dresp2.StatusCode)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	_, ts := testServer(t)
+	// Bad JSON.
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", resp.StatusCode)
+	}
+	// Out-of-range endpoint.
+	body, _ := json.Marshal(sessionRequest{Src: -1, Dst: 2, Gbps: 1})
+	resp, err = http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oob status %d", resp.StatusCode)
+	}
+	// Zero bandwidth -> setup rejected.
+	body, _ = json.Marshal(sessionRequest{Src: 0, Dst: 1, Gbps: 0})
+	resp, err = http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("zero bw status %d", resp.StatusCode)
+	}
+	// Bad session id.
+	if code := getJSON(t, ts.URL+"/sessions/notanumber", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", code)
+	}
+	// Wrong methods.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/stats", nil)
+	r, _ := http.DefaultClient.Do(req)
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /stats status %d", r.StatusCode)
+	}
+}

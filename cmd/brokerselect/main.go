@@ -1,0 +1,104 @@
+// Command brokerselect selects a broker set over a topology with any of
+// the paper's algorithms and evaluates it.
+//
+// Usage:
+//
+//	brokerselect -scale 0.1 -strategy maxsg -k 100
+//	brokerselect -topo topo.txt -strategy greedy -k 500 -lhop 8
+//	brokerselect -scale 0.1 -strategy maxsg -k 0          # complete alliance
+//	brokerselect -scale 0.02 -strategy maxsg -k 50 -list  # print members
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"brokerset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerselect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("brokerselect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		topoFile = fs.String("topo", "", "topology file (brokerset text format); empty generates one")
+		scale    = fs.Float64("scale", 0.1, "generated topology scale (when -topo is empty)")
+		seed     = fs.Int64("seed", 1, "random seed for generation and sampling")
+		strategy = fs.String("strategy", "maxsg", "selection strategy: greedy, approx, maxsg, degree, pagerank, ixp, tier1, setcover")
+		k        = fs.Int("k", 100, "broker budget; 0 with maxsg selects the complete alliance")
+		lhop     = fs.Int("lhop", 0, "also print the l-hop connectivity curve up to this bound")
+		samples  = fs.Int("samples", 1000, "BFS sources for sampled connectivity")
+		policyAt = fs.Float64("policy", -1, "also evaluate valley-free policy connectivity with this inter-broker conversion fraction (0..1)")
+		list     = fs.Bool("list", false, "print the broker members")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		net *brokerset.Network
+		err error
+	)
+	if *topoFile != "" {
+		f, ferr := os.Open(*topoFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		net, err = brokerset.Load(f)
+	} else {
+		net, err = brokerset.GenerateInternet(*scale, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	var bs *brokerset.BrokerSet
+	if *k == 0 && brokerset.Strategy(*strategy) == brokerset.StrategyMaxSG {
+		bs, err = net.SelectComplete()
+	} else {
+		bs, err = net.Select(brokerset.Strategy(*strategy), *k)
+	}
+	if err != nil {
+		return err
+	}
+
+	n := net.NumNodes()
+	fmt.Fprintf(stdout, "topology: %d nodes (%d ASes, %d IXPs), %d links\n",
+		n, net.NumASes(), net.NumIXPs(), net.NumLinks())
+	fmt.Fprintf(stdout, "strategy: %s, brokers: %d (%.2f%% of nodes)\n",
+		*strategy, bs.Size(), 100*float64(bs.Size())/float64(n))
+	fmt.Fprintf(stdout, "coverage f(B): %d nodes (%.2f%%)\n",
+		bs.Coverage(), 100*float64(bs.Coverage())/float64(n))
+	fmt.Fprintf(stdout, "saturated E2E connectivity: %.2f%%\n", 100*bs.Connectivity())
+	fmt.Fprintf(stdout, "dominating-path guarantee: %v\n", bs.GuaranteesDominatingPaths())
+
+	if *lhop > 0 {
+		conn := bs.LHopConnectivity(*lhop, *samples)
+		for l, c := range conn {
+			fmt.Fprintf(stdout, "  l=%d connectivity: %.2f%%\n", l+1, 100*c)
+		}
+	}
+	if *policyAt >= 0 {
+		pc, perr := bs.PolicyConnectivity(*policyAt, *samples, *seed)
+		if perr != nil {
+			return perr
+		}
+		fmt.Fprintf(stdout, "policy connectivity (%.0f%% inter-broker links converted): %.2f%%\n",
+			100**policyAt, 100*pc)
+	}
+	if *list {
+		for i, m := range bs.Members() {
+			fmt.Fprintf(stdout, "%4d  %-10s %-8s deg=%d\n", i+1, net.Name(int(m)), net.Class(int(m)), net.Degree(int(m)))
+		}
+	}
+	return nil
+}

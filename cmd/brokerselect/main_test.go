@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"brokerset"
+)
+
+func TestRunGeneratedTopology(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-scale", "0.01", "-strategy", "maxsg", "-k", "20", "-lhop", "4", "-samples", "100"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"topology:", "strategy: maxsg", "coverage f(B):", "saturated E2E connectivity:", "l=4 connectivity:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunTopoFile(t *testing.T) {
+	net, err := brokerset.GenerateInternet(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-topo", path, "-strategy", "degree", "-k", "10", "-list"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "AS") {
+		t.Errorf("member list missing AS names:\n%s", out.String())
+	}
+}
+
+func TestRunCompleteAlliance(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-scale", "0.01", "-strategy", "maxsg", "-k", "0"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "dominating-path guarantee: true") {
+		t.Errorf("complete alliance without guarantee:\n%s", out.String())
+	}
+}
+
+func TestRunPolicyEvaluation(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-scale", "0.01", "-strategy", "maxsg", "-k", "15", "-policy", "0.3", "-samples", "100"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "policy connectivity (30% inter-broker links converted)") {
+		t.Errorf("missing policy output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-strategy", "bogus", "-scale", "0.01"}, &out, &errOut); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if err := run([]string{"-topo", "/does/not/exist"}, &out, &errOut); err == nil {
+		t.Error("missing topo file accepted")
+	}
+	if err := run([]string{"-scale", "0.01", "-k", "0", "-strategy", "greedy"}, &out, &errOut); err == nil {
+		t.Error("k=0 with non-maxsg strategy accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list                      # what can be reproduced
+//	experiments all                        # everything at the default scale
+//	experiments table1 fig2b               # selected experiments
+//	experiments -scale 1.0 -samples 2000 all   # paper-scale run
+//	experiments -format markdown all > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"brokerset/internal/experiments"
+	"brokerset/internal/tablefmt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale   = fs.Float64("scale", 0.1, "topology scale (1.0 = paper's 52,079 nodes)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		samples = fs.Int("samples", 800, "BFS sources for sampled connectivity estimates")
+		scIters = fs.Int("sc-iters", 300, "SC algorithm runs for fig2a")
+		format  = fs.String("format", "ascii", "output format: ascii, markdown, csv")
+		outdir  = fs.String("outdir", "", "also write each experiment's table as CSV into this directory")
+		list    = fs.Bool("list", false, "list available experiments")
+		timing  = fs.Bool("time", false, "print per-experiment wall time to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiments given (try 'all' or -list)")
+	}
+
+	var selected []experiments.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, err := experiments.Find(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	render := (*tablefmt.Table).WriteASCII
+	switch *format {
+	case "ascii":
+	case "markdown":
+		render = (*tablefmt.Table).WriteMarkdown
+	case "csv":
+		render = (*tablefmt.Table).WriteCSV
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	suite, err := experiments.NewSuite(experiments.Config{
+		Scale: *scale, Seed: *seed, Samples: *samples, SCIterations: *scIters,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "topology: %d nodes at scale %.2f (seed %d)\n\n",
+		suite.Top.NumNodes(), *scale, *seed)
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(suite)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := render(tbl, stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if *outdir != "" {
+			f, err := os.Create(filepath.Join(*outdir, e.ID+".csv"))
+			if err != nil {
+				return err
+			}
+			werr := tbl.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+		if *timing {
+			fmt.Fprintf(stderr, "%-8s %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Command topogen generates synthetic AS/IXP Internet topologies in the
+// brokerset text format.
+//
+// Usage:
+//
+//	topogen -scale 0.1 -seed 1 -o topo.txt
+//	topogen -kind er -n 5000 -m 40000 -o er.txt
+//	topogen -scale 1.0 -stats            # paper-scale summary to stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"brokerset/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind      = fs.String("kind", "internet", "topology kind: internet, er, ws, ba")
+		caida     = fs.String("caida", "", "convert a CAIDA AS-relationships file instead of generating")
+		ixpFile   = fs.String("ixp", "", "IXP membership file ('ixp|as' lines) to combine with -caida")
+		scale     = fs.Float64("scale", 0.1, "internet: scale relative to the paper's 52,079-node dataset")
+		seed      = fs.Int64("seed", 1, "random seed")
+		n         = fs.Int("n", 5000, "er/ws/ba: number of nodes")
+		m         = fs.Int("m", 40000, "er: number of edges; ba: edges per node")
+		wsK       = fs.Int("ws-k", 8, "ws: ring-lattice neighbors (even)")
+		wsP       = fs.Float64("ws-p", 0.1, "ws: rewiring probability")
+		out       = fs.String("o", "", "output file (default stdout)")
+		statsOnly = fs.Bool("stats", false, "print summary statistics instead of the topology")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		top *topology.Topology
+		err error
+	)
+	if *caida != "" {
+		top, err = loadCAIDAFiles(*caida, *ixpFile)
+		if err != nil {
+			return err
+		}
+		return emit(top, *statsOnly, *out, stdout)
+	}
+	switch *kind {
+	case "internet":
+		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+	case "er":
+		top, err = topology.GenerateER(*n, *m, *seed)
+	case "ws":
+		top, err = topology.GenerateWS(*n, *wsK, *wsP, *seed)
+	case "ba":
+		top, err = topology.GenerateBA(*n, *m, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q (want internet, er, ws, ba)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	return emit(top, *statsOnly, *out, stdout)
+}
+
+// emit writes either summary statistics or the serialized topology.
+func emit(top *topology.Topology, statsOnly bool, out string, stdout io.Writer) error {
+	if statsOnly {
+		st := top.ComputeStats()
+		fmt.Fprintf(stdout, "nodes        %d\n", top.NumNodes())
+		fmt.Fprintf(stdout, "ases         %d\n", st.ASes)
+		fmt.Fprintf(stdout, "ixps         %d\n", st.IXPs)
+		fmt.Fprintf(stdout, "as-as edges  %d\n", st.ASASEdges)
+		fmt.Fprintf(stdout, "ixp-as edges %d\n", st.IXPASEdges)
+		fmt.Fprintf(stdout, "giant comp   %d\n", st.GiantComponent)
+		fmt.Fprintf(stdout, "avg degree   %.2f\n", st.AvgDegree)
+		return nil
+	}
+
+	w := stdout
+	if out != "" {
+		f, ferr := os.Create(out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	return top.Save(w)
+}
+
+// loadCAIDAFiles opens the relationship (and optional membership) files
+// and converts them.
+func loadCAIDAFiles(relsPath, ixpPath string) (*topology.Topology, error) {
+	rf, err := os.Open(relsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	var members io.Reader
+	if ixpPath != "" {
+		mf, err := os.Open(ixpPath)
+		if err != nil {
+			return nil, err
+		}
+		defer mf.Close()
+		members = mf
+	}
+	return topology.LoadCAIDA(rf, members)
+}

@@ -1,0 +1,76 @@
+package brokerset_test
+
+import (
+	"fmt"
+	"log"
+
+	"brokerset"
+)
+
+// ExampleNetwork_Select demonstrates the core workflow: generate a
+// topology, select brokers, evaluate coverage.
+func ExampleNetwork_Select() {
+	net, err := brokerset.GenerateInternet(0.02, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs, err := net.Select(brokerset.StrategyMaxSG, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brokers: %d\n", bs.Size())
+	fmt.Printf("dominating paths guaranteed: %v\n", bs.GuaranteesDominatingPaths())
+	// Output:
+	// brokers: 25
+	// dominating paths guaranteed: true
+}
+
+// ExampleBrokerSet_Route shows that returned routes are B-dominated: every
+// hop touches a broker.
+func ExampleBrokerSet_Route() {
+	net, err := brokerset.GenerateInternet(0.02, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bs, err := net.Select(brokerset.StrategyMaxSG, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	members := bs.Members()
+	path, err := bs.Route(int(members[3]), int(members[10]))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route has %d hops\n", len(path)-1)
+	// Output:
+	// route has 1 hops
+}
+
+// ExampleNashBargain reproduces the paper's §7.1 employee bargain.
+func ExampleNashBargain() {
+	out, err := brokerset.NashBargain(1.0, 0.05, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("employee price: %.2f\n", out.EmployeePrice)
+	fmt.Printf("employee utility: %.2f\n", out.EmployeeUtility)
+	// Output:
+	// employee price: 0.50
+	// employee utility: 0.45
+}
+
+// ExampleStrategies lists the available selection algorithms.
+func ExampleStrategies() {
+	for _, s := range brokerset.Strategies() {
+		fmt.Println(s)
+	}
+	// Output:
+	// greedy
+	// approx
+	// maxsg
+	// degree
+	// pagerank
+	// ixp
+	// tier1
+	// setcover
+}

@@ -1,0 +1,53 @@
+// Policyrouting demonstrates the paper's §6.2 business-relationship
+// findings: when ASes obey valley-free export policies, dominated-path
+// connectivity drops sharply, and converting a modest fraction of
+// inter-broker links into bidirectional cooperation links recovers most of
+// it (Fig 5b/5c).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"brokerset"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "topology scale")
+	k := flag.Int("k", 0, "broker budget (0 = paper's 1,000-broker analogue)")
+	flag.Parse()
+
+	net, err := brokerset.GenerateInternet(*scale, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := *k
+	if budget == 0 {
+		budget = int(1000 * float64(net.NumNodes()) / 52079)
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	bs, err := net.Select(brokerset.StrategyMaxSG, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology: %d nodes; broker set: %d members\n\n", net.NumNodes(), bs.Size())
+	fmt.Printf("bidirectional (relationship-free) connectivity: %.2f%%\n\n", 100*bs.Connectivity())
+
+	fmt.Println("inter-broker links converted -> policy connectivity")
+	for _, frac := range []float64{0, 0.1, 0.3, 0.5, 1.0} {
+		conn, err := bs.PolicyConnectivity(frac, 600, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if frac == 0.3 {
+			marker = "   <- the paper's 30% scenario"
+		}
+		fmt.Printf("%25.0f%% -> %6.2f%%%s\n", 100*frac, 100*conn, marker)
+	}
+	fmt.Println("\npaper: 30% conversion keeps 72.5% connectivity at 1,000 brokers,")
+	fmt.Println("       84.68% at the 3,540-alliance — little change to current peering needed.")
+}

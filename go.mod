@@ -1,0 +1,3 @@
+module brokerset
+
+go 1.22

@@ -1,0 +1,131 @@
+package brokerset_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"brokerset"
+)
+
+// TestEndToEndPipeline drives the full system the way a downstream user
+// would: generate → persist → reload → select → evaluate → route →
+// QoS-reserve → simulate → maintain, asserting cross-component invariants
+// at each step.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Generate and round-trip the topology.
+	net, err := brokerset.GenerateInternet(0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	net, err = brokerset.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Select with the paper's three algorithms at the same budget; the
+	// headline ordering must hold.
+	k := net.NumNodes() * 2 / 100 // ~2% of nodes
+	maxsg, err := net.Select(brokerset.StrategyMaxSG, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := net.Select(brokerset.StrategyGreedy, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixp, err := net.Select(brokerset.StrategyIXP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMaxSG, cGreedy, cIXP := maxsg.Connectivity(), greedy.Connectivity(), ixp.Connectivity()
+	if cMaxSG < 0.75 {
+		t.Fatalf("MaxSG connectivity %f too low at 2%% budget", cMaxSG)
+	}
+	if math.Abs(cMaxSG-cGreedy) > 0.08 {
+		t.Fatalf("MaxSG %f and greedy %f should be close", cMaxSG, cGreedy)
+	}
+	if cIXP > cMaxSG/2 {
+		t.Fatalf("IXP-only %f should be far below MaxSG %f", cIXP, cMaxSG)
+	}
+
+	// 3. The MaxSG set guarantees dominating paths; route through it and
+	// verify the returned path hop by hop.
+	if !maxsg.GuaranteesDominatingPaths() {
+		t.Fatal("dominating-path guarantee violated")
+	}
+	members := maxsg.Members()
+	src, dst := int(members[1]), int(members[len(members)-2])
+	path, err := maxsg.Route(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(path[0]) != src || int(path[len(path)-1]) != dst {
+		t.Fatalf("route endpoints: %v", path)
+	}
+
+	// 4. QoS layer: reserve on the same pair, then simulate a workload.
+	q := maxsg.QoSEngine(1)
+	sess, err := q.Reserve(src, dst, 1.0, brokerset.PathConstraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Path().LatencyMs <= 0 {
+		t.Fatal("session without latency")
+	}
+	if err := sess.Release(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := maxsg.SimulateTraffic(200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AdmissionRate < 0.5 {
+		t.Fatalf("admission rate %f suspiciously low", rep.AdmissionRate)
+	}
+
+	// 5. Policy routing: directional connectivity is worse; conversion
+	// recovers it.
+	dir, err := maxsg.PolicyConnectivity(0, 250, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := maxsg.PolicyConnectivity(0.3, 250, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dir < cMaxSG && dir < conv) {
+		t.Fatalf("policy shape broken: dir=%f conv=%f bidir=%f", dir, conv, cMaxSG)
+	}
+
+	// 6. Economics: revenue split over the top brokers is efficient.
+	shares, err := maxsg.RevenueShares(8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range shares {
+		total += s
+	}
+	grand := 1000 * maxsg.Prefix(8).Connectivity()
+	if math.Abs(total-grand) > 1e-6 {
+		t.Fatalf("Shapley efficiency broken: %f vs %f", total, grand)
+	}
+
+	// 7. Maintenance against a re-measured topology keeps the target.
+	newer, err := brokerset.GenerateInternet(0.05, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed, err := newer.Maintain(maxsg, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Connectivity < 0.8 {
+		t.Fatalf("maintenance missed target: %f", healed.Connectivity)
+	}
+}

@@ -1,0 +1,182 @@
+package broker
+
+import (
+	"fmt"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+)
+
+// ApproxResult carries the output of Algorithm 2 with its two parts: the
+// coverage core B^p and the stitching brokers B^r.
+type ApproxResult struct {
+	// Brokers is the full set B = B^p ∪ B^r in deterministic order.
+	Brokers []int32
+	// Core is B^p, the greedy maximum-coverage prefix.
+	Core []int32
+	// Stitch is B^r, the brokers added along shortest paths so every pair
+	// of core brokers is joined by a B-dominating path.
+	Stitch []int32
+	// Root is the core broker chosen as the stitching root (the root r in
+	// Algorithm 2 minimizing |B^r_r|).
+	Root int32
+}
+
+// CoreSize returns the x* of Algorithm 2: the largest core size such that
+// the worst-case stitching cost still fits in budget k on an (α,β)-graph,
+// i.e. the largest x with x + (x−1)(⌈β/2⌉−1) ≤ k.
+func CoreSize(k, beta int) int {
+	c := (beta + 1) / 2 // ⌈β/2⌉
+	if c < 1 {
+		c = 1
+	}
+	x := (k-1)/c + 1
+	if x < 1 {
+		x = 1
+	}
+	return x
+}
+
+// ApproxMCBG runs the paper's Algorithm 2 on an (α,β)-graph: select
+// x* = CoreSize(k, beta) coverage brokers greedily (Algorithm 1), then for
+// the best root r add the cheapest stitching set B^r so that the shortest
+// path from every core broker to r is (B^p ∪ B^r)-dominated. The result
+// satisfies |B| ≤ k and guarantees a B-dominating path between every pair
+// of covered nodes that lie in the root's component.
+//
+// Theorem 3: on an (α,β)-graph this is a (1−1/e)/θ approximation for MCBG
+// with θ = 2⌈β/2⌉ adjusted for parity.
+func ApproxMCBG(g *graph.Graph, k, beta int) (*ApproxResult, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	if beta < 1 {
+		return nil, fmt.Errorf("broker: beta must be >= 1, got %d", beta)
+	}
+	order, err := GreedyMCB(g, k) // greedy prefix property: core = order[:x]
+	if err != nil {
+		return nil, err
+	}
+	x := CoreSize(k, beta)
+	if x > len(order) {
+		x = len(order)
+	}
+	res := stitchCore(g, order[:x])
+	res.Brokers = appendUnique(res.Core, res.Stitch)
+	return res, nil
+}
+
+// ApproxMCBGAdaptive grows the core beyond the conservative x* while the
+// stitched total still fits in k. Real topologies need far fewer stitch
+// brokers than the worst-case bound, so this uses the whole budget (the
+// paper's reported runs, e.g. 1,064 brokers for 85.71% coverage, do the
+// same). The guarantee of ApproxMCBG is preserved because the core only
+// ever grows along the greedy order.
+func ApproxMCBGAdaptive(g *graph.Graph, k, beta int) (*ApproxResult, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	if beta < 1 {
+		return nil, fmt.Errorf("broker: beta must be >= 1, got %d", beta)
+	}
+	order, err := GreedyMCB(g, k)
+	if err != nil {
+		return nil, err
+	}
+	xGuaranteed := CoreSize(k, beta)
+	if xGuaranteed > len(order) {
+		xGuaranteed = len(order)
+	}
+	best := stitchCore(g, order[:xGuaranteed])
+	best.Brokers = appendUnique(best.Core, best.Stitch)
+
+	// Binary search for the largest feasible core size. Stitch cost is not
+	// strictly monotone in x, so verify the found candidate; fall back to
+	// the guaranteed core when the larger core overshoots.
+	lo, hi := xGuaranteed, len(order)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		cand := stitchCore(g, order[:mid])
+		if len(cand.Core)+len(cand.Stitch) <= k {
+			cand.Brokers = appendUnique(cand.Core, cand.Stitch)
+			best = cand
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return best, nil
+}
+
+// maxRootTrials bounds how many candidate stitching roots stitchCore tries.
+const maxRootTrials = 16
+
+// stitchCore implements lines 2–11 of Algorithm 2: for each candidate root
+// r ∈ B^p, walk the shortest path from every other core broker to r and
+// add the nodes needed to dominate each hop; keep the root with the
+// smallest stitch set.
+func stitchCore(g *graph.Graph, core []int32) *ApproxResult {
+	res := &ApproxResult{Core: append([]int32(nil), core...), Root: -1}
+	if len(core) <= 1 {
+		if len(core) == 1 {
+			res.Root = core[0]
+		}
+		return res
+	}
+	inCore := coverage.MaskOf(g, core)
+	bestStitch := []int32(nil)
+	bestSet := false
+	// Algorithm 2 tries every core broker as the root; beyond a point the
+	// extra roots only shave a handful of stitch brokers, so cap the trials
+	// at the highest-coverage (earliest-greedy) candidates to keep the
+	// adaptive search tractable at paper scale.
+	roots := core
+	if len(roots) > maxRootTrials {
+		roots = roots[:maxRootTrials]
+	}
+	for _, r := range roots {
+		// One BFS from r yields shortest paths to every core broker.
+		_, parent := g.BFSTree(int(r))
+		var stitch []int32
+		inStitch := make(map[int32]bool)
+		for _, v := range core {
+			if v == r {
+				continue
+			}
+			path := graph.PathTo(parent, int(v))
+			if path == nil {
+				continue // different component: no path to dominate
+			}
+			// Walk r→v adding the far endpoint of any undominated hop.
+			for i := 0; i+1 < len(path); i++ {
+				a, b := path[i], path[i+1]
+				if inCore[a] || inCore[b] || inStitch[a] || inStitch[b] {
+					continue
+				}
+				inStitch[b] = true
+				stitch = append(stitch, b)
+			}
+		}
+		if !bestSet || len(stitch) < len(bestStitch) {
+			bestStitch = stitch
+			bestSet = true
+			res.Root = r
+		}
+	}
+	res.Stitch = bestStitch
+	return res
+}
+
+func appendUnique(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	seen := make(map[int32]bool, len(a)+len(b))
+	for _, s := range [][]int32{a, b} {
+		for _, v := range s {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

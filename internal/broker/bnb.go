@@ -1,0 +1,132 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+)
+
+// BranchAndBoundMCB solves the MCB problem (maximize f(B) = |B ∪ N(B)|
+// with |B| ≤ k) exactly by branch and bound. The bound exploits
+// submodularity: from a partial solution, coverage can grow by at most the
+// sum of the r largest current marginal gains (r = remaining budget), so
+// branches whose optimistic bound cannot beat the incumbent are pruned.
+//
+// It handles graphs far beyond the brute-force enumerators (hundreds of
+// nodes at small k) and is used to validate the greedy algorithms; for
+// paper-scale instances use GreedyMCB. maxNodes caps the explored search
+// tree — when exceeded, an error is returned rather than a wrong answer.
+func BranchAndBoundMCB(g *graph.Graph, k, maxNodes int) ([]int32, int, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, 0, err
+	}
+	if maxNodes < 1 {
+		return nil, 0, fmt.Errorf("broker: maxNodes must be >= 1, got %d", maxNodes)
+	}
+	n := g.NumNodes()
+	// Candidate order: decreasing degree (strong solutions early make the
+	// bound effective).
+	order := g.NodesByDegreeDesc()
+
+	// Incumbent: seed with greedy so the bound prunes immediately.
+	greedy, err := GreedyMCB(g, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := append([]int32(nil), greedy...)
+	bestF := coverage.F(g, greedy)
+
+	covered := make([]bool, n)
+	nCovered := 0
+	gain := func(u int) int {
+		gn := 0
+		if !covered[u] {
+			gn++
+		}
+		for _, v := range g.Neighbors(u) {
+			if !covered[v] {
+				gn++
+			}
+		}
+		return gn
+	}
+	// add covers u's closed neighborhood and returns the newly covered
+	// nodes for O(deg) undo.
+	add := func(u int) []int32 {
+		var changed []int32
+		if !covered[u] {
+			covered[u] = true
+			changed = append(changed, int32(u))
+		}
+		for _, v := range g.Neighbors(u) {
+			if !covered[v] {
+				covered[v] = true
+				changed = append(changed, v)
+			}
+		}
+		nCovered += len(changed)
+		return changed
+	}
+	undo := func(changed []int32) {
+		for _, v := range changed {
+			covered[v] = false
+		}
+		nCovered -= len(changed)
+	}
+
+	explored := 0
+	overBudget := false
+	var cur []int32
+	var walk func(idx, budget int)
+	walk = func(idx, budget int) {
+		if overBudget {
+			return
+		}
+		explored++
+		if explored > maxNodes {
+			overBudget = true
+			return
+		}
+		if nCovered > bestF {
+			bestF = nCovered
+			best = append(best[:0:0], cur...)
+		}
+		if budget == 0 || idx >= n || nCovered == n {
+			return
+		}
+		// Optimistic bound: current coverage + top-`budget` marginal gains
+		// among remaining candidates.
+		gains := make([]int, 0, n-idx)
+		for i := idx; i < n; i++ {
+			if gn := gain(int(order[i])); gn > 0 {
+				gains = append(gains, gn)
+			}
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(gains)))
+		bound := nCovered
+		for i := 0; i < budget && i < len(gains); i++ {
+			bound += gains[i]
+		}
+		if bound <= bestF {
+			return // cannot beat the incumbent
+		}
+		// Branch 1: take order[idx].
+		u := int(order[idx])
+		if gain(u) > 0 {
+			changed := add(u)
+			cur = append(cur, order[idx])
+			walk(idx+1, budget-1)
+			cur = cur[:len(cur)-1]
+			undo(changed)
+		}
+		// Branch 2: skip order[idx].
+		walk(idx+1, budget)
+	}
+	walk(0, k)
+	if overBudget {
+		return nil, 0, fmt.Errorf("broker: branch and bound exceeded %d nodes; increase maxNodes or use GreedyMCB", maxNodes)
+	}
+	return best, bestF, nil
+}

@@ -1,0 +1,86 @@
+package broker
+
+import (
+	"testing"
+
+	"brokerset/internal/coverage"
+)
+
+func TestBranchAndBoundMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := randGraph(16, 30, seed)
+		for k := 1; k <= 3; k++ {
+			_, wantF := ExactMaxMCB(g, k)
+			got, gotF, err := BranchAndBoundMCB(g, k, 1<<20)
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			if gotF != wantF {
+				t.Fatalf("seed %d k %d: BnB f=%d, brute force %d", seed, k, gotF, wantF)
+			}
+			if coverage.F(g, got) != gotF {
+				t.Fatalf("seed %d k %d: reported f inconsistent with set", seed, k)
+			}
+			if len(got) > k {
+				t.Fatalf("seed %d k %d: |B| = %d > k", seed, k, len(got))
+			}
+		}
+	}
+}
+
+func TestBranchAndBoundBeatsOrMatchesGreedy(t *testing.T) {
+	// On mid-size graphs (far beyond brute force) the exact optimum must
+	// be >= greedy, and greedy must stay within the (1-1/e) bound of it.
+	for seed := int64(0); seed < 3; seed++ {
+		g := randGraph(150, 350, seed)
+		k := 4
+		greedy, err := GreedyMCB(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyF := coverage.F(g, greedy)
+		_, optF, err := BranchAndBoundMCB(g, k, 1<<22)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if optF < greedyF {
+			t.Fatalf("seed %d: exact %d below greedy %d", seed, optF, greedyF)
+		}
+		if float64(greedyF) < (1-1/2.718281828)*float64(optF)-1e-9 {
+			t.Fatalf("seed %d: greedy %d violates (1-1/e) of optimum %d", seed, greedyF, optF)
+		}
+	}
+}
+
+func TestBranchAndBoundNodeBudget(t *testing.T) {
+	g := randGraph(200, 500, 1)
+	if _, _, err := BranchAndBoundMCB(g, 8, 10); err == nil {
+		t.Fatal("tiny node budget did not error")
+	}
+	if _, _, err := BranchAndBoundMCB(g, 0, 100); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := BranchAndBoundMCB(g, 2, 0); err == nil {
+		t.Fatal("maxNodes=0 accepted")
+	}
+}
+
+func TestBranchAndBoundStarIsInstant(t *testing.T) {
+	g := star(t, 50)
+	set, f, err := BranchAndBoundMCB(g, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 50 {
+		t.Fatalf("star coverage = %d, want 50", f)
+	}
+	found := false
+	for _, b := range set {
+		if b == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("optimal set %v misses the hub", set)
+	}
+}

@@ -1,0 +1,99 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+)
+
+// LengthConstraintOptions parameterizes SelectWithLengthConstraint.
+type LengthConstraintOptions struct {
+	// Epsilon is the Eq. (4) tolerance: the selected set's l-hop
+	// connectivity curve must track the free-path curve within Epsilon at
+	// every l.
+	Epsilon float64
+	// MaxL is the largest hop count checked (0 → 8).
+	MaxL int
+	// Samples is the BFS source count for curve estimation (0 → 800).
+	Samples int
+	// Seed fixes the sampling.
+	Seed int64
+}
+
+func (o LengthConstraintOptions) withDefaults() LengthConstraintOptions {
+	if o.MaxL <= 0 {
+		o.MaxL = 8
+	}
+	if o.Samples <= 0 {
+		o.Samples = 800
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// LengthConstrainedResult is the output of SelectWithLengthConstraint.
+type LengthConstrainedResult struct {
+	// Brokers is the smallest MaxSG prefix satisfying the constraint.
+	Brokers []int32
+	// Deviation is max_l |F_B(l) − F(l)| at the returned set.
+	Deviation float64
+	// FreeCurve and BrokerCurve are the compared distributions (index 0 is
+	// l = 1).
+	FreeCurve, BrokerCurve []float64
+}
+
+// SelectWithLengthConstraint solves the paper's Problem 4 operationally:
+// find a small broker set whose l-hop path-length distribution matches the
+// free-path distribution within epsilon at every hop count (Eq. 4). It
+// grows the MaxSG alliance and binary-searches the smallest feasible
+// prefix, exploiting that the deviation is monotone non-increasing along
+// the MaxSG order (adding brokers only adds dominated paths).
+func SelectWithLengthConstraint(g *graph.Graph, opts LengthConstraintOptions) (*LengthConstrainedResult, error) {
+	if opts.Epsilon <= 0 || opts.Epsilon >= 1 {
+		return nil, fmt.Errorf("broker: epsilon %f outside (0,1)", opts.Epsilon)
+	}
+	opts = opts.withDefaults()
+	alliance, err := MaxSGComplete(g)
+	if err != nil {
+		return nil, err
+	}
+	lopts := func(salt int64) coverage.LHopOptions {
+		return coverage.LHopOptions{
+			MaxL:    opts.MaxL,
+			Samples: opts.Samples,
+			Rng:     rand.New(rand.NewSource(opts.Seed + salt)),
+		}
+	}
+	free := coverage.LHopFree(g, lopts(0))
+	curve := func(k int) []float64 {
+		// Same sampling seed for a paired comparison against `free`.
+		return coverage.LHop(g, alliance[:k], lopts(0))
+	}
+	dev := func(c []float64) float64 { return coverage.MaxDeviation(free, c) }
+
+	full := curve(len(alliance))
+	if dev(full) > opts.Epsilon {
+		return nil, fmt.Errorf("broker: even the complete %d-broker alliance deviates %.4f > epsilon %.4f",
+			len(alliance), dev(full), opts.Epsilon)
+	}
+	lo, hi := 1, len(alliance)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if dev(curve(mid)) <= opts.Epsilon {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	final := curve(lo)
+	return &LengthConstrainedResult{
+		Brokers:     append([]int32(nil), alliance[:lo]...),
+		Deviation:   dev(final),
+		FreeCurve:   free,
+		BrokerCurve: final,
+	}, nil
+}

@@ -1,0 +1,70 @@
+package broker
+
+import (
+	"testing"
+
+	"brokerset/internal/coverage"
+)
+
+func TestSelectWithLengthConstraint(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	g := top.Graph
+	res, err := SelectWithLengthConstraint(g, LengthConstraintOptions{
+		Epsilon: 0.05, MaxL: 6, Samples: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Brokers) == 0 {
+		t.Fatal("empty broker set")
+	}
+	if res.Deviation > 0.05 {
+		t.Fatalf("deviation %f exceeds epsilon", res.Deviation)
+	}
+	if len(res.FreeCurve) != 6 || len(res.BrokerCurve) != 6 {
+		t.Fatalf("curve lengths %d/%d, want 6", len(res.FreeCurve), len(res.BrokerCurve))
+	}
+	// Minimality: one broker fewer must violate epsilon (binary search
+	// found the boundary) — verify via the same evaluation path.
+	if len(res.Brokers) > 1 {
+		alliance, err := MaxSGComplete(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smaller := coverage.LHop(g, alliance[:len(res.Brokers)-1], coverage.LHopOptions{
+			MaxL: 6, Samples: 300, Rng: seededRng(1),
+		})
+		if coverage.MaxDeviation(res.FreeCurve, smaller) <= 0.05 {
+			t.Fatalf("returned set of %d is not minimal", len(res.Brokers))
+		}
+	}
+}
+
+func TestSelectWithLengthConstraintTightEpsilon(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	loose, err := SelectWithLengthConstraint(top.Graph, LengthConstraintOptions{
+		Epsilon: 0.2, MaxL: 6, Samples: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := SelectWithLengthConstraint(top.Graph, LengthConstraintOptions{
+		Epsilon: 0.04, MaxL: 6, Samples: 300, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Brokers) < len(loose.Brokers) {
+		t.Fatalf("tighter epsilon needs fewer brokers: %d < %d",
+			len(tight.Brokers), len(loose.Brokers))
+	}
+}
+
+func TestSelectWithLengthConstraintValidation(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	for _, eps := range []float64{0, 1, -0.5} {
+		if _, err := SelectWithLengthConstraint(top.Graph, LengthConstraintOptions{Epsilon: eps}); err == nil {
+			t.Errorf("epsilon %f accepted", eps)
+		}
+	}
+}

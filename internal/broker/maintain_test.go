@@ -1,0 +1,130 @@
+package broker
+
+import (
+	"testing"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/topology"
+)
+
+func TestMaintainFromScratch(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	res, err := Maintain(top.Graph, nil, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Connectivity < 0.8 {
+		t.Fatalf("connectivity %f below target", res.Connectivity)
+	}
+	if len(res.Added) != len(res.Brokers) {
+		t.Fatalf("from-scratch run should add everything: %d vs %d", len(res.Added), len(res.Brokers))
+	}
+}
+
+func TestMaintainKeepsGoodSet(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	base, err := MaxSG(top.Graph, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := coverage.SaturatedConnectivity(top.Graph, base)
+	res, err := Maintain(top.Graph, base, conn-0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added) != 0 {
+		t.Fatalf("maintenance added %d brokers to an already-sufficient set", len(res.Added))
+	}
+	if res.Connectivity < conn-0.011 {
+		t.Fatalf("connectivity dropped below target: %f", res.Connectivity)
+	}
+}
+
+func TestMaintainPrunesRedundant(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	base, err := MaxSG(top.Graph, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A very loose target: most brokers are redundant and must be pruned.
+	res, err := Maintain(top.Graph, base, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Brokers) >= len(base) {
+		t.Fatalf("pruning kept all %d brokers for a 0.3 target", len(res.Brokers))
+	}
+	if res.Connectivity < 0.3 {
+		t.Fatalf("pruned below target: %f", res.Connectivity)
+	}
+}
+
+func TestMaintainHealsAfterTopologyChange(t *testing.T) {
+	// Select on one topology, then maintain against a different snapshot
+	// (new seed = re-measured Internet); the old set should mostly carry
+	// over with a few additions.
+	oldTop := internetGraph(t, 0.02)
+	base, err := MaxSG(oldTop.Graph, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := coverage.SaturatedConnectivity(oldTop.Graph, base) - 0.05
+	newTop, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.02, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Maintain(newTop.Graph, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Connectivity < target {
+		t.Fatalf("healed connectivity %f below target %f", res.Connectivity, target)
+	}
+	// Id space is the same size, so nothing should have been dropped for
+	// range reasons; additions may be needed.
+	total := 0
+	for range res.Brokers {
+		total++
+	}
+	if total == 0 {
+		t.Fatal("empty maintained set")
+	}
+}
+
+func TestMaintainDropsOutOfRangeBrokers(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	n := top.Graph.NumNodes()
+	res, err := Maintain(top.Graph, []int32{int32(n + 5), 3}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range res.Brokers {
+		if int(b) >= n {
+			t.Fatalf("out-of-range broker %d kept", b)
+		}
+	}
+	found := false
+	for _, b := range res.Removed {
+		if int(b) == n+5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("out-of-range broker not reported as removed")
+	}
+}
+
+func TestMaintainValidation(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	if _, err := Maintain(top.Graph, nil, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := Maintain(top.Graph, nil, 1.5); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	// Unreachable target: connectivity can never hit 1.0 when the graph
+	// is disconnected (off-grid nodes).
+	if _, err := Maintain(top.Graph, nil, 1.0); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}

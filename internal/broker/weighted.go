@@ -1,0 +1,105 @@
+package broker
+
+import (
+	"container/heap"
+	"fmt"
+
+	"brokerset/internal/graph"
+)
+
+// GreedyMCBWeighted generalizes Algorithm 1 to weighted coverage: it
+// greedily maximizes Σ weight[u] over u ∈ B ∪ N(B), the natural extension
+// when nodes matter unequally (traffic volume, customer population, ...).
+// The weighted coverage function remains monotone submodular, so the
+// (1−1/e) guarantee and the CELF lazy evaluation both carry over.
+func GreedyMCBWeighted(g *graph.Graph, k int, weight []float64) ([]int32, error) {
+	if err := checkK(g, k); err != nil {
+		return nil, err
+	}
+	if len(weight) != g.NumNodes() {
+		return nil, fmt.Errorf("broker: weight slice length %d != %d nodes", len(weight), g.NumNodes())
+	}
+	for u, w := range weight {
+		if w < 0 {
+			return nil, fmt.Errorf("broker: negative weight %f at node %d", w, u)
+		}
+	}
+	covered := make([]bool, g.NumNodes())
+	inB := make([]bool, g.NumNodes())
+	gain := func(u int) float64 {
+		if inB[u] {
+			return 0
+		}
+		var gn float64
+		if !covered[u] {
+			gn += weight[u]
+		}
+		for _, v := range g.Neighbors(u) {
+			if !covered[v] {
+				gn += weight[v]
+			}
+		}
+		return gn
+	}
+	add := func(u int) {
+		inB[u] = true
+		covered[u] = true
+		for _, v := range g.Neighbors(u) {
+			covered[v] = true
+		}
+	}
+
+	pq := &floatGainQueue{}
+	for u := 0; u < g.NumNodes(); u++ {
+		heap.Push(pq, floatGainItem{node: int32(u), gain: gain(u), round: 0})
+	}
+	brokers := make([]int32, 0, k)
+	for round := 1; len(brokers) < k && pq.Len() > 0; round++ {
+		for {
+			top := pq.items[0]
+			if top.round == round {
+				break
+			}
+			pq.items[0].gain = gain(int(top.node))
+			pq.items[0].round = round
+			heap.Fix(pq, 0)
+		}
+		best := heap.Pop(pq).(floatGainItem)
+		if best.gain <= 0 {
+			break
+		}
+		add(int(best.node))
+		brokers = append(brokers, best.node)
+	}
+	return brokers, nil
+}
+
+type floatGainItem struct {
+	node  int32
+	gain  float64
+	round int
+}
+
+type floatGainQueue struct {
+	items []floatGainItem
+}
+
+func (q *floatGainQueue) Len() int { return len(q.items) }
+
+func (q *floatGainQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	return a.node < b.node
+}
+
+func (q *floatGainQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *floatGainQueue) Push(x interface{}) { q.items = append(q.items, x.(floatGainItem)) }
+func (q *floatGainQueue) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}

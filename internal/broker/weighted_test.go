@@ -1,0 +1,101 @@
+package broker
+
+import (
+	"testing"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+)
+
+func TestWeightedMatchesUnweightedOnUniformWeights(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randGraph(90, 250, seed)
+		w := make([]float64, g.NumNodes())
+		for i := range w {
+			w[i] = 1
+		}
+		weighted, err := GreedyMCBWeighted(g, 12, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := GreedyMCB(g, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(weighted) != len(plain) {
+			t.Fatalf("seed %d: sizes differ %d vs %d", seed, len(weighted), len(plain))
+		}
+		for i := range plain {
+			if weighted[i] != plain[i] {
+				t.Fatalf("seed %d: selection differs at %d: %v vs %v", seed, i, weighted, plain)
+			}
+		}
+	}
+}
+
+func TestWeightedPrefersHeavyNodes(t *testing.T) {
+	// Two stars: hub 0 with 5 light leaves, hub 6 with 2 heavy leaves.
+	// Unweighted greedy picks hub 0 first; weighted picks hub 6.
+	g := buildTwoStars(t)
+	w := make([]float64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	w[7], w[8] = 100, 100
+	weighted, err := GreedyMCBWeighted(g, 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted[0] != 6 {
+		t.Fatalf("weighted pick = %d, want heavy hub 6", weighted[0])
+	}
+	plain, err := GreedyMCB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[0] != 0 {
+		t.Fatalf("unweighted pick = %d, want big hub 0", plain[0])
+	}
+}
+
+func buildTwoStars(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(9)
+	for i := 1; i <= 5; i++ {
+		b.AddEdge(0, i)
+	}
+	b.AddEdge(6, 7)
+	b.AddEdge(6, 8)
+	return b.MustBuild()
+}
+
+func TestWeightedValidation(t *testing.T) {
+	g := star(t, 4)
+	if _, err := GreedyMCBWeighted(g, 2, []float64{1}); err == nil {
+		t.Error("wrong weight length accepted")
+	}
+	if _, err := GreedyMCBWeighted(g, 2, []float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := GreedyMCBWeighted(g, 0, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestWeightedStopsAtZeroGain(t *testing.T) {
+	g := star(t, 6)
+	w := make([]float64, 6)
+	for i := range w {
+		w[i] = 2
+	}
+	brokers, err := GreedyMCBWeighted(g, 6, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brokers) != 1 || brokers[0] != 0 {
+		t.Fatalf("brokers = %v, want just the hub", brokers)
+	}
+	if got := coverage.F(g, brokers); got != 6 {
+		t.Fatalf("coverage = %d, want 6", got)
+	}
+}

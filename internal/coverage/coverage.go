@@ -1,0 +1,118 @@
+// Package coverage implements the paper's coverage machinery: the
+// submodular coverage function f(B) = |B ∪ N(B)|, the B-dominated subgraph
+// G_B (the edges with at least one endpoint in the broker set B), saturated
+// and ℓ-hop E2E connectivity, and B-dominating path search.
+//
+// Terminology follows the paper: an AS path is B-dominated when every hop
+// has at least one endpoint in B; a source-destination pair "has
+// connectivity" when some B-dominated path joins it.
+package coverage
+
+import (
+	"brokerset/internal/graph"
+)
+
+// State tracks the coverage f(B) = |B ∪ N(B)| of a growing broker set and
+// supports incremental marginal-gain queries. The zero value is unusable;
+// create with NewState.
+type State struct {
+	g        *graph.Graph
+	inB      []bool
+	covered  []bool
+	nCovered int
+	brokers  []int32
+}
+
+// NewState returns an empty coverage state (B = ∅) over g.
+func NewState(g *graph.Graph) *State {
+	n := g.NumNodes()
+	return &State{
+		g:       g,
+		inB:     make([]bool, n),
+		covered: make([]bool, n),
+	}
+}
+
+// Gain returns the marginal coverage f(B ∪ {u}) − f(B) of adding node u.
+func (s *State) Gain(u int) int {
+	if s.inB[u] {
+		return 0
+	}
+	gain := 0
+	if !s.covered[u] {
+		gain++
+	}
+	for _, v := range s.g.Neighbors(u) {
+		if !s.covered[v] {
+			gain++
+		}
+	}
+	return gain
+}
+
+// Add inserts u into B and returns the realized marginal gain. Adding a
+// node twice is a no-op with gain 0.
+func (s *State) Add(u int) int {
+	if s.inB[u] {
+		return 0
+	}
+	s.inB[u] = true
+	s.brokers = append(s.brokers, int32(u))
+	gain := 0
+	if !s.covered[u] {
+		s.covered[u] = true
+		gain++
+	}
+	for _, v := range s.g.Neighbors(u) {
+		if !s.covered[v] {
+			s.covered[v] = true
+			gain++
+		}
+	}
+	s.nCovered += gain
+	return gain
+}
+
+// Covered returns f(B) = |B ∪ N(B)|.
+func (s *State) Covered() int { return s.nCovered }
+
+// IsCovered reports whether u ∈ B ∪ N(B).
+func (s *State) IsCovered(u int) bool { return s.covered[u] }
+
+// InB reports whether u ∈ B.
+func (s *State) InB(u int) bool { return s.inB[u] }
+
+// Size returns |B|.
+func (s *State) Size() int { return len(s.brokers) }
+
+// Brokers returns a copy of B in insertion order.
+func (s *State) Brokers() []int32 {
+	out := make([]int32, len(s.brokers))
+	copy(out, s.brokers)
+	return out
+}
+
+// Mask returns a copy of the B membership mask.
+func (s *State) Mask() []bool {
+	out := make([]bool, len(s.inB))
+	copy(out, s.inB)
+	return out
+}
+
+// F computes f(B) = |B ∪ N(B)| for an explicit broker set.
+func F(g *graph.Graph, brokers []int32) int {
+	s := NewState(g)
+	for _, b := range brokers {
+		s.Add(int(b))
+	}
+	return s.Covered()
+}
+
+// MaskOf converts a broker list to a membership mask over g's nodes.
+func MaskOf(g *graph.Graph, brokers []int32) []bool {
+	mask := make([]bool, g.NumNodes())
+	for _, b := range brokers {
+		mask[b] = true
+	}
+	return mask
+}

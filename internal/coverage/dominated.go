@@ -1,0 +1,166 @@
+package coverage
+
+import (
+	"brokerset/internal/graph"
+)
+
+// Dominated is a view of the B-dominated subgraph G_B of a graph: the
+// subgraph whose edges have at least one endpoint in B. Only nodes in
+// B ∪ N(B) can have incident dominated edges.
+type Dominated struct {
+	g   *graph.Graph
+	inB []bool
+	bfs *graph.BFS
+}
+
+// NewDominated builds a dominated-subgraph view for broker set B.
+func NewDominated(g *graph.Graph, brokers []int32) *Dominated {
+	return &Dominated{
+		g:   g,
+		inB: MaskOf(g, brokers),
+		bfs: graph.NewBFS(g),
+	}
+}
+
+// allow is the dominated-edge predicate: (u,v) is usable iff u∈B or v∈B.
+func (d *Dominated) allow(u, v int32) bool {
+	return d.inB[u] || d.inB[v]
+}
+
+// InB reports whether u is a broker.
+func (d *Dominated) InB(u int) bool { return d.inB[u] }
+
+// Components labels nodes by their component in G_B. Nodes with no incident
+// dominated edge (and not in B) get label graph.Unreached. Returns the
+// label slice and per-component sizes.
+func (d *Dominated) Components() (comp []int32, sizes []int) {
+	n := d.g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = graph.Unreached
+	}
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] != graph.Unreached || !d.eligible(s) {
+			continue
+		}
+		id := int32(len(sizes))
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		size := 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range d.g.Neighbors(int(u)) {
+				if comp[v] != graph.Unreached || !d.allow(u, v) {
+					continue
+				}
+				comp[v] = id
+				queue = append(queue, v)
+				size++
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return comp, sizes
+}
+
+// eligible reports whether u can appear on any dominated path: u must be a
+// broker or adjacent to one.
+func (d *Dominated) eligible(u int) bool {
+	if d.inB[u] {
+		return true
+	}
+	for _, v := range d.g.Neighbors(u) {
+		if d.inB[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// SaturatedConnectivity returns the fraction of all unordered node pairs of
+// the full graph joined by some B-dominated path of any length — the
+// paper's "saturated E2E connectivity". It runs in O(V+E).
+func (d *Dominated) SaturatedConnectivity() float64 {
+	_, sizes := d.Components()
+	total := graph.TotalPairs(d.g.NumNodes())
+	if total == 0 {
+		return 0
+	}
+	return float64(graph.PairsWithin(sizes)) / float64(total)
+}
+
+// SaturatedConnectivity is a convenience wrapper constructing the dominated
+// view for brokers and evaluating its saturated connectivity.
+func SaturatedConnectivity(g *graph.Graph, brokers []int32) float64 {
+	return NewDominated(g, brokers).SaturatedConnectivity()
+}
+
+// Path returns one shortest B-dominated path from src to dst (node
+// sequence, inclusive), or nil if none exists.
+func (d *Dominated) Path(src, dst int) []int32 {
+	if src == dst {
+		return []int32{int32(src)}
+	}
+	n := d.g.NumNodes()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = graph.Unreached
+	}
+	parent[src] = int32(src)
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range d.g.Neighbors(int(u)) {
+			if parent[v] != graph.Unreached || !d.allow(u, v) {
+				continue
+			}
+			parent[v] = u
+			if int(v) == dst {
+				return rebuild(parent, src, dst)
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func rebuild(parent []int32, src, dst int) []int32 {
+	var rev []int32
+	for u := int32(dst); ; u = parent[u] {
+		rev = append(rev, u)
+		if int(u) == src {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// HasPath reports whether a B-dominated path joins src and dst.
+func (d *Dominated) HasPath(src, dst int) bool {
+	comp, _ := d.Components()
+	return comp[src] != graph.Unreached && comp[src] == comp[dst]
+}
+
+// VerifyDominated checks that every hop of path has an endpoint in B —
+// i.e. that path is B-dominated — and that consecutive nodes are adjacent.
+func VerifyDominated(g *graph.Graph, brokers []int32, path []int32) bool {
+	if len(path) == 0 {
+		return false
+	}
+	inB := MaskOf(g, brokers)
+	for i := 0; i+1 < len(path); i++ {
+		u, v := path[i], path[i+1]
+		if !g.HasEdge(int(u), int(v)) {
+			return false
+		}
+		if !inB[u] && !inB[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package coverage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrementalMatchesBatchConnectivity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(60, 140, seed)
+		rng := rand.New(rand.NewSource(seed + 5))
+		inc := NewIncremental(g)
+		var brokers []int32
+		for i := 0; i < 12; i++ {
+			u := rng.Intn(60)
+			inc.AddBroker(u)
+			if !inc.InB(u) {
+				return false
+			}
+			brokers = append(brokers, int32(u))
+			batch := SaturatedConnectivity(g, brokers)
+			if math.Abs(inc.Connectivity()-batch) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalGainMatchesRealizedGain(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(50, 120, seed)
+		rng := rand.New(rand.NewSource(seed + 7))
+		inc := NewIncremental(g)
+		for i := 0; i < 8; i++ {
+			inc.AddBroker(rng.Intn(50))
+		}
+		for i := 0; i < 10; i++ {
+			u := rng.Intn(50)
+			predicted := inc.Gain(u)
+			before := inc.ConnectedPairs()
+			snap := inc.Snapshot()
+			inc.AddBroker(u)
+			realized := inc.ConnectedPairs() - before
+			inc.Restore(snap)
+			if predicted != realized {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalSnapshotRestore(t *testing.T) {
+	g := path(t, 6)
+	inc := NewIncremental(g)
+	inc.AddBroker(1)
+	snap := inc.Snapshot()
+	before := inc.Connectivity()
+	inc.AddBroker(3)
+	inc.AddBroker(5)
+	if inc.Connectivity() <= before {
+		t.Fatal("adding brokers did not raise connectivity")
+	}
+	inc.Restore(snap)
+	if inc.Connectivity() != before {
+		t.Fatalf("restore failed: %f vs %f", inc.Connectivity(), before)
+	}
+	if inc.InB(3) || inc.InB(5) {
+		t.Fatal("restore left brokers in B")
+	}
+	// State still usable after restore.
+	inc.AddBroker(3)
+	if inc.Connectivity() <= before {
+		t.Fatal("post-restore add failed")
+	}
+}
+
+func TestIncrementalIdempotentAdd(t *testing.T) {
+	g := star(t, 5)
+	inc := NewIncremental(g)
+	inc.AddBroker(0)
+	p := inc.ConnectedPairs()
+	inc.AddBroker(0)
+	if inc.ConnectedPairs() != p {
+		t.Fatal("double add changed pair count")
+	}
+	if got := inc.Gain(0); got != 0 {
+		t.Fatalf("Gain(existing broker) = %d, want 0", got)
+	}
+}
+
+func TestIncrementalEmptyGraph(t *testing.T) {
+	g := buildGraph(t, 0, nil)
+	inc := NewIncremental(g)
+	if inc.Connectivity() != 0 {
+		t.Fatal("empty graph connectivity != 0")
+	}
+}

@@ -1,0 +1,159 @@
+package coverage
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"brokerset/internal/graph"
+)
+
+// LHopOptions controls ℓ-hop connectivity evaluation.
+type LHopOptions struct {
+	// MaxL is the largest hop count to evaluate; results cover l = 1..MaxL.
+	MaxL int
+	// Samples is the number of BFS source nodes; Samples >= NumNodes()
+	// computes the exact distribution. Zero defaults to 1000.
+	Samples int
+	// Rng drives source sampling; nil uses a fixed seed, keeping results
+	// deterministic.
+	Rng *rand.Rand
+	// Parallelism is the number of BFS workers; 1 (default 0 → 1) runs
+	// serially, negative uses GOMAXPROCS. Results are identical at any
+	// parallelism: each source's contribution is an independent count.
+	Parallelism int
+}
+
+func (o LHopOptions) withDefaults() LHopOptions {
+	if o.MaxL <= 0 {
+		o.MaxL = 8
+	}
+	if o.Samples <= 0 {
+		o.Samples = 1000
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
+	}
+	if o.Parallelism < 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// LHop estimates the ℓ-hop E2E connectivity curve under broker set B: the
+// fraction of ordered node pairs (u,v), over the full vertex set, joined by
+// a B-dominated path of at most l hops, for l = 1..MaxL (index 0 of the
+// result is l=1).
+//
+// This realizes the paper's F_B(l) ("the number of nonzero entries in
+// B ⊙ A^l gives the number of B-dominating paths with length no more than
+// l") by depth-bounded BFS restricted to dominated edges, which is exact
+// when Samples covers all sources and an unbiased uniform-source estimate
+// otherwise.
+func LHop(g *graph.Graph, brokers []int32, opts LHopOptions) []float64 {
+	opts = opts.withDefaults()
+	d := NewDominated(g, brokers)
+	return lhop(g, d.allow, opts)
+}
+
+// LHopFree evaluates the ℓ-hop connectivity with free path selection
+// (B = V: every edge usable) — the paper's "ASesWithIXPs" reference curve.
+func LHopFree(g *graph.Graph, opts LHopOptions) []float64 {
+	return lhop(g, nil, opts)
+}
+
+func lhop(g *graph.Graph, allow func(u, v int32) bool, opts LHopOptions) []float64 {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	out := make([]float64, opts.MaxL)
+	if n < 2 {
+		return out
+	}
+	srcs := graph.SampleNodes(n, opts.Samples, opts.Rng)
+	counts := countDistances(g, srcs, allow, opts)
+	// counts[d] = sampled ordered pairs at exactly distance d; cumulative
+	// fraction over (samples × (n-1)) ordered pairs.
+	denom := float64(len(srcs)) * float64(n-1)
+	var cum int64
+	for l := 1; l <= opts.MaxL; l++ {
+		cum += counts[l]
+		out[l-1] = float64(cum) / denom
+	}
+	return out
+}
+
+// countDistances tallies counts[d] = sampled ordered pairs at exactly
+// distance d, fanning the sources out over opts.Parallelism workers. Every
+// worker owns its BFS scratch; per-worker tallies merge additively, so the
+// result is independent of the schedule.
+func countDistances(g *graph.Graph, srcs []int32, allow func(u, v int32) bool, opts LHopOptions) []int64 {
+	workers := opts.Parallelism
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers <= 1 {
+		counts := make([]int64, opts.MaxL+1)
+		tally(g, srcs, allow, opts.MaxL, counts)
+		return counts
+	}
+	perWorker := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		perWorker[w] = make([]int64, opts.MaxL+1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo := w * len(srcs) / workers
+			hi := (w + 1) * len(srcs) / workers
+			tally(g, srcs[lo:hi], allow, opts.MaxL, perWorker[w])
+		}()
+	}
+	wg.Wait()
+	counts := make([]int64, opts.MaxL+1)
+	for _, pc := range perWorker {
+		for d, c := range pc {
+			counts[d] += c
+		}
+	}
+	return counts
+}
+
+func tally(g *graph.Graph, srcs []int32, allow func(u, v int32) bool, maxL int, counts []int64) {
+	bfs := graph.NewBFS(g)
+	for _, s := range srcs {
+		bfs.RunBoundedFiltered(int(s), maxL, allow)
+		for _, u := range bfs.Reached() {
+			dist := bfs.Dist()[u]
+			if dist >= 1 && int(dist) <= maxL {
+				counts[dist]++
+			}
+		}
+	}
+}
+
+// MaxDeviation returns max_l |a[l] - b[l]| over the common prefix of the two
+// connectivity curves — the ε of the paper's Eq. (4) feasibility check.
+func MaxDeviation(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var worst float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// FeasibleWithin reports whether broker curve fB tracks the free-path curve
+// f within ε at every hop count (Eq. 4: |F_B(l) − F(l)| ≤ ε ∀l).
+func FeasibleWithin(f, fB []float64, eps float64) bool {
+	return MaxDeviation(f, fB) <= eps
+}

@@ -1,0 +1,323 @@
+// Package ctrlplane simulates the distributed control plane of the broker
+// coalition: one agent per broker owns the capacity ledger of its incident
+// links, and end-to-end QoS sessions are set up with a two-phase commit
+// across the agents along a B-dominated path. The paper assigns brokers
+// "network performance measurement, control, resource negotiation" duties
+// without an implementation; this package provides a deterministic
+// message-level realization so the coordination cost and failure behaviour
+// can be measured.
+//
+// The message bus is a synchronous FIFO queue — deterministic by
+// construction, which keeps protocol tests exact while still counting every
+// message a real deployment would send.
+package ctrlplane
+
+import (
+	"fmt"
+
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol message types (two-phase commit plus teardown).
+const (
+	MsgPrepare MsgType = iota + 1
+	MsgPrepareAck
+	MsgPrepareNack
+	MsgCommit
+	MsgAbort
+	MsgRelease
+)
+
+var msgNames = [...]string{
+	MsgPrepare:     "PREPARE",
+	MsgPrepareAck:  "PREPARE-ACK",
+	MsgPrepareNack: "PREPARE-NACK",
+	MsgCommit:      "COMMIT",
+	MsgAbort:       "ABORT",
+	MsgRelease:     "RELEASE",
+}
+
+// String returns the wire name of the message type.
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) && msgNames[t] != "" {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Message is one control-plane message. From/To are broker ids (To = -1
+// addresses the coordinator).
+type Message struct {
+	From, To  int32
+	Type      MsgType
+	SessionID int
+	Hop       [2]int32
+	Bandwidth float64
+}
+
+// Stats counts control-plane activity.
+type Stats struct {
+	Messages  int
+	Commits   int
+	Aborts    int
+	Teardowns int
+}
+
+// SessionState is the lifecycle state of a setup.
+type SessionState uint8
+
+// Session lifecycle states.
+const (
+	StateCommitted SessionState = iota + 1
+	StateAborted
+	StateReleased
+)
+
+// Session is an end-to-end QoS session set up through the control plane.
+type Session struct {
+	ID        int
+	Path      []int32
+	Bandwidth float64
+	State     SessionState
+	// owners[i] is the broker agent owning hop (Path[i], Path[i+1]).
+	owners []int32
+}
+
+// agent is one broker's local state: its view of the available capacity on
+// the links it owns, plus per-session holds.
+type agent struct {
+	id    int32
+	avail map[[2]int32]float64
+	holds map[int][]hold // sessionID -> held hops
+}
+
+type hold struct {
+	hop [2]int32
+	bw  float64
+}
+
+// Plane is the coalition control plane.
+type Plane struct {
+	top     *topology.Topology
+	engine  *routing.Engine
+	inB     []bool
+	agents  map[int32]*agent
+	crashed map[int32]bool
+	bus     []Message
+	stats   Stats
+	nextID  int
+}
+
+// New builds a control plane for the broker set. metrics supplies link
+// capacities (nil = routing.DefaultMetrics with a fixed seed); each link
+// with at least one broker endpoint is assigned to exactly one owning
+// agent (the lower-id broker endpoint).
+func New(top *topology.Topology, metrics *routing.Metrics, brokers []int32) *Plane {
+	if metrics == nil {
+		metrics = routing.DefaultMetrics(top, nil)
+	}
+	p := &Plane{
+		top:     top,
+		engine:  routing.NewEngine(top, metrics, brokers),
+		inB:     make([]bool, top.NumNodes()),
+		agents:  make(map[int32]*agent, len(brokers)),
+		crashed: make(map[int32]bool),
+	}
+	for _, b := range brokers {
+		p.inB[b] = true
+		p.agents[b] = &agent{
+			id:    b,
+			avail: make(map[[2]int32]float64),
+			holds: make(map[int][]hold),
+		}
+	}
+	// Seed each owner's ledger with its links' capacities.
+	top.Graph.Edges(func(u, v int) bool {
+		owner, ok := p.ownerOf(int32(u), int32(v))
+		if !ok {
+			return true // undominated link: not managed by the coalition
+		}
+		key := hopKey(int32(u), int32(v))
+		p.agents[owner].avail[key] = metrics.Capacity(int32(u), int32(v))
+		return true
+	})
+	return p
+}
+
+// ownerOf returns the broker agent owning link (u,v): the lower-id broker
+// endpoint. ok is false when neither endpoint is a broker.
+func (p *Plane) ownerOf(u, v int32) (int32, bool) {
+	uB, vB := p.inB[u], p.inB[v]
+	switch {
+	case uB && vB:
+		if u < v {
+			return u, true
+		}
+		return v, true
+	case uB:
+		return u, true
+	case vB:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func hopKey(u, v int32) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{u, v}
+}
+
+// Crash marks a broker agent as crashed: it stops answering PREPAREs, so
+// setups through its links abort. Unknown brokers are ignored.
+func (p *Plane) Crash(b int32) { p.crashed[b] = true }
+
+// Recover clears a crash.
+func (p *Plane) Recover(b int32) { delete(p.crashed, b) }
+
+// Stats returns a copy of the message counters.
+func (p *Plane) Stats() Stats { return p.stats }
+
+// Available returns the owning agent's ledgered available capacity for the
+// link (0 when unmanaged).
+func (p *Plane) Available(u, v int32) float64 {
+	owner, ok := p.ownerOf(u, v)
+	if !ok {
+		return 0
+	}
+	return p.agents[owner].avail[hopKey(u, v)]
+}
+
+// send enqueues a message on the bus and counts it.
+func (p *Plane) send(m Message) {
+	p.stats.Messages++
+	p.bus = append(p.bus, m)
+}
+
+// Setup establishes a bw-Gbps session from src to dst over the best
+// B-dominated path, running two-phase commit across the hop owners. On
+// capacity shortage or a crashed owner the setup aborts with all holds
+// released, and an error is returned.
+func (p *Plane) Setup(src, dst int, bw float64, opts routing.Options) (*Session, error) {
+	if bw <= 0 {
+		return nil, fmt.Errorf("ctrlplane: bandwidth must be > 0, got %f", bw)
+	}
+	path, err := p.engine.BestPath(src, dst, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: no dominated path: %w", err)
+	}
+	p.nextID++
+	s := &Session{ID: p.nextID, Path: path.Nodes, Bandwidth: bw}
+	for i := 0; i+1 < len(path.Nodes); i++ {
+		owner, ok := p.ownerOf(path.Nodes[i], path.Nodes[i+1])
+		if !ok {
+			return nil, fmt.Errorf("ctrlplane: hop (%d,%d) has no broker owner — path not dominated",
+				path.Nodes[i], path.Nodes[i+1])
+		}
+		s.owners = append(s.owners, owner)
+	}
+
+	// Phase 1: PREPARE every hop with its owner.
+	for i, owner := range s.owners {
+		p.send(Message{
+			From: -1, To: owner, Type: MsgPrepare, SessionID: s.ID,
+			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: bw,
+		})
+	}
+	acks, nacks := p.drain()
+	if nacks > 0 || acks < len(s.owners) {
+		// Phase 2 (failure): ABORT everywhere; owners release their holds.
+		for _, owner := range s.owners {
+			p.send(Message{From: -1, To: owner, Type: MsgAbort, SessionID: s.ID})
+		}
+		p.drain()
+		p.stats.Aborts++
+		s.State = StateAborted
+		if nacks > 0 {
+			return nil, fmt.Errorf("ctrlplane: setup %d aborted: insufficient capacity on %d hop(s)", s.ID, nacks)
+		}
+		return nil, fmt.Errorf("ctrlplane: setup %d aborted: %d owner(s) unresponsive", s.ID, len(s.owners)-acks)
+	}
+	// Phase 2 (success): COMMIT.
+	for _, owner := range s.owners {
+		p.send(Message{From: -1, To: owner, Type: MsgCommit, SessionID: s.ID})
+	}
+	p.drain()
+	p.stats.Commits++
+	s.State = StateCommitted
+	return s, nil
+}
+
+// Teardown releases a committed session's capacity at every owner.
+func (p *Plane) Teardown(s *Session) error {
+	if s == nil || s.State != StateCommitted {
+		return fmt.Errorf("ctrlplane: teardown of non-committed session")
+	}
+	for i, owner := range s.owners {
+		p.send(Message{
+			From: -1, To: owner, Type: MsgRelease, SessionID: s.ID,
+			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: s.Bandwidth,
+		})
+	}
+	p.drain()
+	p.stats.Teardowns++
+	s.State = StateReleased
+	return nil
+}
+
+// drain processes the bus until empty, returning the PREPARE ack/nack
+// tallies observed.
+func (p *Plane) drain() (acks, nacks int) {
+	for len(p.bus) > 0 {
+		m := p.bus[0]
+		p.bus = p.bus[1:]
+		switch m.Type {
+		case MsgPrepareAck:
+			acks++
+			continue
+		case MsgPrepareNack:
+			nacks++
+			continue
+		}
+		if m.To == -1 {
+			continue // coordinator-bound notification
+		}
+		a, ok := p.agents[m.To]
+		if !ok || p.crashed[m.To] {
+			continue // dropped: crashed or unknown agent
+		}
+		p.deliver(a, m)
+	}
+	return acks, nacks
+}
+
+// deliver runs one agent's state machine step.
+func (p *Plane) deliver(a *agent, m Message) {
+	switch m.Type {
+	case MsgPrepare:
+		if a.avail[m.Hop] >= m.Bandwidth {
+			a.avail[m.Hop] -= m.Bandwidth // place hold
+			a.holds[m.SessionID] = append(a.holds[m.SessionID], hold{hop: m.Hop, bw: m.Bandwidth})
+			p.send(Message{From: a.id, To: -1, Type: MsgPrepareAck, SessionID: m.SessionID})
+		} else {
+			p.send(Message{From: a.id, To: -1, Type: MsgPrepareNack, SessionID: m.SessionID})
+		}
+	case MsgAbort:
+		for _, h := range a.holds[m.SessionID] {
+			a.avail[h.hop] += h.bw
+		}
+		delete(a.holds, m.SessionID)
+	case MsgCommit:
+		// Holds become durable allocations: keep the ledger as is but drop
+		// the hold record (released only by MsgRelease).
+		delete(a.holds, m.SessionID)
+	case MsgRelease:
+		a.avail[m.Hop] += m.Bandwidth
+	}
+}

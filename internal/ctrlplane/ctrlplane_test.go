@@ -1,0 +1,249 @@
+package ctrlplane
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"brokerset/internal/broker"
+	"brokerset/internal/graph"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// lineTop builds a 5-node peer chain with fixed 10 Gbps / 1 ms links.
+func lineTop(t testing.TB) (*topology.Topology, *routing.Metrics) {
+	t.Helper()
+	b := graph.NewBuilder(5)
+	for i := 0; i+1 < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.MustBuild()
+	top := &topology.Topology{
+		Graph: g,
+		Class: make([]topology.Class, 5),
+		Tier:  []uint8{3, 3, 3, 3, 3},
+		Name:  make([]string, 5),
+	}
+	g.Edges(func(u, v int) bool {
+		top.SetRel(u, v, topology.RelPeer)
+		return true
+	})
+	m := routing.DefaultMetrics(top, rand.New(rand.NewSource(1)))
+	g.Edges(func(u, v int) bool {
+		m.SetCapacity(int32(u), int32(v), 10)
+		m.SetLatency(int32(u), int32(v), 1)
+		return true
+	})
+	return top, m
+}
+
+func TestSetupCommitsAndLedgers(t *testing.T) {
+	top, m := lineTop(t)
+	brokers := []int32{1, 2, 3}
+	p := New(top, m, brokers)
+
+	before01 := p.Available(0, 1)
+	s, err := p.Setup(0, 4, 4, routing.Options{})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	if s.State != StateCommitted {
+		t.Fatalf("state = %v, want committed", s.State)
+	}
+	if len(s.Path) != 5 {
+		t.Fatalf("path = %v", s.Path)
+	}
+	if got := p.Available(0, 1); got != before01-4 {
+		t.Fatalf("ledger(0,1) = %f, want %f", got, before01-4)
+	}
+	st := p.Stats()
+	if st.Commits != 1 || st.Aborts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 4 hops: 4 PREPARE + 4 ACK + 4 COMMIT = 12 messages.
+	if st.Messages != 12 {
+		t.Fatalf("messages = %d, want 12", st.Messages)
+	}
+}
+
+func TestContentionAbortsSecondSetup(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	if _, err := p.Setup(0, 4, 7, routing.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Only 3 Gbps left on every hop: a 7 Gbps setup must abort cleanly.
+	before := p.Available(2, 3)
+	_, err := p.Setup(0, 4, 7, routing.Options{})
+	if err == nil {
+		t.Fatal("oversubscribing setup committed")
+	}
+	if !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := p.Available(2, 3); got != before {
+		t.Fatalf("aborted setup leaked holds: %f vs %f", got, before)
+	}
+	if st := p.Stats(); st.Aborts != 1 || st.Commits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTeardownRestoresCapacity(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	s, err := p.Setup(0, 4, 7, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Teardown(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.State != StateReleased {
+		t.Fatalf("state = %v", s.State)
+	}
+	if got := p.Available(0, 1); got != 10 {
+		t.Fatalf("capacity after teardown = %f, want 10", got)
+	}
+	// Capacity is reusable.
+	if _, err := p.Setup(0, 4, 9, routing.Options{}); err != nil {
+		t.Fatalf("post-teardown setup failed: %v", err)
+	}
+	if err := p.Teardown(s); err == nil {
+		t.Fatal("double teardown accepted")
+	}
+	if err := p.Teardown(nil); err == nil {
+		t.Fatal("nil teardown accepted")
+	}
+}
+
+func TestCrashedOwnerAbortsWithoutLeak(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	p.Crash(2)
+	before := p.Available(0, 1) // owned by live agent 1
+	if _, err := p.Setup(0, 4, 2, routing.Options{}); err == nil {
+		t.Fatal("setup through crashed owner committed")
+	} else if !strings.Contains(err.Error(), "unresponsive") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Agent 1 placed a hold during PREPARE; the ABORT must release it.
+	if got := p.Available(0, 1); got != before {
+		t.Fatalf("crash-abort leaked a hold: %f vs %f", got, before)
+	}
+	p.Recover(2)
+	if _, err := p.Setup(0, 4, 2, routing.Options{}); err != nil {
+		t.Fatalf("post-recovery setup failed: %v", err)
+	}
+}
+
+func TestOwnerAssignment(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 3})
+	// Link (1,2): only broker 1 -> owner 1. Link (2,3): only broker 3.
+	// Link (0,1): broker 1.
+	owner, ok := p.ownerOf(1, 2)
+	if !ok || owner != 1 {
+		t.Fatalf("owner(1,2) = %d, %v", owner, ok)
+	}
+	owner, ok = p.ownerOf(3, 2)
+	if !ok || owner != 3 {
+		t.Fatalf("owner(2,3) = %d, %v", owner, ok)
+	}
+	// Both endpoints brokers: lower id owns.
+	p2 := New(top, m, []int32{1, 2})
+	owner, ok = p2.ownerOf(2, 1)
+	if !ok || owner != 1 {
+		t.Fatalf("owner(1,2) with both brokers = %d, %v", owner, ok)
+	}
+	// No broker endpoint: unmanaged.
+	if _, ok := p.ownerOf(0, 4); ok {
+		t.Fatal("non-edge/unmanaged pair has an owner")
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	if _, err := p.Setup(0, 4, 0, routing.Options{}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := p.Setup(0, 4, -1, routing.Options{}); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	// No dominated path: brokers only at 1 -> node 4 unreachable.
+	p2 := New(top, m, []int32{1})
+	if _, err := p2.Setup(0, 4, 1, routing.Options{}); err == nil {
+		t.Fatal("setup without dominated path accepted")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgPrepare.String() != "PREPARE" || MsgRelease.String() != "RELEASE" {
+		t.Fatalf("names: %s %s", MsgPrepare, MsgRelease)
+	}
+	if !strings.HasPrefix(MsgType(99).String(), "msg(") {
+		t.Fatalf("unknown type name: %s", MsgType(99))
+	}
+}
+
+// End-to-end on a generated topology: many setups against a MaxSG broker
+// set; the coalition ledger never goes negative and commits + aborts
+// account for every request.
+func TestControlPlaneOnInternetTopology(t *testing.T) {
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokers, err := broker.MaxSG(top.Graph, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(top, nil, brokers)
+	rng := rand.New(rand.NewSource(2))
+	requests, committed, aborted, unroutable := 0, 0, 0, 0
+	var live []*Session
+	for i := 0; i < 200; i++ {
+		src, dst := rng.Intn(top.NumNodes()), rng.Intn(top.NumNodes())
+		if src == dst {
+			continue
+		}
+		requests++
+		s, err := p.Setup(src, dst, 1+20*rng.Float64(), routing.Options{})
+		switch {
+		case err == nil:
+			committed++
+			live = append(live, s)
+		case strings.Contains(err.Error(), "no dominated path"):
+			unroutable++
+		default:
+			aborted++
+		}
+		// Occasionally tear one down.
+		if len(live) > 0 && rng.Float64() < 0.3 {
+			idx := rng.Intn(len(live))
+			if err := p.Teardown(live[idx]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:idx], live[idx+1:]...)
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no setup committed")
+	}
+	st := p.Stats()
+	if st.Commits != committed || st.Aborts != aborted {
+		t.Fatalf("stats %+v vs observed %d/%d", st, committed, aborted)
+	}
+	if requests != committed+aborted+unroutable {
+		t.Fatalf("request accounting broken: %d != %d+%d+%d", requests, committed, aborted, unroutable)
+	}
+	// Ledgers non-negative everywhere.
+	top.Graph.Edges(func(u, v int) bool {
+		if p.Available(int32(u), int32(v)) < 0 {
+			t.Fatalf("negative ledger on (%d,%d)", u, v)
+		}
+		return true
+	})
+}

@@ -1,0 +1,120 @@
+package econ
+
+import (
+	"fmt"
+)
+
+// Tatonnement runs a price-adjustment dynamic for the leader: each round
+// the coalition evaluates its utility at p−step and p+step (with followers
+// best-responding) and moves toward the better side, halving the step when
+// neither improves. It models a coalition that discovers its price
+// empirically instead of solving the game analytically, and is expected to
+// converge to (a local optimum containing) the Stackelberg equilibrium.
+// It returns the visited price trajectory and the final outcome.
+func Tatonnement(b Broker, customers []Customer, rounds int, step float64) ([]float64, *Equilibrium, error) {
+	if err := b.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(customers) == 0 {
+		return nil, nil, fmt.Errorf("econ: no customers")
+	}
+	if rounds < 1 || step <= 0 {
+		return nil, nil, fmt.Errorf("econ: need rounds >= 1 and step > 0, got %d, %f", rounds, step)
+	}
+	clamp := func(p float64) float64 {
+		if p < 0 {
+			return 0
+		}
+		if p > b.MaxPrice {
+			return b.MaxPrice
+		}
+		return p
+	}
+	p := b.MaxPrice / 2
+	trajectory := []float64{p}
+	u := b.Utility(p, customers)
+	for i := 0; i < rounds; i++ {
+		lo, hi := clamp(p-step), clamp(p+step)
+		ulo, uhi := b.Utility(lo, customers), b.Utility(hi, customers)
+		switch {
+		case uhi > u && uhi >= ulo:
+			p, u = hi, uhi
+		case ulo > u:
+			p, u = lo, ulo
+		default:
+			step /= 2
+			if step < 1e-6 {
+				break
+			}
+		}
+		trajectory = append(trajectory, p)
+	}
+	eq := &Equilibrium{Price: p, BrokerUtility: u}
+	for _, c := range customers {
+		a := c.BestResponse(p)
+		eq.Adoption = append(eq.Adoption, a)
+		eq.TotalTraffic += a
+		eq.CustomerUtility = append(eq.CustomerUtility, c.Utility(a, p))
+	}
+	return trajectory, eq, nil
+}
+
+// FormationStep records one round of sequential coalition formation.
+type FormationStep struct {
+	// Joined is the player index added this round (-1 when formation
+	// stopped).
+	Joined int
+	// Marginal is the joiner's marginal contribution v(S∪{j}) − v(S).
+	Marginal float64
+	// Standalone is the joiner's stand-alone value v({j}).
+	Standalone float64
+	// Value is the coalition value after the round.
+	Value float64
+}
+
+// FormCoalition simulates the §7.2 growth process: starting from the empty
+// coalition, each round the best remaining candidate (largest marginal
+// contribution) joins if its marginal contribution is at least its
+// stand-alone value — joining must not destroy value it could keep alone,
+// which mirrors the paper's "no AS has an incentive to leave" condition.
+// Formation stops at the first candidate that fails the test, returning
+// the stable membership and the per-round history; this is the
+// quantitative version of "that's the time to stop increasing the set
+// size."
+func FormCoalition(n int, v CoalitionValue) ([]int, []FormationStep, error) {
+	if n < 1 || n > 64 {
+		return nil, nil, fmt.Errorf("econ: formation needs 1 <= n <= 64 players, got %d", n)
+	}
+	var (
+		mask    uint64
+		members []int
+		history []FormationStep
+	)
+	for len(members) < n {
+		cur := v(mask)
+		best, bestMarg := -1, 0.0
+		for j := 0; j < n; j++ {
+			bit := uint64(1) << j
+			if mask&bit != 0 {
+				continue
+			}
+			marg := v(mask|bit) - cur
+			if best < 0 || marg > bestMarg {
+				best, bestMarg = j, marg
+			}
+		}
+		standalone := v(uint64(1) << best)
+		if bestMarg+1e-12 < standalone {
+			history = append(history, FormationStep{
+				Joined: -1, Marginal: bestMarg, Standalone: standalone, Value: cur,
+			})
+			break
+		}
+		mask |= uint64(1) << best
+		members = append(members, best)
+		history = append(history, FormationStep{
+			Joined: best, Marginal: bestMarg, Standalone: standalone, Value: v(mask),
+		})
+	}
+	return members, history, nil
+}

@@ -1,0 +1,71 @@
+package econ
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+)
+
+// CoverageGame builds the coalition game the paper's §7.2 analyzes:
+// players are candidate brokers, and a coalition's value is the revenue it
+// can extract at the Stackelberg equilibrium, taken proportional to the
+// saturated E2E connectivity its members provide (more dominated pairs →
+// more customer traffic → more revenue). Values are memoized.
+//
+// It errors when there are no players, more than 64, or a player id is out
+// of range.
+func CoverageGame(g *graph.Graph, players []int32, revenueScale float64) (CoalitionValue, error) {
+	if len(players) == 0 || len(players) > 64 {
+		return nil, fmt.Errorf("econ: coverage game needs 1..64 players, got %d", len(players))
+	}
+	for _, p := range players {
+		if int(p) < 0 || int(p) >= g.NumNodes() {
+			return nil, fmt.Errorf("econ: player %d outside graph with %d nodes", p, g.NumNodes())
+		}
+	}
+	if revenueScale <= 0 {
+		return nil, fmt.Errorf("econ: revenueScale must be > 0, got %f", revenueScale)
+	}
+	v := func(mask uint64) float64 {
+		if mask == 0 {
+			return 0
+		}
+		var members []int32
+		for i, p := range players {
+			if mask&(1<<uint(i)) != 0 {
+				members = append(members, p)
+			}
+		}
+		return revenueScale * coverage.SaturatedConnectivity(g, members)
+	}
+	return Memoize(v), nil
+}
+
+// NewCustomerPopulation generates a deterministic population of lower-tier
+// customer ASes for Stackelberg experiments. When highTierInB is true, the
+// PaidRelief term is boosted: with high-tier ISPs inside the broker set, a
+// lower-tier AS shifting traffic to B stops paying its most expensive
+// ("high paid") providers — the paper's §7.1 observation that "by including
+// high-tier ISPs into the broker set, lower-tier ISPs become more willing
+// to follow the new rule."
+func NewCustomerPopulation(n int, highTierInB bool, seed int64) []Customer {
+	rng := rand.New(rand.NewSource(seed))
+	reliefBoost := 1.0
+	if highTierInB {
+		reliefBoost = 5
+	}
+	customers := make([]Customer, 0, n)
+	for i := 0; i < n; i++ {
+		customers = append(customers, Customer{
+			Name:        fmt.Sprintf("AS-cust-%d", i),
+			BaseRate:    0.05 + 0.1*rng.Float64(),
+			Value:       0.8 + 0.4*rng.Float64(),
+			Curvature:   2 + 2*rng.Float64(),
+			TransitGain: 0.2 + 0.3*rng.Float64(),
+			PaidRelief:  reliefBoost * (0.05 + 0.1*rng.Float64()),
+		})
+	}
+	return customers
+}

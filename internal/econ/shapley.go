@@ -1,0 +1,184 @@
+package econ
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// CoalitionValue is a characteristic function over coalitions of n players
+// encoded as bitmasks (bit i set ⇔ player i is a member). Implementations
+// must be deterministic; memoize if evaluation is expensive.
+type CoalitionValue func(mask uint64) float64
+
+// maxExactPlayers bounds the exact Shapley computation (n·2ⁿ evaluations).
+const maxExactPlayers = 20
+
+// ShapleyExact computes every player's Shapley value (Eq. 13) by the
+// subset-sum formula
+//
+//	φ_j = Σ_{S ⊆ N\{j}} |S|!(n−|S|−1)!/n! · (v(S∪{j}) − v(S)),
+//
+// evaluating v once per coalition. It errors for n outside [1, 20].
+func ShapleyExact(n int, v CoalitionValue) ([]float64, error) {
+	if n < 1 || n > maxExactPlayers {
+		return nil, fmt.Errorf("econ: exact Shapley needs 1 <= n <= %d, got %d", maxExactPlayers, n)
+	}
+	size := uint64(1) << n
+	vals := make([]float64, size)
+	for m := uint64(0); m < size; m++ {
+		vals[m] = v(m)
+	}
+	// weight[s] = s!(n-s-1)!/n! computed via running products to avoid
+	// factorial overflow.
+	weight := make([]float64, n)
+	for s := 0; s < n; s++ {
+		w := 1.0 / float64(n)
+		for i := 1; i <= s; i++ {
+			w *= float64(i) / float64(n-i)
+		}
+		weight[s] = w
+	}
+	phi := make([]float64, n)
+	for j := 0; j < n; j++ {
+		bit := uint64(1) << j
+		for m := uint64(0); m < size; m++ {
+			if m&bit != 0 {
+				continue
+			}
+			s := bits.OnesCount64(m)
+			phi[j] += weight[s] * (vals[m|bit] - vals[m])
+		}
+	}
+	return phi, nil
+}
+
+// ShapleyMonteCarlo estimates Shapley values by sampling random orderings
+// (the approximation approach of the paper's refs [35], [37]). A nil rng
+// uses a fixed seed. It errors for n < 1, n > 64 or samples < 1.
+func ShapleyMonteCarlo(n int, v CoalitionValue, samples int, rng *rand.Rand) ([]float64, error) {
+	if n < 1 || n > 64 {
+		return nil, fmt.Errorf("econ: Monte-Carlo Shapley needs 1 <= n <= 64, got %d", n)
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("econ: samples must be >= 1, got %d", samples)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	phi := make([]float64, n)
+	for s := 0; s < samples; s++ {
+		var mask uint64
+		prev := v(0)
+		for _, j := range rng.Perm(n) {
+			mask |= 1 << j
+			cur := v(mask)
+			phi[j] += cur - prev
+			prev = cur
+		}
+	}
+	for j := range phi {
+		phi[j] /= float64(samples)
+	}
+	return phi, nil
+}
+
+// IsSuperadditive checks v(K ∪ L) ≥ v(K) + v(L) for every pair of disjoint
+// coalitions (Theorem 7's condition). Exponential; n ≤ ~14 in practice.
+func IsSuperadditive(n int, v CoalitionValue) bool {
+	size := uint64(1) << n
+	vals := make([]float64, size)
+	for m := uint64(0); m < size; m++ {
+		vals[m] = v(m)
+	}
+	const tol = 1e-9
+	for k := uint64(1); k < size; k++ {
+		// Enumerate the subsets of the complement of k.
+		comp := (size - 1) &^ k
+		for l := comp; l > 0; l = (l - 1) & comp {
+			if vals[k|l] < vals[k]+vals[l]-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSupermodular checks Δ_j(K) ≤ Δ_j(L) for all K ⊆ L not containing j
+// (Theorem 8's condition, equivalently v(K∪L)+v(K∩L) ≥ v(K)+v(L)).
+func IsSupermodular(n int, v CoalitionValue) bool {
+	return supermodularViolation(n, v) == nil
+}
+
+// supermodularViolation returns a witnessing (j, K, L) violation of
+// supermodularity, or nil when the condition holds. Using the equivalent
+// local condition: for all masks m and players i ≠ j outside m,
+// v(m|i|j) − v(m|i) ≥ v(m|j) − v(m).
+func supermodularViolation(n int, v CoalitionValue) []uint64 {
+	size := uint64(1) << n
+	vals := make([]float64, size)
+	for m := uint64(0); m < size; m++ {
+		vals[m] = v(m)
+	}
+	const tol = 1e-9
+	for m := uint64(0); m < size; m++ {
+		for i := 0; i < n; i++ {
+			bi := uint64(1) << i
+			if m&bi != 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				bj := uint64(1) << j
+				if m&bj != 0 {
+					continue
+				}
+				if vals[m|bi|bj]-vals[m|bi] < vals[m|bj]-vals[m]-tol {
+					return []uint64{uint64(j), m, m | bi}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IndividuallyRational reports whether every player's Shapley value is at
+// least its stand-alone value v({j}) (Theorem 7's conclusion).
+func IndividuallyRational(phi []float64, v CoalitionValue) bool {
+	const tol = 1e-9
+	for j, p := range phi {
+		if p < v(1<<uint(j))-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Efficiency reports whether the Shapley values sum to the grand-coalition
+// value (they do by construction; this is a diagnostic for Monte-Carlo
+// estimates, returning the absolute gap).
+func Efficiency(phi []float64, v CoalitionValue) float64 {
+	var sum float64
+	for _, p := range phi {
+		sum += p
+	}
+	grand := v((uint64(1) << len(phi)) - 1)
+	gap := sum - grand
+	if gap < 0 {
+		gap = -gap
+	}
+	return gap
+}
+
+// Memoize wraps a CoalitionValue with a cache; use it when coalition values
+// are expensive (e.g. topology connectivity evaluations).
+func Memoize(v CoalitionValue) CoalitionValue {
+	cache := make(map[uint64]float64)
+	return func(mask uint64) float64 {
+		if val, ok := cache[mask]; ok {
+			return val
+		}
+		val := v(mask)
+		cache[mask] = val
+		return val
+	}
+}

@@ -1,0 +1,188 @@
+package econ
+
+import (
+	"fmt"
+	"math"
+)
+
+// Customer models a non-broker AS acting as a customer of B (§7.1). Its
+// per-unit-traffic utility is u_i(a) = V_i(a) + P_i(a) − p_B·a with
+//
+//	V_i(a) = Value · log(1 + Curvature·a)          (concave, increasing)
+//	P_i(a) = TransitGain·(a − BaseRate)(1 − a)     (concave hump)
+//	         − PaidRelief·(1 − a)                  (paid-transit recovery)
+//
+// matching the paper's assumptions: user income V grows with QoS at a
+// diminishing rate; the transit term P is continuous and concave with
+// P_i(1) = 0. The hump captures peering traffic displaced mid-range; the
+// PaidRelief term captures the high-paid provider bills a lower-tier AS
+// stops paying as traffic shifts to B (the paper's "high paid" class moves
+// first), which is the lever that makes high-tier inclusion in B raise
+// lower-tier adoption.
+type Customer struct {
+	// Name labels the AS in reports.
+	Name string
+	// BaseRate is a_0, the fraction of traffic already flowing through
+	// B-member networks under plain BGP routing.
+	BaseRate float64
+	// Value scales the user-satisfaction income V_i.
+	Value float64
+	// Curvature sets how quickly satisfaction saturates (γ > 0).
+	Curvature float64
+	// TransitGain scales the mid-range hump of P_i (displaced peering and
+	// low-charged traffic).
+	TransitGain float64
+	// PaidRelief scales the monotone paid-transit recovery term of P_i:
+	// the per-unit provider bills avoided at full adoption. It grows when
+	// the AS's (expensive, high-tier) providers are inside the broker set.
+	PaidRelief float64
+}
+
+// Utility returns u_i(a) at adoption a and price p.
+func (c Customer) Utility(a, price float64) float64 {
+	v := c.Value * logConcave(c.Curvature*a)
+	p := c.TransitGain*(a-c.BaseRate)*(1-a) - c.PaidRelief*(1-a)
+	return v + p - price*a
+}
+
+func logConcave(x float64) float64 {
+	// ln(1+x), guarded for the x ≥ 0 domain used here.
+	if x <= 0 {
+		return 0
+	}
+	return math.Log1p(x)
+}
+
+// BestResponse returns a_i(p) = argmax_{a ∈ [BaseRate, 1]} u_i(a) — the
+// unique follower optimum (the objective is strictly concave; Theorem 6).
+func (c Customer) BestResponse(price float64) float64 {
+	f := func(a float64) float64 { return c.Utility(a, price) }
+	a, _ := goldenMax(f, c.BaseRate, 1, 80)
+	// The optimum may sit on a boundary; golden-section already converges
+	// there, but snap within tolerance for clean reporting.
+	if a < c.BaseRate+1e-9 {
+		return c.BaseRate
+	}
+	if a > 1-1e-9 {
+		return 1
+	}
+	return a
+}
+
+// Validate checks the customer parameters.
+func (c Customer) Validate() error {
+	if c.BaseRate < 0 || c.BaseRate >= 1 {
+		return fmt.Errorf("econ: customer %q BaseRate %f outside [0,1)", c.Name, c.BaseRate)
+	}
+	if c.Value < 0 || c.Curvature < 0 || c.TransitGain < 0 || c.PaidRelief < 0 {
+		return fmt.Errorf("econ: customer %q has negative parameters", c.Name)
+	}
+	return nil
+}
+
+// Broker models the coalition B as the Stackelberg leader. Its utility is
+// u_B(p) = 2·p·α(p) − C(α(p), p) with α(p) = Σ_i a_i(p) and the cost
+//
+//	C(α, p) = UnitCost·α + HireFraction·(p/⌈β/2⌉)·α
+//
+// (routing cost plus the Nash-bargained employee payments for the share of
+// traffic that needs hired transit).
+type Broker struct {
+	// UnitCost is c, the per-unit routing cost.
+	UnitCost float64
+	// HireFraction is the share of carried traffic that requires hiring a
+	// non-broker employee AS to complete the dominating path (the paper's
+	// Fig. 5a finds ~10% at the 3,540-alliance).
+	HireFraction float64
+	// Beta is the (α,β)-graph hop bound used in the employee bargain.
+	Beta int
+	// MaxPrice bounds the leader's price search ([0, MaxPrice]).
+	MaxPrice float64
+}
+
+// Validate checks the broker parameters.
+func (b Broker) Validate() error {
+	if b.UnitCost < 0 || b.HireFraction < 0 || b.HireFraction > 1 {
+		return fmt.Errorf("econ: broker UnitCost %f / HireFraction %f invalid", b.UnitCost, b.HireFraction)
+	}
+	if b.Beta < 1 {
+		return fmt.Errorf("econ: broker Beta %d must be >= 1", b.Beta)
+	}
+	if b.MaxPrice <= 0 {
+		return fmt.Errorf("econ: broker MaxPrice %f must be > 0", b.MaxPrice)
+	}
+	return nil
+}
+
+// Utility returns u_B at price p given follower best responses.
+func (b Broker) Utility(price float64, customers []Customer) float64 {
+	var alpha float64
+	for _, c := range customers {
+		alpha += c.BestResponse(price)
+	}
+	employeePay := b.HireFraction * (price / hires(b.Beta))
+	return 2*price*alpha - (b.UnitCost+employeePay)*alpha
+}
+
+// Equilibrium is the Stackelberg outcome (Theorem 6: it always exists —
+// the leader maximizes a continuous function over the compact [0,
+// MaxPrice]).
+type Equilibrium struct {
+	// Price is the leader's optimal p_B.
+	Price float64
+	// Adoption holds each customer's best-response a_i at Price.
+	Adoption []float64
+	// TotalTraffic is α = Σ a_i.
+	TotalTraffic float64
+	// BrokerUtility is u_B at the equilibrium.
+	BrokerUtility float64
+	// CustomerUtility holds each u_i at the equilibrium.
+	CustomerUtility []float64
+}
+
+// StackelbergEquilibrium solves the two-stage game by backward induction:
+// followers' best responses are embedded in the leader objective, which is
+// maximized by a coarse grid scan refined with golden-section search
+// (the objective need not be unimodal globally, hence the scan).
+func StackelbergEquilibrium(b Broker, customers []Customer) (*Equilibrium, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if len(customers) == 0 {
+		return nil, fmt.Errorf("econ: no customers")
+	}
+	for _, c := range customers {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	obj := func(p float64) float64 { return b.Utility(p, customers) }
+	const gridSteps = 60
+	bestP, bestU := 0.0, obj(0)
+	for i := 1; i <= gridSteps; i++ {
+		p := b.MaxPrice * float64(i) / gridSteps
+		if u := obj(p); u > bestU {
+			bestP, bestU = p, u
+		}
+	}
+	lo := bestP - b.MaxPrice/gridSteps
+	if lo < 0 {
+		lo = 0
+	}
+	hi := bestP + b.MaxPrice/gridSteps
+	if hi > b.MaxPrice {
+		hi = b.MaxPrice
+	}
+	p, u := goldenMax(obj, lo, hi, 60)
+	if u < bestU {
+		p, u = bestP, bestU
+	}
+	eq := &Equilibrium{Price: p, BrokerUtility: u}
+	for _, c := range customers {
+		a := c.BestResponse(p)
+		eq.Adoption = append(eq.Adoption, a)
+		eq.TotalTraffic += a
+		eq.CustomerUtility = append(eq.CustomerUtility, c.Utility(a, p))
+	}
+	return eq, nil
+}

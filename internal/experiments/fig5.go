@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"brokerset/internal/graph"
+	"brokerset/internal/policy"
+	"brokerset/internal/tablefmt"
+)
+
+// Fig5a reproduces the alliance-composition findings: the broker set mixes
+// service classes rather than being monopolized by tier-1 ISPs, and the
+// overwhelming share of served E2E connections can be carried by brokers
+// alone (no hired non-broker transit).
+func (s *Suite) Fig5a() (*tablefmt.Table, error) {
+	alliance, err := s.Alliance()
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("Fig 5a. Alliance composition and broker-only connectivity",
+		"class", "brokers", "share of alliance")
+	hist := s.Top.ClassHistogram(alliance)
+	for _, c := range sortedClasses(hist) {
+		t.AddRow(c.String(), hist[c], tablefmt.Percent(float64(hist[c])/float64(len(alliance))))
+	}
+	brokerOnly := s.brokerOnlyConnectivity(alliance)
+	total := s.connectivity(alliance)
+	t.AddNote("broker-only E2E connectivity: %.2f%% of all pairs (alliance total %.2f%%)",
+		100*brokerOnly, 100*total)
+	t.AddNote("paper: >90%% of E2E connections are carried by the 3,540-alliance solely, without non-brokers")
+	return t, nil
+}
+
+// brokerOnlyConnectivity returns the fraction of all unordered pairs (u,v)
+// that can communicate using broker-only intermediate hops: u and v each
+// touch a broker, and those brokers are connected inside the broker-induced
+// subgraph.
+func (s *Suite) brokerOnlyConnectivity(brokers []int32) float64 {
+	g := s.Top.Graph
+	n := g.NumNodes()
+	inB := make([]bool, n)
+	for _, b := range brokers {
+		inB[b] = true
+	}
+	sub, orig := g.InducedSubgraph(inB)
+	comp, _ := sub.Components()
+	// compOf[node] = broker-subgraph component of that broker, else -1.
+	compOf := make([]int32, n)
+	for i := range compOf {
+		compOf[i] = graph.Unreached
+	}
+	for i, o := range orig {
+		compOf[o] = comp[i]
+	}
+	// A non-broker node belongs to every component of its adjacent brokers;
+	// count pairs via the largest-component heuristic is wrong, so count
+	// per-component membership exactly: node u is "attached" to component c
+	// if u is a broker in c or has a neighbor broker in c. For pair
+	// counting we only need, per component, how many nodes attach to it,
+	// and then subtract double counting of nodes attached to multiple
+	// components — but a pair is connected if the two share ANY component,
+	// so summing per-component pairs overcounts pairs sharing two
+	// components. With a connected MaxSG alliance there is one component
+	// and the issue vanishes; for safety, attribute each node to its
+	// lowest-numbered attached component (a conservative undercount
+	// otherwise).
+	attach := make([]int32, n)
+	for u := 0; u < n; u++ {
+		attach[u] = graph.Unreached
+		if inB[u] {
+			attach[u] = compOf[u]
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if inB[v] && (attach[u] == graph.Unreached || compOf[v] < attach[u]) {
+				attach[u] = compOf[v]
+			}
+		}
+	}
+	counts := make(map[int32]int)
+	for _, c := range attach {
+		if c != graph.Unreached {
+			counts[c]++
+		}
+	}
+	var pairs int64
+	for _, c := range counts {
+		pairs += int64(c) * int64(c-1) / 2
+	}
+	return float64(pairs) / float64(graph.TotalPairs(n))
+}
+
+// Fig5b reproduces the peering-conversion sweep: connectivity under
+// directional business-relationship routing as a growing fraction of
+// inter-broker links is made bidirectional (free), for the k1000 budget
+// and the full alliance.
+func (s *Suite) Fig5b() (*tablefmt.Table, error) {
+	alliance, err := s.Alliance()
+	if err != nil {
+		return nil, err
+	}
+	sets := []struct {
+		name    string
+		brokers []int32
+	}{
+		{fmt.Sprintf("%d brokers", s.k1000), prefix(alliance, s.k1000)},
+		{fmt.Sprintf("%d-alliance", len(alliance)), alliance},
+	}
+	fracs := []float64{0, 0.1, 0.3, 0.5, 1}
+	t := tablefmt.New("Fig 5b. Connectivity vs % of inter-broker links made bidirectional",
+		"broker set", "0%", "10%", "30%", "50%", "100%")
+	for i, set := range sets {
+		cells := []interface{}{set.name}
+		for j, f := range fracs {
+			r := policy.NewRouter(s.Top, set.brokers)
+			if _, err := r.ConvertInterBrokerEdges(f, s.rng(int64(50+10*i+j))); err != nil {
+				return nil, err
+			}
+			cells = append(cells, tablefmt.Percent(r.ConnectivityParallel(s.Config.Samples, 0, s.rng(60))))
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("paper: 30%% conversion gives 72.5%% at 1,000 brokers and 84.68%% at the 3,540-alliance")
+	return t, nil
+}
+
+// Fig5c reproduces the directional-policy degradation: E2E connectivity
+// across broker-set sizes when ASes obey business relationships, against
+// the bidirectional (relationship-free) dominated connectivity.
+func (s *Suite) Fig5c() (*tablefmt.Table, error) {
+	alliance, err := s.Alliance()
+	if err != nil {
+		return nil, err
+	}
+	t := tablefmt.New("Fig 5c. Directional policy routing vs broker-set size",
+		"|B|", "bidirectional", "directional (valley-free)")
+	for _, k := range []int{s.k100, s.k1000, len(alliance)} {
+		set := prefix(alliance, k)
+		bidir := s.connectivity(set)
+		r := policy.NewRouter(s.Top, set)
+		dir := r.ConnectivityParallel(s.Config.Samples, 0, s.rng(70))
+		t.AddRow(len(set), tablefmt.Percent(bidir), tablefmt.Percent(dir))
+	}
+	t.AddNote("paper: forcing existing business relationships sharply decreases connectivity at every size")
+	return t, nil
+}
+
+func prefix(set []int32, k int) []int32 {
+	if k < len(set) {
+		return set[:k]
+	}
+	return set
+}

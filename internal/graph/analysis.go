@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KCore computes the k-core decomposition: core[u] is the largest k such
+// that u belongs to a subgraph where every node has degree >= k. The
+// AS-topology literature uses coreness to separate the Internet's nucleus
+// from its periphery; Fig 1/Fig 4-style analyses build on it.
+func (g *Graph) KCore() []int32 {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort nodes by degree (the O(V+E) Batagelj–Zaveršnik peel).
+	bins := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bins[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		count := bins[d]
+		bins[d] = start
+		start += count
+	}
+	pos := make([]int, n)    // position of node in vert
+	vert := make([]int32, n) // nodes sorted by current degree
+	for u := 0; u < n; u++ {
+		pos[u] = bins[deg[u]]
+		vert[pos[u]] = int32(u)
+		bins[deg[u]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bins[d] = bins[d-1]
+	}
+	bins[0] = 0
+
+	core := make([]int32, n)
+	for i := 0; i < n; i++ {
+		u := vert[i]
+		core[u] = int32(deg[u])
+		for _, v := range g.Neighbors(int(u)) {
+			if deg[v] <= deg[u] {
+				continue
+			}
+			// Move v one bucket down: swap it with the first node of its
+			// current bucket.
+			dv := deg[v]
+			pv := pos[v]
+			pw := bins[dv]
+			w := vert[pw]
+			if v != w {
+				pos[v], pos[w] = pw, pv
+				vert[pv], vert[pw] = w, v
+			}
+			bins[dv]++
+			deg[v]--
+		}
+	}
+	return core
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of node u:
+// the fraction of u's neighbour pairs that are themselves adjacent (0 for
+// degree < 2).
+func (g *Graph) ClusteringCoefficient(u int) float64 {
+	ns := g.Neighbors(u)
+	d := len(ns)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(int(ns[i]), int(ns[j])) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(d) * float64(d-1))
+}
+
+// AvgClustering estimates the mean local clustering coefficient over the
+// given sample of nodes (all nodes if sample is nil). Quadratic in degree;
+// sample hubs sparingly on large graphs.
+func (g *Graph) AvgClustering(sample []int32) float64 {
+	if sample == nil {
+		sample = make([]int32, g.NumNodes())
+		for i := range sample {
+			sample[i] = int32(i)
+		}
+	}
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range sample {
+		sum += g.ClusteringCoefficient(int(u))
+	}
+	return sum / float64(len(sample))
+}
+
+// DegreeAssortativity returns the Pearson correlation of degrees across
+// edges (Newman's r). Scale-free Internet topologies are disassortative
+// (r < 0): hubs attach to low-degree customers.
+func (g *Graph) DegreeAssortativity() float64 {
+	var sx, sy, sxy, sxx, syy float64
+	var m float64
+	g.Edges(func(u, v int) bool {
+		// Symmetrize: count each edge in both orientations.
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		for _, p := range [2][2]float64{{du, dv}, {dv, du}} {
+			sx += p[0]
+			sy += p[1]
+			sxy += p[0] * p[1]
+			sxx += p[0] * p[0]
+			syy += p[1] * p[1]
+			m++
+		}
+		return true
+	})
+	if m == 0 {
+		return 0
+	}
+	num := sxy/m - (sx/m)*(sy/m)
+	den := (sxx/m - (sx/m)*(sx/m))
+	den2 := (syy/m - (sy/m)*(sy/m))
+	if den <= 0 || den2 <= 0 {
+		return 0
+	}
+	return num / math.Sqrt(den*den2)
+}
+
+// CoreSummary buckets nodes by coreness and reports counts — a compact
+// textual stand-in for the paper's Fig 1 nucleus/periphery visualization.
+type CoreSummary struct {
+	// MaxCore is the deepest coreness in the graph.
+	MaxCore int
+	// Counts[k] is the number of nodes with coreness exactly k.
+	Counts map[int]int
+}
+
+// SummarizeCores computes a CoreSummary.
+func (g *Graph) SummarizeCores() CoreSummary {
+	core := g.KCore()
+	s := CoreSummary{Counts: make(map[int]int)}
+	for _, c := range core {
+		s.Counts[int(c)]++
+		if int(c) > s.MaxCore {
+			s.MaxCore = int(c)
+		}
+	}
+	return s
+}
+
+// TopCoreNodes returns the nodes in the deepest core, sorted by id.
+func (g *Graph) TopCoreNodes() []int32 {
+	core := g.KCore()
+	max := int32(0)
+	for _, c := range core {
+		if c > max {
+			max = c
+		}
+	}
+	var out []int32
+	for u, c := range core {
+		if c == max {
+			out = append(out, int32(u))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

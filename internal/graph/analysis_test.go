@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKCoreOnKnownGraph(t *testing.T) {
+	// Triangle {0,1,2} (2-core) with pendant 3 attached to 0 (1-core) and
+	// isolated node 4 (0-core).
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.MustBuild()
+	core := g.KCore()
+	want := []int32{2, 2, 2, 1, 0}
+	for u, w := range want {
+		if core[u] != w {
+			t.Fatalf("core = %v, want %v", core, want)
+		}
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	b := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	g := b.MustBuild()
+	for u, c := range g.KCore() {
+		if c != 5 {
+			t.Fatalf("clique coreness[%d] = %d, want 5", u, c)
+		}
+	}
+	s := g.SummarizeCores()
+	if s.MaxCore != 5 || s.Counts[5] != 6 {
+		t.Fatalf("summary = %+v", s)
+	}
+	top := g.TopCoreNodes()
+	if len(top) != 6 {
+		t.Fatalf("top core = %v", top)
+	}
+}
+
+// Coreness is invariant: every node in the k-core has >= k neighbors
+// inside the (>= k)-core.
+func TestKCoreInvariant(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(120, 400, seed)
+		core := g.KCore()
+		for u := 0; u < g.NumNodes(); u++ {
+			k := core[u]
+			if k == 0 {
+				continue
+			}
+			inside := 0
+			for _, v := range g.Neighbors(u) {
+				if core[v] >= k {
+					inside++
+				}
+			}
+			if int32(inside) < k {
+				t.Fatalf("seed %d: node %d coreness %d but only %d neighbors at >= %d",
+					seed, u, k, inside, k)
+			}
+		}
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: clustering 1 everywhere.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.MustBuild()
+	for u := 0; u < 3; u++ {
+		if c := g.ClusteringCoefficient(u); c != 1 {
+			t.Fatalf("triangle clustering[%d] = %f", u, c)
+		}
+	}
+	// Star center: no neighbor pairs adjacent.
+	star := NewBuilder(4)
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	sg := star.MustBuild()
+	if c := sg.ClusteringCoefficient(0); c != 0 {
+		t.Fatalf("star clustering = %f", c)
+	}
+	if c := sg.ClusteringCoefficient(1); c != 0 {
+		t.Fatalf("leaf clustering = %f (degree < 2)", c)
+	}
+	if avg := sg.AvgClustering(nil); avg != 0 {
+		t.Fatalf("avg clustering = %f", avg)
+	}
+	if avg := g.AvgClustering([]int32{0}); avg != 1 {
+		t.Fatalf("sampled avg clustering = %f", avg)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// Star: maximally disassortative (r = -1 in the limit; for a finite
+	// star, strictly negative).
+	b := NewBuilder(6)
+	for i := 1; i < 6; i++ {
+		b.AddEdge(0, i)
+	}
+	if r := b.MustBuild().DegreeAssortativity(); r >= 0 {
+		t.Fatalf("star assortativity = %f, want negative", r)
+	}
+	// Perfect matching of equal-degree nodes: correlation undefined
+	// (constant series) -> 0 by convention.
+	m := NewBuilder(4)
+	m.AddEdge(0, 1)
+	m.AddEdge(2, 3)
+	if r := m.MustBuild().DegreeAssortativity(); r != 0 {
+		t.Fatalf("matching assortativity = %f, want 0", r)
+	}
+	// Empty graph.
+	if r := NewBuilder(3).MustBuild().DegreeAssortativity(); r != 0 {
+		t.Fatalf("empty assortativity = %f", r)
+	}
+}
+
+func TestInternetLikePropertiesViaAnalysis(t *testing.T) {
+	// The synthetic Internet should be disassortative with a deep core —
+	// the structural facts the paper's Fig 1 visualizes.
+	g := randomGraph(100, 150, 1) // plain random graph: near-zero assortativity
+	rRand := g.DegreeAssortativity()
+	if math.Abs(rRand) > 0.35 {
+		t.Logf("random graph assortativity %f (loose check)", rRand)
+	}
+	s := g.SummarizeCores()
+	total := 0
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("core summary counts %d nodes, want %d", total, g.NumNodes())
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	g := pathGraph(t, 11) // diameter 10
+	if got := g.EffectiveDiameter(1.0, 11, nil); got != 10 {
+		t.Fatalf("full effective diameter = %d, want 10", got)
+	}
+	half := g.EffectiveDiameter(0.5, 11, nil)
+	if half <= 0 || half >= 10 {
+		t.Fatalf("median effective diameter = %d, want interior", half)
+	}
+	if got := g.EffectiveDiameter(0, 11, nil); got != 0 {
+		t.Fatalf("q=0 effective diameter = %d", got)
+	}
+	if got := NewBuilder(3).MustBuild().EffectiveDiameter(0.9, 3, nil); got != 0 {
+		t.Fatalf("edgeless effective diameter = %d", got)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "demo", func(u int) string { return "node" + string(rune('A'+u)) }); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "demo"`, `n0 [label="nodeA"]`, "n0 -- n1", "n1 -- n2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	if err := g.WriteDOT(&sb2, "plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), `n2 [label="2"]`) {
+		t.Errorf("default labels wrong:\n%s", sb2.String())
+	}
+}

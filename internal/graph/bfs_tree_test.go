@@ -1,0 +1,87 @@
+package graph
+
+import "testing"
+
+func TestBFSTree(t *testing.T) {
+	// 0-1-2-3 path plus isolated 4.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	dist, parent := g.BFSTree(0)
+	wantDist := []int32{0, 1, 2, 3, Unreached}
+	for u, want := range wantDist {
+		if dist[u] != want {
+			t.Fatalf("dist[%d] = %d, want %d", u, dist[u], want)
+		}
+	}
+	if parent[0] != 0 {
+		t.Errorf("source parent = %d, want self", parent[0])
+	}
+	if parent[4] != Unreached {
+		t.Errorf("isolated parent = %d, want Unreached", parent[4])
+	}
+	p := PathTo(parent, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Errorf("PathTo(3) = %v", p)
+	}
+	if PathTo(parent, 4) != nil {
+		t.Error("PathTo(isolated) != nil")
+	}
+}
+
+func TestBFSTreeMatchesBFS(t *testing.T) {
+	g := randomGraph(80, 200, 17)
+	dist, parent := g.BFSTree(3)
+	bfs := NewBFS(g)
+	bfs.Run(3)
+	for u := 0; u < g.NumNodes(); u++ {
+		if dist[u] != bfs.Dist()[u] {
+			t.Fatalf("dist[%d]: tree %d vs bfs %d", u, dist[u], bfs.Dist()[u])
+		}
+		if dist[u] > 0 {
+			// Parent must be one hop closer and adjacent.
+			p := parent[u]
+			if dist[p] != dist[u]-1 || !g.HasEdge(int(p), u) {
+				t.Fatalf("bad parent %d for node %d", p, u)
+			}
+		}
+	}
+}
+
+func TestArcOffsets(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if got := g.NumArcs(); got != 6 {
+		t.Fatalf("NumArcs = %d, want 6", got)
+	}
+	// Arc offsets partition [0, NumArcs) in node order.
+	prev := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		off := g.ArcOffset(u)
+		if off != prev {
+			t.Fatalf("ArcOffset(%d) = %d, want %d", u, off, prev)
+		}
+		prev = off + g.Degree(u)
+	}
+	if prev != g.NumArcs() {
+		t.Fatalf("offsets end at %d, want %d", prev, g.NumArcs())
+	}
+}
+
+func TestReached(t *testing.T) {
+	g := pathGraph(t, 4)
+	b := NewBFS(g)
+	b.RunBounded(0, 2)
+	reached := b.Reached()
+	if len(reached) != 3 {
+		t.Fatalf("Reached() = %v, want 3 nodes", reached)
+	}
+	if reached[0] != 0 {
+		t.Fatalf("first reached = %d, want source", reached[0])
+	}
+}

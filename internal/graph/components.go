@@ -1,0 +1,71 @@
+package graph
+
+// Components labels every node with a connected-component id in
+// [0, numComponents) and returns the label slice together with the size of
+// each component. Component ids are assigned in discovery order from node 0.
+func (g *Graph) Components() (comp []int32, sizes []int) {
+	n := g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = Unreached
+	}
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if comp[s] != Unreached {
+			continue
+		}
+		id := int32(len(sizes))
+		comp[s] = id
+		queue = append(queue[:0], int32(s))
+		size := 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(int(u)) {
+				if comp[v] == Unreached {
+					comp[v] = id
+					queue = append(queue, v)
+					size++
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return comp, sizes
+}
+
+// GiantComponent returns a membership mask and the size of the largest
+// connected component.
+func (g *Graph) GiantComponent() (member []bool, size int) {
+	comp, sizes := g.Components()
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	member = make([]bool, g.NumNodes())
+	for u, c := range comp {
+		if int(c) == best {
+			member[u] = true
+		}
+	}
+	if len(sizes) == 0 {
+		return member, 0
+	}
+	return member, sizes[best]
+}
+
+// PairsWithin returns the number of unordered node pairs that lie in the
+// same connected component, given component sizes.
+func PairsWithin(sizes []int) int64 {
+	var total int64
+	for _, s := range sizes {
+		total += int64(s) * int64(s-1) / 2
+	}
+	return total
+}
+
+// TotalPairs returns n*(n-1)/2 as an int64.
+func TotalPairs(n int) int64 {
+	return int64(n) * int64(n-1) / 2
+}

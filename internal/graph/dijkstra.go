@@ -1,0 +1,82 @@
+package graph
+
+import "container/heap"
+
+// WeightFunc returns the non-negative weight of the edge (u,v).
+type WeightFunc func(u, v int32) float64
+
+// UnitWeight assigns weight 1 to every edge, reducing Dijkstra to BFS
+// semantics; it exists so hop-count and weighted code share one path.
+func UnitWeight(u, v int32) float64 { return 1 }
+
+// Dijkstra computes single-source shortest path distances from src under w
+// and returns (dist, parent). Unreachable nodes have dist < 0 and parent
+// Unreached. The paper's Algorithm 2 analysis assumes a Fibonacci-heap
+// Dijkstra; a binary heap gives the same results with an extra log factor
+// that is immaterial at this scale.
+func (g *Graph) Dijkstra(src int, w WeightFunc) (dist []float64, parent []int32) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	parent = make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = Unreached
+	}
+	dist[src] = 0
+	parent[src] = int32(src)
+	pq := &distHeap{items: []distItem{{node: int32(src), dist: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		u := it.node
+		if it.dist > dist[u] {
+			continue // stale entry
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			nd := it.dist + w(u, v)
+			if dist[v] < 0 || nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				heap.Push(pq, distItem{node: v, dist: nd})
+			}
+		}
+	}
+	return dist, parent
+}
+
+// PathTo reconstructs the path from the Dijkstra source to dst using the
+// parent slice, or nil if dst was unreachable.
+func PathTo(parent []int32, dst int) []int32 {
+	if parent[dst] == Unreached {
+		return nil
+	}
+	var rev []int32
+	for u := int32(dst); ; u = parent[u] {
+		rev = append(rev, u)
+		if parent[u] == u {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type distItem struct {
+	node int32
+	dist float64
+}
+
+type distHeap struct{ items []distItem }
+
+func (h *distHeap) Len() int           { return len(h.items) }
+func (h *distHeap) Less(i, j int) bool { return h.items[i].dist < h.items[j].dist }
+func (h *distHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *distHeap) Push(x interface{}) { h.items = append(h.items, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

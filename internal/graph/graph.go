@@ -1,0 +1,217 @@
+// Package graph provides a compact, immutable undirected-graph
+// representation and the traversal primitives (BFS, Dijkstra, connected
+// components) that the broker-selection algorithms are built on.
+//
+// Graphs are stored in compressed-sparse-row (CSR) form: node identifiers
+// are dense ints in [0, NumNodes()) and the neighbour lists are sorted,
+// which makes adjacency queries a binary search and lets traversal scratch
+// buffers be reused across runs without allocation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form. The zero value is an
+// empty graph. Build one with a Builder.
+type Graph struct {
+	// off has length n+1; the neighbours of node u are adj[off[u]:off[u+1]].
+	off []int32
+	// adj holds each undirected edge twice (once per endpoint), sorted
+	// within each node's slice.
+	adj []int32
+	// m is the number of undirected edges.
+	m int
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the number of neighbours of node u.
+func (g *Graph) Degree(u int) int {
+	return int(g.off[u+1] - g.off[u])
+}
+
+// Neighbors returns the sorted neighbour list of node u. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	return g.adj[g.off[u]:g.off[u+1]]
+}
+
+// ArcOffset returns the index of node u's first entry in the flattened
+// adjacency array, so callers can maintain per-arc parallel arrays: the arc
+// to Neighbors(u)[i] has index ArcOffset(u)+i, and NumArcs() is the total.
+func (g *Graph) ArcOffset(u int) int { return int(g.off[u]) }
+
+// NumArcs returns the total number of directed adjacency entries (2m).
+func (g *Graph) NumArcs() int { return len(g.adj) }
+
+// HasEdge reports whether nodes u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+// Edges calls fn once per undirected edge with u < v. Iteration stops early
+// if fn returns false.
+func (g *Graph) Edges(fn func(u, v int) bool) {
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, w := range g.Neighbors(u) {
+			v := int(w)
+			if v <= u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// MaxDegreeNode returns the node with the highest degree, breaking ties by
+// the smaller id. It returns -1 for an empty graph.
+func (g *Graph) MaxDegreeNode() int {
+	best, bestDeg := -1, -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.Degree(u); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are dropped.
+type Builder struct {
+	n     int
+	us    []int32
+	vs    []int32
+	bad   bool
+	badUV [2]int
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records an undirected edge between u and v. Self-loops are
+// ignored. Endpoints out of range are recorded and reported by Build.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		if !b.bad {
+			b.bad = true
+			b.badUV = [2]int{u, v}
+		}
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, int32(u))
+	b.vs = append(b.vs, int32(v))
+}
+
+// NumPending returns the number of (possibly duplicate) edges added so far.
+func (b *Builder) NumPending() int { return len(b.us) }
+
+// Build assembles the CSR graph. It returns an error if any recorded edge
+// had an endpoint outside [0, n).
+func (b *Builder) Build() (*Graph, error) {
+	if b.bad {
+		return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", b.badUV[0], b.badUV[1], b.n)
+	}
+	deg := make([]int32, b.n)
+	for i := range b.us {
+		deg[b.us[i]]++
+		deg[b.vs[i]]++
+	}
+	off := make([]int32, b.n+1)
+	for u := 0; u < b.n; u++ {
+		off[u+1] = off[u] + deg[u]
+	}
+	adj := make([]int32, off[b.n])
+	pos := make([]int32, b.n)
+	copy(pos, off[:b.n])
+	for i := range b.us {
+		u, v := b.us[i], b.vs[i]
+		adj[pos[u]] = v
+		pos[u]++
+		adj[pos[v]] = u
+		pos[v]++
+	}
+	// Sort each adjacency list and drop duplicates in place.
+	out := adj[:0]
+	newOff := make([]int32, b.n+1)
+	for u := 0; u < b.n; u++ {
+		ns := adj[off[u]:off[u+1]]
+		sortInt32(ns)
+		start := len(out)
+		var prev int32 = -1
+		for _, v := range ns {
+			if v != prev {
+				out = append(out, v)
+				prev = v
+			}
+		}
+		newOff[u+1] = newOff[u] + int32(len(out)-start)
+	}
+	g := &Graph{off: newOff, adj: out[:len(out):len(out)], m: len(out) / 2}
+	return g, nil
+}
+
+// MustBuild is Build for callers that know their edges are in range
+// (e.g. generators); it panics on a malformed edge.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// InducedSubgraph returns the subgraph induced by keep (nodes with
+// keep[u] == true), together with a mapping orig such that node i of the
+// subgraph corresponds to node orig[i] of g.
+func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []int32) {
+	if len(keep) != g.NumNodes() {
+		panic(fmt.Sprintf("graph: keep mask length %d != %d nodes", len(keep), g.NumNodes()))
+	}
+	remap := make([]int32, g.NumNodes())
+	var orig []int32
+	for u := range remap {
+		remap[u] = -1
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if keep[u] {
+			remap[u] = int32(len(orig))
+			orig = append(orig, int32(u))
+		}
+	}
+	b := NewBuilder(len(orig))
+	g.Edges(func(u, v int) bool {
+		if keep[u] && keep[v] {
+			b.AddEdge(int(remap[u]), int(remap[v]))
+		}
+		return true
+	})
+	sub := b.MustBuild()
+	return sub, orig
+}

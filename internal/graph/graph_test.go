@@ -1,0 +1,512 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// pathGraph returns 0-1-2-...-n-1.
+func pathGraph(t testing.TB, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.MustBuild()
+}
+
+// randomGraph returns an Erdős–Rényi-ish graph for property tests.
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderDedupAndLoops(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self-loop, dropped
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if got, want := g.NumEdges(), 2; got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	if got, want := g.Degree(0), 1; got != want {
+		t.Errorf("Degree(0) = %d, want %d", got, want)
+	}
+	if g.Degree(2) != 1 || g.Degree(3) != 1 {
+		t.Errorf("degrees of 2,3 = %d,%d, want 1,1", g.Degree(2), g.Degree(3))
+	}
+}
+
+func TestBuilderOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build() accepted out-of-range edge, want error")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.MaxDegreeNode() != -1 {
+		t.Errorf("MaxDegreeNode on empty graph = %d, want -1", g.MaxDegreeNode())
+	}
+	var zero Graph
+	if zero.NumNodes() != 0 {
+		t.Errorf("zero-value graph NumNodes = %d, want 0", zero.NumNodes())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := randomGraph(50, 200, 7)
+	for u := 0; u < g.NumNodes(); u++ {
+		ns := g.Neighbors(u)
+		if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] < ns[j] }) {
+			t.Fatalf("Neighbors(%d) not sorted: %v", u, ns)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := pathGraph(t, 5)
+	tests := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, false}, {3, 4, true}, {0, 4, false},
+	}
+	for _, tc := range tests {
+		if got := g.HasEdge(tc.u, tc.v); got != tc.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := randomGraph(30, 100, 3)
+	seen := make(map[[2]int]bool)
+	g.Edges(func(u, v int) bool {
+		if u >= v {
+			t.Fatalf("Edges yielded u=%d >= v=%d", u, v)
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			t.Fatalf("edge (%d,%d) visited twice", u, v)
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) != g.NumEdges() {
+		t.Fatalf("visited %d edges, want %d", len(seen), g.NumEdges())
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := pathGraph(t, 10)
+	count := 0
+	g.Edges(func(u, v int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d edges, want 3", count)
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := pathGraph(t, 6)
+	b := NewBFS(g)
+	reached := b.Run(0)
+	if reached != 6 {
+		t.Fatalf("Run(0) reached %d, want 6", reached)
+	}
+	for u := 0; u < 6; u++ {
+		if got := b.Dist()[u]; got != int32(u) {
+			t.Errorf("dist[%d] = %d, want %d", u, got, u)
+		}
+	}
+}
+
+func TestBFSBounded(t *testing.T) {
+	g := pathGraph(t, 10)
+	b := NewBFS(g)
+	if got := b.RunBounded(0, 3); got != 4 {
+		t.Fatalf("RunBounded(0,3) reached %d, want 4", got)
+	}
+	if b.Dist()[4] != Unreached {
+		t.Errorf("node 4 reached at depth bound 3")
+	}
+}
+
+func TestBFSReuseResets(t *testing.T) {
+	g := pathGraph(t, 5)
+	b := NewBFS(g)
+	b.Run(0)
+	b.Run(4)
+	for u := 0; u < 5; u++ {
+		if got, want := b.Dist()[u], int32(4-u); got != want {
+			t.Errorf("after reuse dist[%d] = %d, want %d", u, got, want)
+		}
+	}
+}
+
+func TestBFSFiltered(t *testing.T) {
+	// Star 0-{1,2,3}; forbid edges touching node 2.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	g := b.MustBuild()
+	bfs := NewBFS(g)
+	got := bfs.RunBoundedFiltered(0, 10, func(u, v int32) bool { return u != 2 && v != 2 })
+	if got != 3 {
+		t.Fatalf("filtered BFS reached %d, want 3", got)
+	}
+	if bfs.Dist()[2] != Unreached {
+		t.Errorf("node 2 reached despite filter")
+	}
+}
+
+func TestMultiSourceBFS(t *testing.T) {
+	g := pathGraph(t, 9)
+	b := NewBFS(g)
+	reached := b.RunMultiSource([]int32{0, 8})
+	if reached != 9 {
+		t.Fatalf("multi-source reached %d, want 9", reached)
+	}
+	if got := b.Dist()[4]; got != 4 {
+		t.Errorf("dist[4] = %d, want 4", got)
+	}
+	if got := b.Dist()[7]; got != 1 {
+		t.Errorf("dist[7] = %d, want 1", got)
+	}
+}
+
+func TestMultiSourceDuplicates(t *testing.T) {
+	g := pathGraph(t, 3)
+	b := NewBFS(g)
+	if got := b.RunMultiSource([]int32{0, 0, 0}); got != 3 {
+		t.Fatalf("reached %d, want 3", got)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	// Cycle of 6: two paths between 0 and 3, both length 3.
+	b := NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	g := b.MustBuild()
+	p := g.ShortestPath(0, 3)
+	if len(p) != 4 {
+		t.Fatalf("path length %d, want 4 nodes: %v", len(p), p)
+	}
+	if p[0] != 0 || p[3] != 3 {
+		t.Fatalf("path endpoints wrong: %v", p)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(int(p[i]), int(p[i+1])) {
+			t.Fatalf("path hop (%d,%d) is not an edge", p[i], p[i+1])
+		}
+	}
+}
+
+func TestShortestPathTrivialAndUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	// 2, 3 isolated from 0.
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if p := g.ShortestPath(1, 1); len(p) != 1 || p[0] != 1 {
+		t.Errorf("self path = %v, want [1]", p)
+	}
+	if p := g.ShortestPath(0, 3); p != nil {
+		t.Errorf("unreachable path = %v, want nil", p)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.MustBuild()
+	comp, sizes := g.Components()
+	if len(sizes) != 4 {
+		t.Fatalf("got %d components, want 4 (sizes %v)", len(sizes), sizes)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("nodes 0,1,2 not in one component: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Errorf("nodes 3,4 not in one component: %v", comp)
+	}
+	if comp[5] == comp[6] {
+		t.Errorf("isolated nodes 5,6 share a component")
+	}
+	member, size := g.GiantComponent()
+	if size != 3 {
+		t.Fatalf("giant component size %d, want 3", size)
+	}
+	for u := 0; u < 3; u++ {
+		if !member[u] {
+			t.Errorf("node %d missing from giant component", u)
+		}
+	}
+}
+
+func TestPairsWithin(t *testing.T) {
+	if got := PairsWithin([]int{3, 2, 1}); got != 4 {
+		t.Errorf("PairsWithin = %d, want 4", got)
+	}
+	if got := TotalPairs(5); got != 10 {
+		t.Errorf("TotalPairs(5) = %d, want 10", got)
+	}
+}
+
+func TestDijkstraMatchesBFSUnitWeights(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(80, 200, seed)
+		dist, _ := g.Dijkstra(0, UnitWeight)
+		b := NewBFS(g)
+		b.Run(0)
+		for u := 0; u < g.NumNodes(); u++ {
+			bd := b.Dist()[u]
+			if bd == Unreached {
+				if dist[u] >= 0 {
+					t.Fatalf("seed %d: node %d unreachable by BFS but dist %f", seed, u, dist[u])
+				}
+				continue
+			}
+			if int(dist[u]) != int(bd) {
+				t.Fatalf("seed %d: node %d Dijkstra %f != BFS %d", seed, u, dist[u], bd)
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Triangle where the direct edge 0-2 is expensive.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.MustBuild()
+	w := func(u, v int32) float64 {
+		if (u == 0 && v == 2) || (u == 2 && v == 0) {
+			return 10
+		}
+		return 1
+	}
+	dist, parent := g.Dijkstra(0, w)
+	if dist[2] != 2 {
+		t.Fatalf("dist[2] = %f, want 2", dist[2])
+	}
+	p := PathTo(parent, 2)
+	if len(p) != 3 || p[1] != 1 {
+		t.Fatalf("path = %v, want [0 1 2]", p)
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	_, parent := g.Dijkstra(0, UnitWeight)
+	if p := PathTo(parent, 2); p != nil {
+		t.Errorf("PathTo unreachable = %v, want nil", p)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := pathGraph(t, 5) // 0-1-2-3-4
+	keep := []bool{true, true, false, true, true}
+	sub, orig := g.InducedSubgraph(keep)
+	if sub.NumNodes() != 4 {
+		t.Fatalf("subgraph nodes = %d, want 4", sub.NumNodes())
+	}
+	if sub.NumEdges() != 2 { // 0-1 and 3-4 survive
+		t.Fatalf("subgraph edges = %d, want 2", sub.NumEdges())
+	}
+	want := []int32{0, 1, 3, 4}
+	for i, o := range orig {
+		if o != want[i] {
+			t.Fatalf("orig = %v, want %v", orig, want)
+		}
+	}
+}
+
+func TestMaxDegreeNode(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	g := b.MustBuild()
+	if got := g.MaxDegreeNode(); got != 1 {
+		t.Fatalf("MaxDegreeNode = %d, want 1", got)
+	}
+}
+
+func TestDegreeHistogramAndAvg(t *testing.T) {
+	g := pathGraph(t, 4) // degrees 1,2,2,1
+	h := g.DegreeHistogram()
+	if h[1] != 2 || h[2] != 2 {
+		t.Fatalf("histogram = %v, want {1:2, 2:2}", h)
+	}
+	if got, want := g.AvgDegree(), 1.5; got != want {
+		t.Fatalf("AvgDegree = %f, want %f", got, want)
+	}
+}
+
+func TestNodesByDegreeDesc(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 2)
+	g := b.MustBuild()
+	order := g.NodesByDegreeDesc()
+	if order[0] != 0 {
+		t.Fatalf("highest degree node = %d, want 0", order[0])
+	}
+	// Nodes 1 and 2 both have degree 2; ties break by id.
+	if order[1] != 1 || order[2] != 2 || order[3] != 3 {
+		t.Fatalf("order = %v, want [0 1 2 3]", order)
+	}
+}
+
+func TestHopDistributionExactOnPath(t *testing.T) {
+	g := pathGraph(t, 4)
+	counts, disc := g.HopDistribution(g.NumNodes(), nil)
+	if disc != 0 {
+		t.Fatalf("disconnected = %d, want 0", disc)
+	}
+	// Ordered pairs: distance 1 ×6, distance 2 ×4, distance 3 ×2.
+	want := []int64{0, 6, 4, 2}
+	for d, c := range counts {
+		if c != want[d] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestAlphaForBeta(t *testing.T) {
+	g := pathGraph(t, 4)
+	// 6+4=10 of 12 ordered pairs are within 2 hops.
+	got := g.AlphaForBeta(2, g.NumNodes(), nil)
+	if got < 0.83 || got > 0.84 {
+		t.Fatalf("AlphaForBeta(2) = %f, want ~0.833", got)
+	}
+	if a := g.AlphaForBeta(3, g.NumNodes(), nil); a != 1 {
+		t.Fatalf("AlphaForBeta(3) = %f, want 1", a)
+	}
+}
+
+func TestSampleNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := SampleNodes(100, 10, rng)
+	if len(s) != 10 {
+		t.Fatalf("sample size %d, want 10", len(s))
+	}
+	seen := make(map[int32]bool)
+	for _, v := range s {
+		if v < 0 || v >= 100 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+	all := SampleNodes(5, 10, rng)
+	if len(all) != 5 {
+		t.Fatalf("oversized sample returned %d nodes, want 5", len(all))
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := pathGraph(t, 5)
+	if got := g.Eccentricity(0); got != 4 {
+		t.Errorf("Eccentricity(0) = %d, want 4", got)
+	}
+	if got := g.Eccentricity(2); got != 2 {
+		t.Errorf("Eccentricity(2) = %d, want 2", got)
+	}
+}
+
+// Property: for any random graph, BFS from the same source twice yields the
+// same reach count, and every reached node has a neighbor one hop closer.
+func TestBFSTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(60, 150, seed)
+		b := NewBFS(g)
+		r1 := b.Run(0)
+		dist := make([]int32, g.NumNodes())
+		copy(dist, b.Dist())
+		r2 := b.Run(0)
+		if r1 != r2 {
+			return false
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			d := dist[u]
+			if d <= 0 {
+				continue
+			}
+			ok := false
+			for _, v := range g.Neighbors(u) {
+				if dist[v] == d-1 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: component sizes sum to n and nodes in one component are
+// BFS-reachable from each other.
+func TestComponentsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(40, 50, seed)
+		comp, sizes := g.Components()
+		sum := 0
+		for _, s := range sizes {
+			sum += s
+		}
+		if sum != g.NumNodes() {
+			return false
+		}
+		b := NewBFS(g)
+		b.Run(0)
+		for u := 0; u < g.NumNodes(); u++ {
+			sameComp := comp[u] == comp[0]
+			reached := b.Dist()[u] != Unreached
+			if sameComp != reached {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package measure implements the broker coalition's measurement plane:
+// brokers periodically probe the latency of the links they own, maintain
+// exponentially weighted moving-average (EWMA) estimates, and raise SLA
+// violation events when a link's estimated latency exceeds its contracted
+// bound. The paper assigns brokers "network performance measurement"
+// duties; this package realizes them over synthetic ground-truth latency
+// processes so violation detection and reroute triggering can be tested
+// end to end.
+package measure
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// LinkProcess is the synthetic ground truth for one link's latency: an
+// AR(1) mean-reverting process with optional step degradation, so probes
+// see realistic jitter and genuine SLA breaches.
+type LinkProcess struct {
+	// Base is the nominal latency (ms).
+	Base float64
+	// Jitter is the standard deviation of per-step noise.
+	Jitter float64
+	// Reversion in (0,1]: how strongly the process pulls back to Base (+
+	// Offset); 1 = white noise around the mean.
+	Reversion float64
+	// Offset is a persistent degradation added to Base (0 = healthy).
+	Offset float64
+
+	current float64
+}
+
+// Step advances the process one probe interval and returns the true
+// latency observed by that probe.
+func (lp *LinkProcess) Step(rng *rand.Rand) float64 {
+	mean := lp.Base + lp.Offset
+	if lp.current == 0 {
+		lp.current = mean
+	}
+	lp.current += lp.Reversion*(mean-lp.current) + rng.NormFloat64()*lp.Jitter
+	if lp.current < 0 {
+		lp.current = 0
+	}
+	return lp.current
+}
+
+// Estimator is an EWMA latency estimator with a jitter (mean absolute
+// deviation) track, in the spirit of TCP's RTT estimation.
+type Estimator struct {
+	// Alpha is the EWMA weight of new samples (0,1].
+	Alpha float64
+	// Mean is the current latency estimate; Dev the deviation estimate.
+	Mean, Dev float64
+	// Samples counts observations.
+	Samples int
+}
+
+// Observe folds one probe result into the estimate.
+func (e *Estimator) Observe(sample float64) {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		e.Alpha = 0.2
+	}
+	if e.Samples == 0 {
+		e.Mean = sample
+	} else {
+		diff := math.Abs(sample - e.Mean)
+		e.Dev = (1-e.Alpha)*e.Dev + e.Alpha*diff
+		e.Mean = (1-e.Alpha)*e.Mean + e.Alpha*sample
+	}
+	e.Samples++
+}
+
+// Violation is an SLA breach event raised by the monitor.
+type Violation struct {
+	// U, V identify the link.
+	U, V int32
+	// Estimate is the EWMA latency at detection time.
+	Estimate float64
+	// Bound is the contracted latency bound that was exceeded.
+	Bound float64
+	// Round is the probe round of detection.
+	Round int
+}
+
+// Monitor probes every broker-owned link each round and reports SLA
+// violations. Bounds default to slack × the nominal metric latency.
+type Monitor struct {
+	top    *topology.Topology
+	inB    []bool
+	rng    *rand.Rand
+	alpha  float64
+	round  int
+	links  [][2]int32
+	procs  []*LinkProcess
+	ests   []*Estimator
+	bounds []float64
+	// violated dedupes events per link until the link recovers.
+	violated []bool
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Slack scales the nominal latency into the SLA bound (default 1.5).
+	Slack float64
+	// Alpha is the EWMA weight (default 0.2).
+	Alpha float64
+	// Jitter is the probe noise stddev as a fraction of base latency
+	// (default 0.05).
+	Jitter float64
+	// Seed drives probe noise.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slack <= 1 {
+		c.Slack = 1.5
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NewMonitor builds the measurement plane over the broker-owned links
+// (links with at least one broker endpoint), seeding ground-truth
+// processes from the metrics' nominal latencies.
+func NewMonitor(top *topology.Topology, metrics *routing.Metrics, brokers []int32, cfg Config) (*Monitor, error) {
+	if metrics == nil {
+		return nil, fmt.Errorf("measure: nil metrics")
+	}
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		top:   top,
+		inB:   make([]bool, top.NumNodes()),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		alpha: cfg.Alpha,
+	}
+	for _, b := range brokers {
+		m.inB[b] = true
+	}
+	top.Graph.Edges(func(u, v int) bool {
+		if !m.inB[u] && !m.inB[v] {
+			return true
+		}
+		base := metrics.Latency(int32(u), int32(v))
+		m.links = append(m.links, [2]int32{int32(u), int32(v)})
+		m.procs = append(m.procs, &LinkProcess{
+			Base: base, Jitter: cfg.Jitter * base, Reversion: 0.3,
+		})
+		m.ests = append(m.ests, &Estimator{Alpha: cfg.Alpha})
+		m.bounds = append(m.bounds, cfg.Slack*base)
+		m.violated = append(m.violated, false)
+		return true
+	})
+	if len(m.links) == 0 {
+		return nil, fmt.Errorf("measure: broker set dominates no links")
+	}
+	return m, nil
+}
+
+// NumLinks returns how many links the coalition monitors.
+func (m *Monitor) NumLinks() int { return len(m.links) }
+
+// Degrade injects a persistent latency offset on link (u,v); zero offset
+// heals it. Unknown links are ignored.
+func (m *Monitor) Degrade(u, v int32, offset float64) {
+	for i, l := range m.links {
+		if (l[0] == u && l[1] == v) || (l[0] == v && l[1] == u) {
+			m.procs[i].Offset = offset
+			return
+		}
+	}
+}
+
+// Estimate returns the current EWMA latency estimate for link (u,v) and
+// whether the link is monitored.
+func (m *Monitor) Estimate(u, v int32) (float64, bool) {
+	for i, l := range m.links {
+		if (l[0] == u && l[1] == v) || (l[0] == v && l[1] == u) {
+			return m.ests[i].Mean, true
+		}
+	}
+	return 0, false
+}
+
+// Probe runs one measurement round over every monitored link and returns
+// newly detected violations (a link re-reports only after recovering below
+// its bound).
+func (m *Monitor) Probe() []Violation {
+	m.round++
+	var events []Violation
+	for i := range m.links {
+		sample := m.procs[i].Step(m.rng)
+		m.ests[i].Observe(sample)
+		over := m.ests[i].Mean > m.bounds[i]
+		if over && !m.violated[i] {
+			m.violated[i] = true
+			events = append(events, Violation{
+				U: m.links[i][0], V: m.links[i][1],
+				Estimate: m.ests[i].Mean, Bound: m.bounds[i], Round: m.round,
+			})
+		} else if !over && m.violated[i] {
+			m.violated[i] = false
+		}
+	}
+	return events
+}
+
+// RunUntilViolation probes up to maxRounds and returns the first batch of
+// violations (nil if none occur).
+func (m *Monitor) RunUntilViolation(maxRounds int) []Violation {
+	for i := 0; i < maxRounds; i++ {
+		if events := m.Probe(); len(events) > 0 {
+			return events
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"brokerset/internal/broker"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+func monitorSetup(t *testing.T) (*topology.Topology, *routing.Metrics, []int32) {
+	t.Helper()
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokers, err := broker.MaxSG(top.Graph, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top, routing.DefaultMetrics(top, rand.New(rand.NewSource(1))), brokers
+}
+
+func TestEstimatorConverges(t *testing.T) {
+	e := &Estimator{Alpha: 0.2}
+	for i := 0; i < 200; i++ {
+		e.Observe(10)
+	}
+	if math.Abs(e.Mean-10) > 1e-9 {
+		t.Fatalf("EWMA on constant signal = %f, want 10", e.Mean)
+	}
+	if e.Dev > 1e-9 {
+		t.Fatalf("deviation on constant signal = %f", e.Dev)
+	}
+	// Step change: the estimate follows.
+	for i := 0; i < 200; i++ {
+		e.Observe(20)
+	}
+	if math.Abs(e.Mean-20) > 0.01 {
+		t.Fatalf("EWMA after step = %f, want ~20", e.Mean)
+	}
+	// Invalid alpha self-heals.
+	bad := &Estimator{Alpha: -1}
+	bad.Observe(5)
+	if bad.Mean != 5 {
+		t.Fatalf("first sample not adopted: %f", bad.Mean)
+	}
+}
+
+func TestLinkProcessMeanReverts(t *testing.T) {
+	lp := &LinkProcess{Base: 10, Jitter: 0.1, Reversion: 0.3}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		sum += lp.Step(rng)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.5 {
+		t.Fatalf("process mean = %f, want ~10", mean)
+	}
+	// Degraded process shifts to Base+Offset.
+	lp.Offset = 15
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += lp.Step(rng)
+	}
+	if mean := sum / n; math.Abs(mean-25) > 1 {
+		t.Fatalf("degraded mean = %f, want ~25", mean)
+	}
+}
+
+func TestMonitorHealthyLinksStayQuiet(t *testing.T) {
+	top, metrics, brokers := monitorSetup(t)
+	m, err := NewMonitor(top, metrics, brokers, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumLinks() == 0 {
+		t.Fatal("no monitored links")
+	}
+	for i := 0; i < 50; i++ {
+		if events := m.Probe(); len(events) != 0 {
+			t.Fatalf("round %d: healthy links raised %v", i, events)
+		}
+	}
+}
+
+func TestMonitorDetectsDegradation(t *testing.T) {
+	top, metrics, brokers := monitorSetup(t)
+	m, err := NewMonitor(top, metrics, brokers, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the estimators, then degrade one monitored link far past its
+	// SLA bound.
+	for i := 0; i < 20; i++ {
+		m.Probe()
+	}
+	target := m.links[0]
+	base := metrics.Latency(target[0], target[1])
+	m.Degrade(target[0], target[1], 5*base)
+
+	events := m.RunUntilViolation(100)
+	if events == nil {
+		t.Fatal("degradation never detected")
+	}
+	found := false
+	for _, ev := range events {
+		if (ev.U == target[0] && ev.V == target[1]) || (ev.U == target[1] && ev.V == target[0]) {
+			found = true
+			if ev.Estimate <= ev.Bound {
+				t.Fatalf("violation with estimate %f <= bound %f", ev.Estimate, ev.Bound)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("violation on wrong link: %v", events)
+	}
+
+	// No duplicate reports while still degraded.
+	for i := 0; i < 20; i++ {
+		for _, ev := range m.Probe() {
+			if (ev.U == target[0] && ev.V == target[1]) || (ev.U == target[1] && ev.V == target[0]) {
+				t.Fatal("duplicate violation for a still-degraded link")
+			}
+		}
+	}
+
+	// Healing clears the state; a later re-degradation re-reports.
+	m.Degrade(target[0], target[1], 0)
+	for i := 0; i < 200; i++ {
+		m.Probe()
+	}
+	if est, ok := m.Estimate(target[0], target[1]); !ok || est > 2*base {
+		t.Fatalf("estimate after heal = %f (base %f)", est, base)
+	}
+	m.Degrade(target[0], target[1], 5*base)
+	if events := m.RunUntilViolation(100); events == nil {
+		t.Fatal("re-degradation not re-reported")
+	}
+}
+
+// Violation-driven reroute: the routing engine avoids a degraded link when
+// the monitor marks it failed.
+func TestViolationTriggersReroute(t *testing.T) {
+	top, metrics, brokers := monitorSetup(t)
+	m, err := NewMonitor(top, metrics, brokers, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := routing.NewEngine(top, metrics, brokers)
+	src, dst := int(brokers[0]), int(brokers[len(brokers)-1])
+	p, err := engine.BestPath(src, dst, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the first hop of the current best path and run the
+	// monitor-reroute loop.
+	u, v := p.Nodes[0], p.Nodes[1]
+	for i := 0; i < 20; i++ {
+		m.Probe()
+	}
+	m.Degrade(u, v, 100*metrics.Latency(u, v))
+	events := m.RunUntilViolation(200)
+	if events == nil {
+		t.Fatal("no violation raised")
+	}
+	for _, ev := range events {
+		metrics.FailLink(ev.U, ev.V) // operator action: pull the link
+	}
+	np, err := engine.BestPath(src, dst, routing.Options{})
+	if err != nil {
+		t.Fatalf("no alternative path after violation: %v", err)
+	}
+	if np.Nodes[1] == v && np.Nodes[0] == u {
+		t.Fatalf("reroute kept the degraded hop: %v", np.Nodes)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	top, metrics, brokers := monitorSetup(t)
+	if _, err := NewMonitor(top, nil, brokers, Config{}); err == nil {
+		t.Error("nil metrics accepted")
+	}
+	// A broker set dominating nothing: empty broker list.
+	if _, err := NewMonitor(top, metrics, nil, Config{}); err == nil {
+		t.Error("empty broker set accepted")
+	}
+	// Unknown link interactions are no-ops.
+	m, err := NewMonitor(top, metrics, brokers, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Degrade(-1, -2, 5)
+	if _, ok := m.Estimate(-1, -2); ok {
+		t.Error("estimate for unknown link")
+	}
+}

@@ -1,0 +1,105 @@
+// Package pagerank computes PageRank on undirected graphs by power
+// iteration. The paper's PRB baseline ranks ASes/IXPs by PageRank; on an
+// undirected graph each edge acts as two directed arcs.
+package pagerank
+
+import (
+	"fmt"
+	"sort"
+
+	"brokerset/internal/graph"
+)
+
+// Options configures a PageRank computation. The zero value is replaced by
+// the conventional defaults (damping 0.85, tolerance 1e-9, 100 iterations).
+type Options struct {
+	// Damping is the probability of following an edge (1-Damping teleports).
+	Damping float64
+	// Tol stops iteration when the L1 change drops below it.
+	Tol float64
+	// MaxIter bounds the number of power iterations.
+	MaxIter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.85
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	return o
+}
+
+// Compute returns the PageRank vector of g (sums to 1). Dangling
+// (degree-zero) nodes redistribute their mass uniformly.
+func Compute(g *graph.Graph, opts Options) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("pagerank: empty graph")
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		var dangling float64
+		for u := 0; u < n; u++ {
+			if g.Degree(u) == 0 {
+				dangling += rank[u]
+			}
+		}
+		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
+		for u := 0; u < n; u++ {
+			next[u] = base
+		}
+		for u := 0; u < n; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			share := opts.Damping * rank[u] / float64(d)
+			for _, v := range g.Neighbors(u) {
+				next[v] += share
+			}
+		}
+		var delta float64
+		for u := 0; u < n; u++ {
+			d := next[u] - rank[u]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		rank, next = next, rank
+		if delta < opts.Tol {
+			break
+		}
+	}
+	return rank, nil
+}
+
+// Rank returns node ids sorted by decreasing PageRank (ties by id).
+func Rank(g *graph.Graph, opts Options) ([]int32, []float64, error) {
+	pr, err := Compute(g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]int32, len(pr))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if pr[ids[i]] != pr[ids[j]] {
+			return pr[ids[i]] > pr[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids, pr, nil
+}

@@ -1,0 +1,378 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+
+	"brokerset/internal/topology"
+)
+
+// Path is a QoS-stitched, B-dominated route.
+type Path struct {
+	// Nodes is the hop sequence, endpoints inclusive.
+	Nodes []int32
+	// Latency is the summed link latency in milliseconds.
+	Latency float64
+	// Bottleneck is the minimum available capacity along the path at
+	// computation time, in Gbps.
+	Bottleneck float64
+}
+
+// Hops returns the hop count (edges) of the path.
+func (p *Path) Hops() int { return len(p.Nodes) - 1 }
+
+// Options constrains a path computation.
+type Options struct {
+	// MaxHops bounds the AS hop count (0 = unbounded). The paper's
+	// Problem 4 path-length constraint.
+	MaxHops int
+	// MinBandwidth requires every link to have at least this much
+	// available capacity, in Gbps.
+	MinBandwidth float64
+	// BrokersOnly restricts intermediate hops to broker nodes (no hired
+	// non-broker transit).
+	BrokersOnly bool
+}
+
+// Engine computes QoS paths over the B-dominated subgraph of a topology.
+type Engine struct {
+	top     *topology.Topology
+	metrics *Metrics
+	inB     []bool
+	// penalty supports k-alternative computation (temporary multipliers).
+	penalty map[uint64]float64
+
+	nextReservation int
+	reservations    map[int]*Reservation
+}
+
+// NewEngine builds an engine for the broker set over top with the given
+// metrics (nil metrics gets DefaultMetrics with a fixed seed).
+func NewEngine(top *topology.Topology, metrics *Metrics, brokers []int32) *Engine {
+	if metrics == nil {
+		metrics = DefaultMetrics(top, nil)
+	}
+	inB := make([]bool, top.NumNodes())
+	for _, b := range brokers {
+		inB[b] = true
+	}
+	return &Engine{
+		top:          top,
+		metrics:      metrics,
+		inB:          inB,
+		penalty:      make(map[uint64]float64),
+		reservations: make(map[int]*Reservation),
+	}
+}
+
+// Metrics exposes the engine's metrics store.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Topology exposes the engine's topology.
+func (e *Engine) Topology() *topology.Topology { return e.top }
+
+// usableArc reports whether the directed arc (u → v) with index `arc` can
+// appear on a dominated QoS path.
+func (e *Engine) usableArc(u, v int32, arc int, opts Options) bool {
+	if !e.inB[u] && !e.inB[v] {
+		return false // not dominated
+	}
+	if e.metrics.failed[arc] {
+		return false
+	}
+	if opts.MinBandwidth > 0 && e.metrics.availArc(arc) < opts.MinBandwidth {
+		return false
+	}
+	return true
+}
+
+// BestPath returns the minimum-latency B-dominated path from src to dst
+// satisfying opts, or an error when none exists. With opts.MaxHops set it
+// minimizes latency over paths within the hop bound (lexicographic search
+// on (hops, latency) layers).
+func (e *Engine) BestPath(src, dst int, opts Options) (*Path, error) {
+	n := e.top.NumNodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: endpoints (%d,%d) outside [0,%d)", src, dst, n)
+	}
+	if src == dst {
+		return &Path{Nodes: []int32{int32(src)}}, nil
+	}
+	if opts.MaxHops <= 0 {
+		return e.bestPathUnbounded(src, dst, opts)
+	}
+	maxHops := opts.MaxHops
+	// Dijkstra over (node, hops) with latency cost; hop dimension only
+	// matters when a hop bound is set, so collapse it otherwise.
+	dist := make(map[hopState]float64)
+	parent := make(map[hopState]hopState)
+	pq := &pathHeap{}
+	start := hopState{node: int32(src), hops: 0}
+	dist[start] = 0
+	heap.Push(pq, pathItem{st: start, cost: 0})
+	var goal *hopState
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pathItem)
+		if d, ok := dist[it.st]; !ok || it.cost > d {
+			continue
+		}
+		if int(it.st.node) == dst {
+			goal = &it.st
+			break
+		}
+		if it.st.hops == maxHops {
+			continue
+		}
+		u := it.st.node
+		off := e.top.Graph.ArcOffset(int(u))
+		for i, v := range e.top.Graph.Neighbors(int(u)) {
+			arc := off + i
+			if !e.usableArc(u, v, arc, opts) {
+				continue
+			}
+			if opts.BrokersOnly && int(v) != dst && !e.inB[v] {
+				continue
+			}
+			hops := it.st.hops + 1
+			ns := hopState{node: v, hops: hops}
+			w := e.metrics.latency[arc] * e.penaltyFactor(u, v)
+			nd := it.cost + w
+			if d, ok := dist[ns]; !ok || nd < d {
+				dist[ns] = nd
+				parent[ns] = it.st
+				heap.Push(pq, pathItem{st: ns, cost: nd})
+			}
+		}
+	}
+	if goal == nil {
+		return nil, fmt.Errorf("routing: no dominated path %d -> %d within constraints", src, dst)
+	}
+	// Rebuild node sequence.
+	var rev []int32
+	for st := *goal; ; st = parent[st] {
+		rev = append(rev, st.node)
+		if st == start {
+			break
+		}
+	}
+	nodes := make([]int32, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return e.describe(nodes), nil
+}
+
+// bestPathUnbounded is the hop-unbounded Dijkstra over slice state — the
+// hot path for simulation workloads.
+func (e *Engine) bestPathUnbounded(src, dst int, opts Options) (*Path, error) {
+	n := e.top.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = int32(src)
+	pq := newFlatHeap(64)
+	pq.push(int32(src), 0)
+	for pq.len() > 0 {
+		u, cost := pq.pop()
+		if cost > dist[u] {
+			continue
+		}
+		if int(u) == dst {
+			break
+		}
+		off := e.top.Graph.ArcOffset(int(u))
+		for i, v := range e.top.Graph.Neighbors(int(u)) {
+			arc := off + i
+			if !e.usableArc(u, v, arc, opts) {
+				continue
+			}
+			if opts.BrokersOnly && int(v) != dst && !e.inB[v] {
+				continue
+			}
+			nd := cost + e.metrics.latency[arc]*e.penaltyFactor(u, v)
+			if dist[v] < 0 || nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				pq.push(v, nd)
+			}
+		}
+	}
+	if parent[dst] == -1 {
+		return nil, fmt.Errorf("routing: no dominated path %d -> %d within constraints", src, dst)
+	}
+	var rev []int32
+	for u := int32(dst); ; u = parent[u] {
+		rev = append(rev, u)
+		if int(u) == src {
+			break
+		}
+	}
+	nodes := make([]int32, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return e.describe(nodes), nil
+}
+
+// describe computes latency and bottleneck for a node sequence.
+func (e *Engine) describe(nodes []int32) *Path {
+	p := &Path{Nodes: nodes, Bottleneck: -1}
+	for i := 0; i+1 < len(nodes); i++ {
+		u, v := nodes[i], nodes[i+1]
+		p.Latency += e.metrics.Latency(u, v)
+		if avail := e.metrics.Available(u, v); p.Bottleneck < 0 || avail < p.Bottleneck {
+			p.Bottleneck = avail
+		}
+	}
+	if p.Bottleneck < 0 {
+		p.Bottleneck = 0
+	}
+	return p
+}
+
+func (e *Engine) penaltyFactor(u, v int32) float64 {
+	if len(e.penalty) == 0 {
+		return 1 // hot path: no map lookup outside KAlternatives
+	}
+	if f, ok := e.penalty[edgeKey(u, v)]; ok {
+		return f
+	}
+	return 1
+}
+
+// KAlternatives returns up to k latency-diverse dominated paths from src to
+// dst using iterative edge penalization (a practical stand-in for Yen's
+// algorithm: each found path's links are penalized so the next search
+// prefers disjoint routes). Paths are returned best-first; duplicates are
+// filtered.
+func (e *Engine) KAlternatives(src, dst, k int, opts Options) ([]*Path, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("routing: k must be >= 1, got %d", k)
+	}
+	defer func() { e.penalty = make(map[uint64]float64) }()
+	var out []*Path
+	seen := make(map[string]bool)
+	// Penalization may need several rounds to push the search off a
+	// strongly preferred route, so budget more attempts than k.
+	for attempt := 0; len(out) < k && attempt < 8*k; attempt++ {
+		p, err := e.BestPath(src, dst, opts)
+		if err != nil {
+			break // no more routes under the accumulated penalties
+		}
+		sig := pathSignature(p.Nodes)
+		if !seen[sig] {
+			seen[sig] = true
+			// Recompute true latency without penalties.
+			out = append(out, e.describe(p.Nodes))
+		}
+		for j := 0; j+1 < len(p.Nodes); j++ {
+			key := edgeKey(p.Nodes[j], p.Nodes[j+1])
+			if e.penalty[key] == 0 {
+				e.penalty[key] = 1
+			}
+			e.penalty[key] *= 8
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("routing: no dominated path %d -> %d", src, dst)
+	}
+	return out, nil
+}
+
+func pathSignature(nodes []int32) string {
+	sig := make([]byte, 0, 4*len(nodes))
+	for _, n := range nodes {
+		sig = append(sig, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return string(sig)
+}
+
+// flatHeap is a boxing-free binary min-heap of (node, cost) pairs used by
+// the hop-unbounded Dijkstra hot path.
+type flatHeap struct {
+	nodes []int32
+	costs []float64
+}
+
+func newFlatHeap(capacity int) *flatHeap {
+	return &flatHeap{
+		nodes: make([]int32, 0, capacity),
+		costs: make([]float64, 0, capacity),
+	}
+}
+
+func (h *flatHeap) len() int { return len(h.nodes) }
+
+func (h *flatHeap) push(node int32, cost float64) {
+	h.nodes = append(h.nodes, node)
+	h.costs = append(h.costs, cost)
+	i := len(h.nodes) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.costs[p] <= h.costs[i] {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *flatHeap) pop() (int32, float64) {
+	node, cost := h.nodes[0], h.costs[0]
+	last := len(h.nodes) - 1
+	h.swap(0, last)
+	h.nodes = h.nodes[:last]
+	h.costs = h.costs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.costs[l] < h.costs[smallest] {
+			smallest = l
+		}
+		if r < last && h.costs[r] < h.costs[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return node, cost
+}
+
+func (h *flatHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.costs[i], h.costs[j] = h.costs[j], h.costs[i]
+}
+
+// hopState is a (node, consumed-hops) search state; the hop dimension is
+// collapsed to 0 when no hop bound applies.
+type hopState struct {
+	node int32
+	hops int
+}
+
+type pathItem struct {
+	st   hopState
+	cost float64
+}
+
+type pathHeap struct{ items []pathItem }
+
+func (h *pathHeap) Len() int           { return len(h.items) }
+func (h *pathHeap) Less(i, j int) bool { return h.items[i].cost < h.items[j].cost }
+func (h *pathHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *pathHeap) Push(x interface{}) { h.items = append(h.items, x.(pathItem)) }
+func (h *pathHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,212 @@
+// Package routing implements the service layer a broker coalition would
+// actually run: QoS-annotated path stitching over the B-dominated subgraph,
+// bandwidth-broker admission control (the paper's refs [18], [19]), k-path
+// alternatives, and failure handling. The paper leaves the enforcement
+// mechanism abstract ("we will not focus on how exactly the E2E QoS is
+// guaranteed"); this package provides the obvious concrete realization so
+// the framework is usable end to end.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"brokerset/internal/topology"
+)
+
+// Metrics annotates topology edges with latency and capacity, and tracks
+// bandwidth reservations. State is stored per directed arc, aligned with
+// the graph's adjacency arrays, so path searches do no map lookups. Not
+// safe for concurrent use.
+type Metrics struct {
+	top      *topology.Topology
+	latency  []float64 // milliseconds, per arc
+	capacity []float64 // Gbps, per arc
+	used     []float64 // reserved Gbps, per arc
+	failed   []bool
+}
+
+// edgeKey packs an undirected edge (used by the k-alternatives penalty map).
+func edgeKey(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// arcOf returns the arc index of u → v, or -1 when not adjacent.
+func (m *Metrics) arcOf(u, v int32) int {
+	ns := m.top.Graph.Neighbors(int(u))
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	if i == len(ns) || ns[i] != v {
+		return -1
+	}
+	return m.top.Graph.ArcOffset(int(u)) + i
+}
+
+// bothArcs returns the arc indexes of (u→v, v→u); (-1,-1) for a non-edge.
+func (m *Metrics) bothArcs(u, v int32) (int, int) {
+	a := m.arcOf(u, v)
+	if a < 0 {
+		return -1, -1
+	}
+	return a, m.arcOf(v, u)
+}
+
+// DefaultMetrics synthesizes plausible per-link QoS metrics from the link's
+// business relationship and the endpoints' tiers: IXP fabric hops are fast,
+// backbone links are fat, edge transit links are slower and thinner. The
+// rng jitters values; nil uses a fixed seed.
+func DefaultMetrics(top *topology.Topology, rng *rand.Rand) *Metrics {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	nArcs := top.Graph.NumArcs()
+	m := &Metrics{
+		top:      top,
+		latency:  make([]float64, nArcs),
+		capacity: make([]float64, nArcs),
+		used:     make([]float64, nArcs),
+		failed:   make([]bool, nArcs),
+	}
+	top.Graph.Edges(func(u, v int) bool {
+		var lat, cap float64
+		switch top.Rel(u, v) {
+		case topology.RelMember:
+			lat = 1 + 4*rng.Float64() // co-located switch port
+			cap = 40 + 60*rng.Float64()
+		case topology.RelPeer:
+			lat = 5 + 15*rng.Float64()
+			cap = 20 + 40*rng.Float64()
+		default: // transit
+			lat = 10 + 30*rng.Float64()
+			cap = 10 + 30*rng.Float64()
+		}
+		// Backbone links (both endpoints tier <= 2) are faster and fatter.
+		if top.Tier[u] != 0 && top.Tier[u] <= 2 && top.Tier[v] != 0 && top.Tier[v] <= 2 {
+			lat *= 0.5
+			cap *= 4
+		}
+		a, b := m.bothArcs(int32(u), int32(v))
+		m.latency[a], m.latency[b] = lat, lat
+		m.capacity[a], m.capacity[b] = cap, cap
+		return true
+	})
+	return m
+}
+
+// Latency returns the link latency in milliseconds (0 for a non-edge).
+func (m *Metrics) Latency(u, v int32) float64 {
+	if a := m.arcOf(u, v); a >= 0 {
+		return m.latency[a]
+	}
+	return 0
+}
+
+// Capacity returns the link capacity in Gbps (0 for a non-edge).
+func (m *Metrics) Capacity(u, v int32) float64 {
+	if a := m.arcOf(u, v); a >= 0 {
+		return m.capacity[a]
+	}
+	return 0
+}
+
+// availArc returns unreserved capacity of an arc; 0 when failed.
+func (m *Metrics) availArc(a int) float64 {
+	if m.failed[a] {
+		return 0
+	}
+	avail := m.capacity[a] - m.used[a]
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// Available returns the unreserved capacity of a link; 0 when failed or
+// not an edge.
+func (m *Metrics) Available(u, v int32) float64 {
+	if a := m.arcOf(u, v); a >= 0 {
+		return m.availArc(a)
+	}
+	return 0
+}
+
+// Reserve allocates bw Gbps on the link, failing when unavailable.
+func (m *Metrics) Reserve(u, v int32, bw float64) error {
+	a, b := m.bothArcs(u, v)
+	if a < 0 {
+		return fmt.Errorf("routing: (%d,%d) is not a link", u, v)
+	}
+	if avail := m.availArc(a); avail < bw {
+		return fmt.Errorf("routing: link (%d,%d) has %.2f Gbps available, need %.2f", u, v, avail, bw)
+	}
+	m.used[a] += bw
+	m.used[b] += bw
+	return nil
+}
+
+// Release frees bw Gbps on the link (clamped at zero).
+func (m *Metrics) Release(u, v int32, bw float64) {
+	a, b := m.bothArcs(u, v)
+	if a < 0 {
+		return
+	}
+	for _, i := range [2]int{a, b} {
+		m.used[i] -= bw
+		if m.used[i] < 0 {
+			m.used[i] = 0
+		}
+	}
+}
+
+// FailLink marks a link as failed; reservations on it stay accounted until
+// released by their owners.
+func (m *Metrics) FailLink(u, v int32) {
+	if a, b := m.bothArcs(u, v); a >= 0 {
+		m.failed[a] = true
+		m.failed[b] = true
+	}
+}
+
+// RestoreLink clears a link failure.
+func (m *Metrics) RestoreLink(u, v int32) {
+	if a, b := m.bothArcs(u, v); a >= 0 {
+		m.failed[a] = false
+		m.failed[b] = false
+	}
+}
+
+// Failed reports whether the link is marked failed.
+func (m *Metrics) Failed(u, v int32) bool {
+	a := m.arcOf(u, v)
+	return a >= 0 && m.failed[a]
+}
+
+// SetLatency overrides a link's latency (both directions). Non-edges are
+// ignored. Useful for calibrated scenarios and tests.
+func (m *Metrics) SetLatency(u, v int32, ms float64) {
+	if a, b := m.bothArcs(u, v); a >= 0 {
+		m.latency[a] = ms
+		m.latency[b] = ms
+	}
+}
+
+// SetCapacity overrides a link's capacity (both directions). Non-edges are
+// ignored.
+func (m *Metrics) SetCapacity(u, v int32, gbps float64) {
+	if a, b := m.bothArcs(u, v); a >= 0 {
+		m.capacity[a] = gbps
+		m.capacity[b] = gbps
+	}
+}
+
+// Utilization returns used/capacity for the link (0 for a non-edge).
+func (m *Metrics) Utilization(u, v int32) float64 {
+	a := m.arcOf(u, v)
+	if a < 0 || m.capacity[a] == 0 {
+		return 0
+	}
+	return m.used[a] / m.capacity[a]
+}

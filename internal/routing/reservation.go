@@ -1,0 +1,108 @@
+package routing
+
+import "fmt"
+
+// Reservation is an admitted bandwidth allocation along a dominated path —
+// the bandwidth-broker function of the paper's refs [18], [19].
+type Reservation struct {
+	// ID identifies the reservation with its engine.
+	ID int
+	// Path is the reserved route.
+	Path *Path
+	// Bandwidth is the reserved capacity in Gbps.
+	Bandwidth float64
+	released  bool
+}
+
+// Reserve computes the best dominated path from src to dst with at least bw
+// available on every link, and atomically reserves bw along it. It returns
+// an error (admission rejection) when no such path exists.
+func (e *Engine) Reserve(src, dst int, bw float64, opts Options) (*Reservation, error) {
+	if bw <= 0 {
+		return nil, fmt.Errorf("routing: bandwidth must be > 0, got %f", bw)
+	}
+	if opts.MinBandwidth < bw {
+		opts.MinBandwidth = bw
+	}
+	p, err := e.BestPath(src, dst, opts)
+	if err != nil {
+		return nil, fmt.Errorf("routing: admission rejected: %w", err)
+	}
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		if err := e.metrics.Reserve(p.Nodes[i], p.Nodes[i+1], bw); err != nil {
+			// Roll back partial allocation; BestPath filtered on current
+			// availability, so this only happens on pathological races.
+			for j := 0; j < i; j++ {
+				e.metrics.Release(p.Nodes[j], p.Nodes[j+1], bw)
+			}
+			return nil, fmt.Errorf("routing: admission rejected mid-allocation: %w", err)
+		}
+	}
+	e.nextReservation++
+	r := &Reservation{ID: e.nextReservation, Path: p, Bandwidth: bw}
+	e.reservations[r.ID] = r
+	return r, nil
+}
+
+// Release frees a reservation's bandwidth. Releasing twice is an error.
+func (e *Engine) Release(r *Reservation) error {
+	if r == nil || r.released {
+		return fmt.Errorf("routing: reservation already released")
+	}
+	if _, ok := e.reservations[r.ID]; !ok {
+		return fmt.Errorf("routing: unknown reservation %d", r.ID)
+	}
+	for i := 0; i+1 < len(r.Path.Nodes); i++ {
+		e.metrics.Release(r.Path.Nodes[i], r.Path.Nodes[i+1], r.Bandwidth)
+	}
+	r.released = true
+	delete(e.reservations, r.ID)
+	return nil
+}
+
+// ActiveReservations returns the number of live reservations.
+func (e *Engine) ActiveReservations() int { return len(e.reservations) }
+
+// Reroute moves a live reservation onto a fresh feasible path (e.g. after a
+// link failure): it releases the old allocation, recomputes, and re-reserves.
+// On failure the reservation is left released and an error is returned (the
+// service was interrupted and could not be restored).
+func (e *Engine) Reroute(r *Reservation, opts Options) error {
+	if r == nil || r.released {
+		return fmt.Errorf("routing: cannot reroute a released reservation")
+	}
+	src := int(r.Path.Nodes[0])
+	dst := int(r.Path.Nodes[len(r.Path.Nodes)-1])
+	bw := r.Bandwidth
+	if err := e.Release(r); err != nil {
+		return err
+	}
+	nr, err := e.Reserve(src, dst, bw, opts)
+	if err != nil {
+		return fmt.Errorf("routing: reroute failed: %w", err)
+	}
+	// Adopt the new allocation in place so callers keep their handle.
+	delete(e.reservations, nr.ID)
+	r.Path = nr.Path
+	r.released = false
+	e.reservations[r.ID] = r
+	return nil
+}
+
+// BrokerLoad returns, for each broker in brokers, the number of live
+// reservations whose paths traverse it (endpoints included).
+func (e *Engine) BrokerLoad(brokers []int32) []int {
+	load := make([]int, len(brokers))
+	index := make(map[int32]int, len(brokers))
+	for i, b := range brokers {
+		index[b] = i
+	}
+	for _, r := range e.reservations {
+		for _, u := range r.Path.Nodes {
+			if i, ok := index[u]; ok {
+				load[i]++
+			}
+		}
+	}
+	return load
+}

@@ -1,0 +1,6 @@
+package stats
+
+import "math/rand"
+
+// newRng keeps property tests deterministic per seed.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

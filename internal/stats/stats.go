@@ -1,0 +1,158 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: summary statistics, Pearson correlation, empirical CDFs and
+// histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance; 0 for fewer than two values.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+// It errors when lengths differ, fewer than two pairs exist, or either
+// series is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need >= 2 pairs, got %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: constant series has undefined correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation of the sorted values; it errors on an empty slice or a
+// quantile outside [0,1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %f outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// CDF is an empirical cumulative distribution over sampled values.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns P[X <= x].
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, x)
+	// SearchFloat64s returns the first index >= x; advance over equals.
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Points returns (x, P[X <= x]) pairs at each distinct sample value, ready
+// for plotting or table output.
+func (c *CDF) Points() (xs, ps []float64) {
+	for i, v := range c.sorted {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == v {
+			continue
+		}
+		xs = append(xs, v)
+		ps = append(ps, float64(i+1)/float64(len(c.sorted)))
+	}
+	return xs, ps
+}
+
+// Histogram buckets values into `bins` equal-width bins over [min, max] and
+// returns bin counts plus the bin width. It errors for bins < 1 or an empty
+// input.
+func Histogram(xs []float64, bins int) (counts []int, min, width float64, err error) {
+	if bins < 1 {
+		return nil, 0, 0, fmt.Errorf("stats: bins must be >= 1, got %d", bins)
+	}
+	if len(xs) == 0 {
+		return nil, 0, 0, fmt.Errorf("stats: histogram of empty slice")
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	counts = make([]int, bins)
+	if max == min {
+		counts[0] = len(xs)
+		return counts, min, 0, nil
+	}
+	width = (max - min) / float64(bins)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts, min, width, nil
+}

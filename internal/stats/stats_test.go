@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5) {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	if got := Variance(xs); !almostEq(got, 4) {
+		t.Errorf("Variance = %f, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2) {
+		t.Errorf("StdDev = %f, want 2", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1) {
+		t.Errorf("perfect correlation = %f, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -1) {
+		t.Errorf("perfect anticorrelation = %f, want -1", r)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := Pearson(xs, []float64{3, 3, 3, 3, 3}); err == nil {
+		t.Error("constant series accepted")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newRng(seed)
+		xs := make([]float64, 20)
+		ys := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.Float64()*10 - 5
+			ys[i] = rng.Float64()*10 - 5
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // constant series, vanishingly unlikely
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	q, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(q, 3) {
+		t.Errorf("median = %f, want 3", q)
+	}
+	q, _ = Quantile(xs, 0)
+	if !almostEq(q, 1) {
+		t.Errorf("min = %f, want 1", q)
+	}
+	q, _ = Quantile(xs, 1)
+	if !almostEq(q, 5) {
+		t.Errorf("max = %f, want 5", q)
+	}
+	q, _ = Quantile(xs, 0.25)
+	if !almostEq(q, 2) {
+		t.Errorf("q25 = %f, want 2", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty slice accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q > 1 accepted")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := c.At(tc.x); !almostEq(got, tc.want) {
+			t.Errorf("At(%f) = %f, want %f", tc.x, got, tc.want)
+		}
+	}
+	xs, ps := c.Points()
+	if len(xs) != 3 || !almostEq(xs[1], 2) || !almostEq(ps[1], 0.75) {
+		t.Errorf("Points = %v %v", xs, ps)
+	}
+	if got := NewCDF(nil).At(5); got != 0 {
+		t.Errorf("empty CDF At = %f", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, min, width, err := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != 0 || !almostEq(width, 1.8) {
+		t.Errorf("min=%f width=%f", min, width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total %d, want 10", total)
+	}
+	// Constant input lands in bin 0.
+	counts, _, width, err = Histogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 || width != 0 {
+		t.Errorf("constant histogram = %v width %f", counts, width)
+	}
+	if _, _, _, err := Histogram(nil, 3); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}

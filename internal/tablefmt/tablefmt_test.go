@@ -1,0 +1,74 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Table X. Demo", "algorithm", "k", "coverage")
+	t.AddRow("MaxSG", 1000, Percent(0.8541))
+	t.AddRow("DB", 1000, Percent(0.7253))
+	t.AddRow("pi", 3.14159, 2.5)
+	t.AddNote("seed %d", 1)
+	return t
+}
+
+func TestWriteASCII(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table X. Demo", "algorithm", "85.41%", "72.53%", "note: seed 1", "3.1416", "2.5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: header and first row start identically.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[1], "algorithm") {
+		t.Errorf("unexpected header line %q", lines[1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteMarkdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### Table X. Demo", "| algorithm | k | coverage |", "| --- | --- | --- |", "| MaxSG | 1000 | 85.41% |", "_seed 1_"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want 4", len(lines))
+	}
+	if lines[0] != "algorithm,k,coverage" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "MaxSG,1000,85.41%" {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tbl := New("", "a")
+	var b strings.Builder
+	if err := tbl.WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "a") {
+		t.Errorf("empty table output %q", b.String())
+	}
+}

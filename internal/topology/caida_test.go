@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleRels = `# CAIDA AS-relationships sample
+# provider|customer|-1, peer|peer|0
+174|64512|-1
+174|3356|0
+3356|64512|-1
+3356|64513|-1
+64512|64513|0
+`
+
+const sampleMembers = `# ixp|as
+DE-CIX Frankfurt|64512
+DE-CIX Frankfurt|64513
+LINX|174
+`
+
+func TestLoadCAIDA(t *testing.T) {
+	top, err := LoadCAIDA(strings.NewReader(sampleRels), strings.NewReader(sampleMembers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 ASes + 2 IXPs.
+	if top.NumASes() != 4 || top.NumIXPs() != 2 {
+		t.Fatalf("ASes=%d IXPs=%d, want 4/2", top.NumASes(), top.NumIXPs())
+	}
+	// 5 AS-AS edges + 3 memberships.
+	if top.Graph.NumEdges() != 8 {
+		t.Fatalf("edges = %d, want 8", top.Graph.NumEdges())
+	}
+	// Find the renumbered ids by name.
+	id := func(name string) int {
+		t.Helper()
+		for u := 0; u < top.NumNodes(); u++ {
+			if top.Name[u] == name {
+				return u
+			}
+		}
+		t.Fatalf("node %q not found", name)
+		return -1
+	}
+	as174, as3356, as64512 := id("AS174"), id("AS3356"), id("AS64512")
+	// 174 is 64512's provider: from 64512's perspective the rel is c2p.
+	if got := top.Rel(as64512, as174); got != RelCustomer {
+		t.Errorf("Rel(64512,174) = %v, want c2p", got)
+	}
+	if got := top.Rel(as174, as3356); got != RelPeer {
+		t.Errorf("Rel(174,3356) = %v, want p2p", got)
+	}
+	// Class inference: 174 and 3356 have customers and no providers -> tier1.
+	if top.Class[as174] != ClassTier1 || top.Class[as3356] != ClassTier1 {
+		t.Errorf("providers without upstreams should be tier1: %v, %v", top.Class[as174], top.Class[as3356])
+	}
+	if top.Class[as64512] != ClassEnterprise {
+		t.Errorf("stub class = %v, want enterprise", top.Class[as64512])
+	}
+	// Membership edges.
+	decix := id("IXP DE-CIX Frankfurt")
+	if got := top.Rel(as64512, decix); got != RelMember {
+		t.Errorf("membership rel = %v", got)
+	}
+	if !top.IsIXP(decix) {
+		t.Error("IXP not classed as IXP")
+	}
+}
+
+func TestLoadCAIDAWithoutMembers(t *testing.T) {
+	top, err := LoadCAIDA(strings.NewReader(sampleRels), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumIXPs() != 0 {
+		t.Fatalf("IXPs = %d, want 0", top.NumIXPs())
+	}
+	if top.NumASes() != 4 {
+		t.Fatalf("ASes = %d, want 4", top.NumASes())
+	}
+}
+
+func TestLoadCAIDARoundTripsThroughNativeFormat(t *testing.T) {
+	top, err := LoadCAIDA(strings.NewReader(sampleRels), strings.NewReader(sampleMembers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := top.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumNodes() != top.NumNodes() || again.Graph.NumEdges() != top.Graph.NumEdges() {
+		t.Fatal("native round trip changed the topology")
+	}
+}
+
+func TestLoadCAIDARejectsMalformed(t *testing.T) {
+	cases := map[string][2]string{
+		"short rel line": {"174|64512\n", ""},
+		"bad as number":  {"x|64512|-1\n", ""},
+		"unknown rel":    {"174|64512|7\n", ""},
+		"empty rels":     {"# nothing\n", ""},
+		"short member":   {sampleRels, "DE-CIX\n"},
+		"bad member as":  {sampleRels, "DE-CIX|x\n"},
+		"empty ixp name": {sampleRels, "|64512\n"},
+	}
+	for name, c := range cases {
+		var members *strings.Reader
+		if c[1] != "" {
+			members = strings.NewReader(c[1])
+		}
+		var err error
+		if members != nil {
+			_, err = LoadCAIDA(strings.NewReader(c[0]), members)
+		} else {
+			_, err = LoadCAIDA(strings.NewReader(c[0]), nil)
+		}
+		if err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}

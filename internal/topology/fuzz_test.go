@@ -1,0 +1,59 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad exercises the text-format parser with corrupted inputs: it must
+// return an error or a well-formed topology, never panic, and any topology
+// that survives a round trip must reload identically.
+func FuzzLoad(f *testing.F) {
+	// Seed corpus: a valid file plus near-miss corruptions.
+	var valid bytes.Buffer
+	top, err := GenerateInternet(InternetConfig{Scale: 0.005, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := top.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	f.Add("# brokerset-topology v1\nnodes 2\nedge 0 1 p2p\n")
+	f.Add("# brokerset-topology v1\nnodes 3\nnode 0 tier1 1 X\nedge 0 1\nedge 1 2 c2p\n")
+	f.Add("# brokerset-topology v1\nnodes -1\n")
+	f.Add("# brokerset-topology v1\nnodes 1\nnode 0 wat 1 X\n")
+	f.Add("nodes 2\nedge 0 1\n")
+	f.Add("# brokerset-topology v1\nnodes 2\nedge 0 999\n")
+	f.Add("# brokerset-topology v1\nnodes 2\nedge a b\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := Load(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted topologies must be internally consistent...
+		if got.Graph == nil {
+			t.Fatal("accepted topology with nil graph")
+		}
+		n := got.NumNodes()
+		if len(got.Class) != n || len(got.Tier) != n || len(got.Name) != n {
+			t.Fatalf("label slices inconsistent with %d nodes", n)
+		}
+		// ...and must round-trip exactly.
+		var buf bytes.Buffer
+		if err := got.Save(&buf); err != nil {
+			t.Fatalf("Save of accepted topology failed: %v", err)
+		}
+		again, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("reload of saved topology failed: %v", err)
+		}
+		if again.NumNodes() != n || again.Graph.NumEdges() != got.Graph.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				again.NumNodes(), again.Graph.NumEdges(), n, got.Graph.NumEdges())
+		}
+	})
+}

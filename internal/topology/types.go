@@ -1,0 +1,272 @@
+// Package topology models AS-level Internet topologies: autonomous systems
+// (ASes) with tier and service-class labels, Internet exchange points
+// (IXPs), and inter-AS business relationships.
+//
+// It provides a calibrated synthetic Internet generator (a stand-in for the
+// paper's 2014 CAIDA/RouteViews + IXP dataset; see DESIGN.md for the
+// substitution argument), the classic random-graph generators used by the
+// paper's Table 3 (Erdős–Rényi, Watts–Strogatz, Barabási–Albert), and a
+// plain-text serialization so real datasets can be plugged in.
+package topology
+
+import (
+	"fmt"
+
+	"brokerset/internal/graph"
+)
+
+// Class categorizes a node by the service it offers, mirroring the
+// classification the paper borrows for Fig. 5a / Table 5.
+type Class uint8
+
+// Node service classes.
+const (
+	ClassUnknown    Class = iota
+	ClassTier1            // global transit backbone (T/A in the paper's Table 5)
+	ClassTransit          // regional transit / access provider
+	ClassAccess           // eyeball / access network
+	ClassContent          // content provider (C)
+	ClassEnterprise       // enterprise or stub edge network (E)
+	ClassIXP              // Internet exchange point
+)
+
+var classNames = [...]string{
+	ClassUnknown:    "unknown",
+	ClassTier1:      "tier1",
+	ClassTransit:    "transit",
+	ClassAccess:     "access",
+	ClassContent:    "content",
+	ClassEnterprise: "enterprise",
+	ClassIXP:        "ixp",
+}
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass converts a class name produced by Class.String back to a
+// Class value.
+func ParseClass(s string) (Class, error) {
+	for i, name := range classNames {
+		if name == s {
+			return Class(i), nil
+		}
+	}
+	return ClassUnknown, fmt.Errorf("topology: unknown class %q", s)
+}
+
+// Relationship is the business relationship of an edge, viewed from the
+// first endpoint: RelCustomer means "u is a customer of v".
+type Relationship uint8
+
+// Edge business relationships.
+const (
+	RelNone     Relationship = iota
+	RelPeer                  // settlement-free peering (p2p)
+	RelCustomer              // u buys transit from v (c2p from u's perspective)
+	RelProvider              // u sells transit to v (p2c from u's perspective)
+	RelMember                // AS-to-IXP membership link
+)
+
+var relNames = [...]string{
+	RelNone:     "none",
+	RelPeer:     "p2p",
+	RelCustomer: "c2p",
+	RelProvider: "p2c",
+	RelMember:   "member",
+}
+
+// String returns the conventional short name (p2p, c2p, p2c, member).
+func (r Relationship) String() string {
+	if int(r) < len(relNames) {
+		return relNames[r]
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// ParseRelationship converts a short relationship name back to a value.
+func ParseRelationship(s string) (Relationship, error) {
+	for i, name := range relNames {
+		if name == s {
+			return Relationship(i), nil
+		}
+	}
+	return RelNone, fmt.Errorf("topology: unknown relationship %q", s)
+}
+
+// invert flips the perspective of a relationship.
+func (r Relationship) invert() Relationship {
+	switch r {
+	case RelCustomer:
+		return RelProvider
+	case RelProvider:
+		return RelCustomer
+	default:
+		return r
+	}
+}
+
+// Topology is an AS-level Internet topology: an undirected graph plus
+// per-node labels and per-edge business relationships.
+type Topology struct {
+	// Graph is the underlying undirected graph over all ASes and IXPs.
+	Graph *graph.Graph
+	// Class holds each node's service class; Class[u] == ClassIXP marks IXPs.
+	Class []Class
+	// Tier is the routing hierarchy level (1 = backbone, 2 = regional,
+	// 3 = edge); 0 for IXPs.
+	Tier []uint8
+	// Name is a human-readable node name ("AS174", "IXP DE-CIX ...").
+	Name []string
+
+	rels map[uint64]Relationship // key packEdge(u,v) with u < v, stored from u's perspective
+}
+
+func packEdge(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return t.Graph.NumNodes() }
+
+// IsIXP reports whether node u is an IXP.
+func (t *Topology) IsIXP(u int) bool { return t.Class[u] == ClassIXP }
+
+// NumIXPs returns the number of IXP nodes.
+func (t *Topology) NumIXPs() int {
+	n := 0
+	for _, c := range t.Class {
+		if c == ClassIXP {
+			n++
+		}
+	}
+	return n
+}
+
+// NumASes returns the number of non-IXP nodes.
+func (t *Topology) NumASes() int { return t.NumNodes() - t.NumIXPs() }
+
+// SetRel records the business relationship of edge (u,v) from u's
+// perspective. It overwrites any previous label.
+func (t *Topology) SetRel(u, v int, r Relationship) {
+	if t.rels == nil {
+		t.rels = make(map[uint64]Relationship)
+	}
+	if u > v {
+		u, v = v, u
+		r = r.invert()
+	}
+	t.rels[packEdge(u, v)] = r
+}
+
+// Rel returns the business relationship of edge (u,v) from u's perspective,
+// or RelNone if the edge is unlabeled.
+func (t *Topology) Rel(u, v int) Relationship {
+	r, ok := t.rels[packEdge(u, v)]
+	if !ok {
+		return RelNone
+	}
+	if u > v {
+		return r.invert()
+	}
+	return r
+}
+
+// RelCount returns how many edges carry each relationship label.
+func (t *Topology) RelCount() map[Relationship]int {
+	out := make(map[Relationship]int, 4)
+	for _, r := range t.rels {
+		out[r]++
+	}
+	return out
+}
+
+// IXPMask returns a boolean mask of IXP nodes.
+func (t *Topology) IXPMask() []bool {
+	mask := make([]bool, t.NumNodes())
+	for u, c := range t.Class {
+		mask[u] = c == ClassIXP
+	}
+	return mask
+}
+
+// ClassHistogram counts nodes per class, optionally restricted to the node
+// set `only` (nil means all nodes).
+func (t *Topology) ClassHistogram(only []int32) map[Class]int {
+	h := make(map[Class]int, 8)
+	if only == nil {
+		for _, c := range t.Class {
+			h[c]++
+		}
+		return h
+	}
+	for _, u := range only {
+		h[t.Class[u]]++
+	}
+	return h
+}
+
+// WithoutIXPs returns the topology induced on AS nodes only (the paper's
+// "ASes without IXPs" variant) plus the mapping from new ids to old ids.
+func (t *Topology) WithoutIXPs() (*Topology, []int32) {
+	keep := make([]bool, t.NumNodes())
+	for u := range keep {
+		keep[u] = !t.IsIXP(u)
+	}
+	sub, orig := t.Graph.InducedSubgraph(keep)
+	nt := &Topology{
+		Graph: sub,
+		Class: make([]Class, sub.NumNodes()),
+		Tier:  make([]uint8, sub.NumNodes()),
+		Name:  make([]string, sub.NumNodes()),
+		rels:  make(map[uint64]Relationship),
+	}
+	for i, o := range orig {
+		nt.Class[i] = t.Class[o]
+		nt.Tier[i] = t.Tier[o]
+		nt.Name[i] = t.Name[o]
+	}
+	sub.Edges(func(u, v int) bool {
+		nt.SetRel(u, v, t.Rel(int(orig[u]), int(orig[v])))
+		return true
+	})
+	return nt, orig
+}
+
+// Stats summarizes a topology in the shape of the paper's Table 2.
+type Stats struct {
+	IXPs           int
+	ASes           int
+	GiantComponent int
+	ASASEdges      int
+	IXPASEdges     int
+	TotalEdges     int
+	AvgDegree      float64
+}
+
+// ComputeStats derives a Stats summary.
+func (t *Topology) ComputeStats() Stats {
+	s := Stats{
+		IXPs:       t.NumIXPs(),
+		ASes:       t.NumASes(),
+		TotalEdges: t.Graph.NumEdges(),
+		AvgDegree:  t.Graph.AvgDegree(),
+	}
+	t.Graph.Edges(func(u, v int) bool {
+		if t.IsIXP(u) || t.IsIXP(v) {
+			s.IXPASEdges++
+		} else {
+			s.ASASEdges++
+		}
+		return true
+	})
+	_, s.GiantComponent = t.Graph.GiantComponent()
+	return s
+}

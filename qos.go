@@ -1,0 +1,159 @@
+package brokerset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"brokerset/internal/routing"
+	"brokerset/internal/sim"
+)
+
+// QoSEngine is the broker coalition's path-stitching service: it computes
+// latency-optimal B-dominated paths with bandwidth admission control over
+// synthetic per-link QoS metrics.
+type QoSEngine struct {
+	net    *Network
+	engine *routing.Engine
+}
+
+// QoSEngine builds the routing service for the broker set. seed drives the
+// synthetic link metrics (latency/capacity by link type).
+func (b *BrokerSet) QoSEngine(seed int64) *QoSEngine {
+	metrics := routing.DefaultMetrics(b.net.top, rand.New(rand.NewSource(seed)))
+	return &QoSEngine{
+		net:    b.net,
+		engine: routing.NewEngine(b.net.top, metrics, b.members),
+	}
+}
+
+// QoSPath is a stitched route with its QoS characteristics.
+type QoSPath struct {
+	// Nodes is the hop sequence, endpoints inclusive.
+	Nodes []int32
+	// LatencyMs is the end-to-end latency in milliseconds.
+	LatencyMs float64
+	// BottleneckGbps is the minimum available link capacity on the path.
+	BottleneckGbps float64
+}
+
+// PathConstraints bounds a QoS path query. The zero value means
+// unconstrained.
+type PathConstraints struct {
+	// MaxHops caps the AS hop count (0 = unbounded) — the paper's
+	// Problem 4 length constraint per connection.
+	MaxHops int
+	// MinBandwidthGbps requires this much available capacity per link.
+	MinBandwidthGbps float64
+	// BrokersOnly forbids hired non-broker transit on intermediate hops.
+	BrokersOnly bool
+}
+
+func toOptions(c PathConstraints) routing.Options {
+	return routing.Options{
+		MaxHops:      c.MaxHops,
+		MinBandwidth: c.MinBandwidthGbps,
+		BrokersOnly:  c.BrokersOnly,
+	}
+}
+
+func toQoSPath(p *routing.Path) *QoSPath {
+	return &QoSPath{Nodes: p.Nodes, LatencyMs: p.Latency, BottleneckGbps: p.Bottleneck}
+}
+
+// BestPath returns the minimum-latency dominated path satisfying c.
+func (q *QoSEngine) BestPath(src, dst int, c PathConstraints) (*QoSPath, error) {
+	p, err := q.engine.BestPath(src, dst, toOptions(c))
+	if err != nil {
+		return nil, err
+	}
+	return toQoSPath(p), nil
+}
+
+// Alternatives returns up to k latency-diverse dominated paths, best first.
+func (q *QoSEngine) Alternatives(src, dst, k int, c PathConstraints) ([]*QoSPath, error) {
+	paths, err := q.engine.KAlternatives(src, dst, k, toOptions(c))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*QoSPath, len(paths))
+	for i, p := range paths {
+		out[i] = toQoSPath(p)
+	}
+	return out, nil
+}
+
+// Session is an admitted bandwidth reservation.
+type Session struct {
+	engine *routing.Engine
+	res    *routing.Reservation
+}
+
+// Path returns the session's current route.
+func (s *Session) Path() *QoSPath { return toQoSPath(s.res.Path) }
+
+// Reserve admits a gbps session from src to dst onto the best feasible
+// dominated path (the bandwidth-broker function). It errors when admission
+// control rejects the request.
+func (q *QoSEngine) Reserve(src, dst int, gbps float64, c PathConstraints) (*Session, error) {
+	r, err := q.engine.Reserve(src, dst, gbps, toOptions(c))
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: q.engine, res: r}, nil
+}
+
+// Release frees the session's bandwidth.
+func (s *Session) Release() error { return s.engine.Release(s.res) }
+
+// FailLink marks a link as failed; live sessions keep their allocations
+// until rerouted or released.
+func (q *QoSEngine) FailLink(u, v int) { q.engine.Metrics().FailLink(int32(u), int32(v)) }
+
+// Reroute moves the session onto a fresh feasible path after failures.
+func (s *Session) Reroute(c PathConstraints) error {
+	return s.engine.Reroute(s.res, toOptions(c))
+}
+
+// TrafficReport summarizes a simulated workload run (see SimulateTraffic).
+type TrafficReport struct {
+	// AdmissionRate is the share of demands admitted.
+	AdmissionRate float64
+	// Uncoverable counts demands with no dominated path at all.
+	Uncoverable int
+	// MeanLatencyMs and MeanHops average over admitted paths.
+	MeanLatencyMs float64
+	MeanHops      float64
+	// TopBrokerShare is the busiest broker's share of broker traversals.
+	TopBrokerShare float64
+	// LoadGini is the Gini coefficient of broker load (0 = even).
+	LoadGini float64
+}
+
+// SimulateTraffic runs a gravity-model workload of `demands` bandwidth
+// requests through the broker set's QoS engine and reports admission and
+// load-concentration statistics.
+func (b *BrokerSet) SimulateTraffic(demands int, seed int64) (*TrafficReport, error) {
+	if demands < 1 {
+		return nil, fmt.Errorf("brokerset: demands must be >= 1, got %d", demands)
+	}
+	cfg := sim.DefaultWorkloadConfig()
+	cfg.Demands = demands
+	cfg.Seed = seed
+	workload, err := sim.GenerateWorkload(b.net.top, cfg)
+	if err != nil {
+		return nil, err
+	}
+	engine := routing.NewEngine(b.net.top, routing.DefaultMetrics(b.net.top, rand.New(rand.NewSource(seed))), b.members)
+	res, err := sim.Run(engine, b.members, workload, routing.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &TrafficReport{
+		AdmissionRate:  res.AdmissionRate,
+		Uncoverable:    res.Uncoverable,
+		MeanLatencyMs:  res.MeanLatencyMs,
+		MeanHops:       res.MeanHops,
+		TopBrokerShare: res.TopBrokerShare,
+		LoadGini:       res.GiniLoad,
+	}, nil
+}
