@@ -8,6 +8,9 @@
 package brokerset_test
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -20,6 +23,7 @@ import (
 	"brokerset/internal/measure"
 	"brokerset/internal/pagerank"
 	"brokerset/internal/policy"
+	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
 )
@@ -372,3 +376,143 @@ func BenchmarkMonitorProbe(b *testing.B) {
 }
 
 func BenchmarkExtOptimality(b *testing.B) { benchExperiment(b, "ext-optimality") }
+
+// --- Query plane: cached vs uncached path serving ---
+//
+// These run at scale 0.1 (the brokerd default) rather than benchScale so
+// the cached-vs-uncached ratio reflects serving-size Dijkstra costs. The
+// acceptance bar: BenchmarkQueryPlaneParallel sustains >= 5x the
+// queries/sec of BenchmarkQueryPlaneUncached on a warm cache.
+
+const qpBenchScale = 0.1
+
+var (
+	qpOnce   sync.Once
+	qpEngine *routing.Engine
+	qpPairs  [][2]int
+)
+
+func qpSetup(b *testing.B) {
+	b.Helper()
+	qpOnce.Do(func() {
+		top, err := topology.GenerateInternet(topology.InternetConfig{Scale: qpBenchScale, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		brokers, err := broker.MaxSG(top.Graph, 100)
+		if err != nil {
+			panic(err)
+		}
+		qpEngine = routing.NewEngine(top, nil, brokers)
+		// Broker-to-broker pairs: MaxSG keeps the set connected, so a
+		// dominated path always exists.
+		rng := rand.New(rand.NewSource(7))
+		for len(qpPairs) < 256 {
+			s := int(brokers[rng.Intn(len(brokers))])
+			d := int(brokers[rng.Intn(len(brokers))])
+			if s != d {
+				qpPairs = append(qpPairs, [2]int{s, d})
+			}
+		}
+	})
+}
+
+func qpPlane(b *testing.B, shards int) *queryplane.QueryPlane {
+	b.Helper()
+	qp, err := queryplane.New(queryplane.Config{
+		Shards:   shards,
+		Capacity: 1 << 15,
+		Workers:  16,
+		Compute: func(_ context.Context, src, dst int, opts routing.Options) (*routing.Path, error) {
+			return qpEngine.BestPath(src, dst, opts)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qp
+}
+
+func qpWarm(b *testing.B, qp *queryplane.QueryPlane) {
+	b.Helper()
+	ctx := context.Background()
+	for _, p := range qpPairs {
+		if _, _, err := qp.Query(ctx, p[0], p[1], routing.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryPlaneUncached is the pre-queryplane serving baseline: one
+// Dijkstra per query, single-threaded.
+func BenchmarkQueryPlaneUncached(b *testing.B) {
+	qpSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := qpPairs[i%len(qpPairs)]
+		if _, err := qpEngine.BestPath(p[0], p[1], routing.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryPlaneMiss measures a cold query end to end: compute plus
+// cache/singleflight/pool overhead (the cache is invalidated every
+// iteration, so no query hits).
+func BenchmarkQueryPlaneMiss(b *testing.B) {
+	qpSetup(b)
+	qp := qpPlane(b, 16)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qp.Invalidate()
+		p := qpPairs[i%len(qpPairs)]
+		if _, _, err := qp.Query(ctx, p[0], p[1], routing.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPlaneHit(b *testing.B) {
+	qpSetup(b)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(benchShardName(shards), func(b *testing.B) {
+			qp := qpPlane(b, shards)
+			qpWarm(b, qp)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := qpPairs[i%len(qpPairs)]
+				if _, _, err := qp.Query(ctx, p[0], p[1], routing.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryPlaneParallel is the serving benchmark: all cores querying
+// a warm cache concurrently (the >= 5x-over-uncached acceptance target).
+func BenchmarkQueryPlaneParallel(b *testing.B) {
+	qpSetup(b)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(benchShardName(shards), func(b *testing.B) {
+			qp := qpPlane(b, shards)
+			qpWarm(b, qp)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				i := rand.Intn(len(qpPairs))
+				for pb.Next() {
+					p := qpPairs[i%len(qpPairs)]
+					i++
+					if _, _, err := qp.Query(ctx, p[0], p[1], routing.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+func benchShardName(shards int) string { return fmt.Sprintf("shards=%d", shards) }

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// minAvailable returns the bottleneck residual capacity of a node path as
+// the serving engine currently sees it.
+func minAvailable(srv *server, nodes []int32) float64 {
+	srv.stateMu.RLock()
+	defer srv.stateMu.RUnlock()
+	min := -1.0
+	for i := 0; i+1 < len(nodes); i++ {
+		if a := srv.engine.Metrics().Available(nodes[i], nodes[i+1]); min < 0 || a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// TestPathCacheInvalidatedByReservation is the cache-consistency contract:
+// once a committed session drops a link's residual bandwidth below a
+// query's minbw, the (previously cached) path must not be served again.
+func TestPathCacheInvalidatedByReservation(t *testing.T) {
+	srv, ts := testServer(t)
+	src, dst := int(srv.brokers[0]), int(srv.brokers[len(srv.brokers)-1])
+
+	// Prime the cache with the unconstrained best path.
+	var p pathResponse
+	if code := getJSON(t, fmt.Sprintf("%s/path?src=%d&dst=%d", ts.URL, src, dst), &p); code != http.StatusOK {
+		t.Fatalf("path status %d", code)
+	}
+	bottleneck := minAvailable(srv, p.Nodes)
+	if bottleneck <= 0 {
+		t.Fatalf("bottleneck = %f", bottleneck)
+	}
+
+	// Cache the constrained variant: minbw just below the bottleneck.
+	minbw := 0.9 * bottleneck
+	constrained := fmt.Sprintf("%s/path?src=%d&dst=%d&minbw=%f", ts.URL, src, dst, minbw)
+	var cp pathResponse
+	if code := getJSON(t, constrained, &cp); code != http.StatusOK {
+		t.Fatalf("constrained path status %d", code)
+	}
+
+	// Reserve half the bottleneck on the same pair: residual on the best
+	// path drops to 0.5×bottleneck < minbw.
+	body, _ := json.Marshal(sessionRequest{Src: src, Dst: dst, Gbps: 0.5 * bottleneck})
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("session status %d", resp.StatusCode)
+	}
+
+	// The constrained query must now either find a genuinely feasible
+	// alternative or return 404 — never the stale cached path.
+	var fresh pathResponse
+	code := getJSON(t, constrained, &fresh)
+	switch code {
+	case http.StatusOK:
+		if got := minAvailable(srv, fresh.Nodes); got < minbw {
+			t.Fatalf("stale path served: residual %f < minbw %f (nodes %v)", got, minbw, fresh.Nodes)
+		}
+	case http.StatusNotFound:
+		// Fine: no dominated path satisfies the constraint any more.
+	default:
+		t.Fatalf("constrained path status %d after reservation", code)
+	}
+}
+
+// TestConcurrentPathAndSessionTraffic hammers /path and session
+// setup/teardown in parallel; with -race this exercises the RWMutex
+// ordering between the query plane's readers and control-plane writers,
+// and every 200 response must satisfy its own minbw constraint.
+func TestConcurrentPathAndSessionTraffic(t *testing.T) {
+	srv, ts := testServer(t)
+	n := srv.top.NumNodes()
+	brokers := srv.brokers
+
+	var wg sync.WaitGroup
+	const (
+		pathWorkers    = 4
+		sessionWorkers = 2
+		iters          = 40
+	)
+	for w := 0; w < pathWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < iters; i++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				minbw := rng.Float64() * 2
+				url := fmt.Sprintf("%s/path?src=%d&dst=%d&minbw=%f", ts.URL, src, dst, minbw)
+				var p pathResponse
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET /path: %v", err)
+					return
+				}
+				code := resp.StatusCode
+				if code == http.StatusOK {
+					if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+						t.Errorf("decode: %v", err)
+					}
+				}
+				resp.Body.Close()
+				switch code {
+				case http.StatusOK, http.StatusNotFound, http.StatusTooManyRequests:
+				default:
+					t.Errorf("GET /path status %d", code)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < sessionWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 900))
+			for i := 0; i < iters; i++ {
+				src := int(brokers[rng.Intn(len(brokers))])
+				dst := int(brokers[rng.Intn(len(brokers))])
+				if src == dst {
+					continue
+				}
+				body, _ := json.Marshal(sessionRequest{Src: src, Dst: dst, Gbps: 0.05})
+				resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("POST /sessions: %v", err)
+					return
+				}
+				var sess sessionResponse
+				created := resp.StatusCode == http.StatusCreated
+				if created {
+					if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+						t.Errorf("decode session: %v", err)
+					}
+				}
+				resp.Body.Close()
+				if created && rng.Float64() < 0.7 {
+					req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/sessions/%d", ts.URL, sess.ID), nil)
+					dresp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						t.Errorf("DELETE: %v", err)
+						return
+					}
+					dresp.Body.Close()
+					if dresp.StatusCode != http.StatusOK {
+						t.Errorf("DELETE status %d", dresp.StatusCode)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every session the store still holds must be committed and listable.
+	var list []sessionResponse
+	if code := getJSON(t, ts.URL+"/sessions", &list); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(list) != srv.sessions.Len() {
+		t.Fatalf("list len %d vs store len %d", len(list), srv.sessions.Len())
+	}
+	// Query-plane accounting stayed coherent under concurrency.
+	st := srv.qp.Stats()
+	if st.Queries == 0 || st.Queries != st.Hits+st.Misses {
+		t.Fatalf("queryplane counters: %+v", st)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := testServer(t)
+	src, dst := int(srv.brokers[0]), int(srv.brokers[1])
+	url := fmt.Sprintf("%s/path?src=%d&dst=%d", ts.URL, src, dst)
+
+	// miss, then hit.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q", got)
+	}
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q", got)
+	}
+
+	var m struct {
+		Queries   uint64             `json:"queries"`
+		Hits      uint64             `json:"hits"`
+		Misses    uint64             `json:"misses"`
+		LatencyMs map[string]float64 `json:"latency_ms"`
+	}
+	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if m.Queries != 2 || m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if _, ok := m.LatencyMs[q]; !ok {
+			t.Fatalf("latency_ms missing %s", q)
+		}
+	}
+	// Wrong method.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/metrics", nil)
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status %d", r.StatusCode)
+	}
+}

@@ -1,6 +1,7 @@
 // Command brokerd serves the broker coalition over HTTP: dominated-path
 // queries and QoS session setup/teardown backed by the control plane's
-// two-phase commit.
+// two-phase commit. Path queries go through the concurrent query plane
+// (sharded LRU cache, singleflight, bounded worker pool with shedding).
 //
 // Usage:
 //
@@ -11,6 +12,7 @@
 //
 //	GET    /healthz
 //	GET    /stats
+//	GET    /metrics
 //	GET    /brokers
 //	GET    /path?src=A&dst=B[&maxhops=N][&minbw=G]
 //	GET    /sessions
@@ -20,10 +22,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"brokerset/internal/coverage"
 	"brokerset/internal/topology"
@@ -42,6 +49,7 @@ func main() {
 		scale    = flag.Float64("scale", 0.1, "generated topology scale")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		k        = flag.Int("k", 100, "broker budget (0 = complete alliance)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	)
 	flag.Parse()
 
@@ -72,8 +80,34 @@ func main() {
 	}
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
 		top.NumNodes(), len(srv.brokers), 100*srv.connectivity(), *addr)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM stop accepting connections and
+	// drain in-flight requests for up to -drain before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		done <- httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
 	}
+	if err := <-done; err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("brokerd: drained, bye")
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -10,25 +12,32 @@ import (
 
 	"brokerset/internal/broker"
 	"brokerset/internal/ctrlplane"
+	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
 )
 
-// server exposes the broker coalition over HTTP: path queries against the
-// dominated subgraph and QoS session setup/teardown through the
+// server exposes the broker coalition over HTTP: path queries served
+// through the concurrent query plane (sharded cache + singleflight +
+// bounded worker pool) and QoS session setup/teardown through the
 // control-plane two-phase commit.
 type server struct {
 	top     *topology.Topology
 	brokers []int32
 	engine  *routing.Engine
 
-	mu       sync.Mutex
-	plane    *ctrlplane.Plane
-	sessions map[int]*ctrlplane.Session
+	qp       *queryplane.QueryPlane
+	sessions *queryplane.SessionStore
+
+	// stateMu orders concurrent path computations (read lock) against
+	// control-plane mutations of shared link state (write lock). The
+	// engine and metrics are not internally synchronized.
+	stateMu sync.RWMutex
+	plane   *ctrlplane.Plane
 }
 
 // newServer wires a server for the topology: it selects k brokers with
-// MaxSG and builds the routing engine and control plane.
+// MaxSG and builds the routing engine, control plane, and query plane.
 func newServer(top *topology.Topology, k int) (*server, error) {
 	var (
 		brokers []int32
@@ -43,22 +52,37 @@ func newServer(top *topology.Topology, k int) (*server, error) {
 		return nil, err
 	}
 	// One metrics instance backs both the read-only /path engine and the
-	// control plane's capacity ledgers, so reported latencies match the
-	// links sessions actually reserve.
+	// control plane's capacity ledgers, so path queries observe the
+	// residual capacity sessions actually reserve.
 	metrics := routing.DefaultMetrics(top, nil)
-	return &server{
+	s := &server{
 		top:      top,
 		brokers:  brokers,
 		engine:   routing.NewEngine(top, metrics, brokers),
+		sessions: queryplane.NewSessionStore(16),
 		plane:    ctrlplane.New(top, metrics, brokers),
-		sessions: make(map[int]*ctrlplane.Session),
-	}, nil
+	}
+	s.qp, err = queryplane.New(queryplane.Config{
+		Compute: func(ctx context.Context, src, dst int, opts routing.Options) (*routing.Path, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s.stateMu.RLock()
+			defer s.stateMu.RUnlock()
+			return s.engine.BestPath(src, dst, opts)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/brokers", s.handleBrokers)
 	mux.HandleFunc("/path", s.handlePath)
 	mux.HandleFunc("/sessions", s.handleSessions)
@@ -66,13 +90,13 @@ func (s *server) routes() *http.ServeMux {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
@@ -97,10 +121,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
+	s.stateMu.RLock()
 	st := s.plane.Stats()
-	active := len(s.sessions)
-	s.mu.Unlock()
+	s.stateMu.RUnlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Nodes:        s.top.NumNodes(),
 		ASes:         s.top.NumASes(),
@@ -108,9 +131,32 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Links:        s.top.Graph.NumEdges(),
 		Brokers:      len(s.brokers),
 		Connectivity: s.connectivity(),
-		Sessions:     active,
+		Sessions:     s.sessions.Len(),
 		Commits:      st.Commits,
 		Aborts:       st.Aborts,
+	})
+}
+
+// metricsResponse is the /metrics payload: query-plane counters plus
+// latency quantiles in milliseconds.
+type metricsResponse struct {
+	queryplane.Stats
+	LatencyMs map[string]float64 `json:"latency_ms"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.qp.Stats()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Stats: st,
+		LatencyMs: map[string]float64{
+			"p50": float64(st.P50.Microseconds()) / 1000,
+			"p95": float64(st.P95.Microseconds()) / 1000,
+			"p99": float64(st.P99.Microseconds()) / 1000,
+		},
 	})
 }
 
@@ -179,12 +225,24 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
 		return
 	}
-	s.mu.Lock()
-	p, err := s.engine.BestPath(src, dst, opts)
-	s.mu.Unlock()
+	p, cached, err := s.qp.Query(r.Context(), src, dst, opts)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		switch {
+		case errors.Is(err, queryplane.ErrShed):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "path computation timed out")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "query canceled")
+		default:
+			writeError(w, http.StatusNotFound, "%v", err)
+		}
 		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
 	}
 	names := make([]string, len(p.Nodes))
 	for i, u := range p.Nodes {
@@ -208,17 +266,46 @@ type sessionResponse struct {
 	Bandwidth float64 `json:"gbps"`
 }
 
+func sessionJSON(sess *ctrlplane.Session) sessionResponse {
+	return sessionResponse{
+		ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
+	}
+}
+
+// setup runs a session setup under the state write lock, invalidating the
+// path cache when the commit changed residual link capacity.
+func (s *server) setup(req sessionRequest) (*ctrlplane.Session, error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	before := s.plane.Version()
+	sess, err := s.plane.Setup(req.Src, req.Dst, req.Gbps, routing.Options{})
+	if s.plane.Version() != before {
+		s.qp.Invalidate()
+	}
+	return sess, err
+}
+
+// teardown releases a session under the state write lock, invalidating the
+// path cache when capacity was returned.
+func (s *server) teardown(sess *ctrlplane.Session) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	before := s.plane.Version()
+	err := s.plane.Teardown(sess)
+	if s.plane.Version() != before {
+		s.qp.Invalidate()
+	}
+	return err
+}
+
 func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.mu.Lock()
-		out := make([]sessionResponse, 0, len(s.sessions))
-		for _, sess := range s.sessions {
-			out = append(out, sessionResponse{
-				ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
-			})
+		list := s.sessions.List()
+		out := make([]sessionResponse, 0, len(list))
+		for _, sess := range list {
+			out = append(out, sessionJSON(sess))
 		}
-		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		var req sessionRequest
@@ -230,19 +317,13 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
 			return
 		}
-		s.mu.Lock()
-		sess, err := s.plane.Setup(req.Src, req.Dst, req.Gbps, routing.Options{})
-		if err == nil {
-			s.sessions[sess.ID] = sess
-		}
-		s.mu.Unlock()
+		sess, err := s.setup(req)
 		if err != nil {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, sessionResponse{
-			ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
-		})
+		s.sessions.Put(sess)
+		writeJSON(w, http.StatusCreated, sessionJSON(sess))
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET or POST")
 	}
@@ -257,33 +338,23 @@ func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodDelete:
-		s.mu.Lock()
-		sess, ok := s.sessions[id]
-		if ok {
-			err = s.plane.Teardown(sess)
-			delete(s.sessions, id)
-		}
-		s.mu.Unlock()
+		sess, ok := s.sessions.Delete(id)
 		if !ok {
 			writeError(w, http.StatusNotFound, "no session %d", id)
 			return
 		}
-		if err != nil {
+		if err := s.teardown(sess); err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
 	case http.MethodGet:
-		s.mu.Lock()
-		sess, ok := s.sessions[id]
-		s.mu.Unlock()
+		sess, ok := s.sessions.Get(id)
 		if !ok {
 			writeError(w, http.StatusNotFound, "no session %d", id)
 			return
 		}
-		writeJSON(w, http.StatusOK, sessionResponse{
-			ID: sess.ID, Nodes: sess.Path, Hops: len(sess.Path) - 1, Bandwidth: sess.Bandwidth,
-		})
+		writeJSON(w, http.StatusOK, sessionJSON(sess))
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE")
 	}

@@ -26,7 +26,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	return srv, ts
 }
 
-func getJSON(t *testing.T, url string, out interface{}) int {
+func getJSON(t *testing.T, url string, out any) int {
 	t.Helper()
 	resp, err := http.Get(url)
 	if err != nil {

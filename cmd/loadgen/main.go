@@ -1,0 +1,120 @@
+// Command loadgen replays a Zipf-distributed path-query demand against the
+// broker coalition and reports achieved QPS, cache hit rate, and latency
+// quantiles. It runs closed-loop: each worker waits for its previous query
+// before issuing the next, so reported QPS is sustainable throughput, not
+// an open-loop arrival rate.
+//
+// Against a live brokerd:
+//
+//	brokerd -scale 0.1 -k 100 -addr :8080 &
+//	loadgen -addr http://localhost:8080 -c 32 -d 10s
+//
+// In-process (no HTTP; measures the query plane itself):
+//
+//	loadgen -scale 0.1 -k 100 -c 32 -d 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"brokerset/internal/broker"
+	"brokerset/internal/queryplane"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+	"brokerset/internal/workload"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "brokerd base URL (empty: run in-process)")
+		scale   = flag.Float64("scale", 0.1, "in-process topology scale")
+		seed    = flag.Int64("seed", 1, "topology + demand seed")
+		k       = flag.Int("k", 100, "in-process broker budget")
+		conc    = flag.Int("c", 16, "closed-loop worker count")
+		dur     = flag.Duration("d", 5*time.Second, "run duration")
+		reqs    = flag.Int("n", 0, "request budget (overrides -d when > 0)")
+		zipf    = flag.Float64("zipf", 1.1, "demand Zipf exponent (> 1)")
+		maxhops = flag.Int("maxhops", 0, "query hop bound (0 = unbounded)")
+		minbw   = flag.Float64("minbw", 0, "query min available Gbps")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+
+	opts := routing.Options{MaxHops: *maxhops, MinBandwidth: *minbw}
+	cfg := workload.Config{
+		Concurrency: *conc,
+		Duration:    *dur,
+		Requests:    *reqs,
+		Zipf:        *zipf,
+		Seed:        *seed,
+	}
+
+	var (
+		target workload.Target
+		top    *topology.Topology
+		err    error
+	)
+	if *addr != "" {
+		// Demand generation needs the same topology shape the server runs;
+		// regenerate it locally from the shared scale/seed convention.
+		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		target = &workload.HTTPTarget{
+			Base:   *addr,
+			Opts:   opts,
+			Client: &http.Client{Timeout: *timeout},
+		}
+		fmt.Printf("loadgen: %d workers -> %s (zipf %.2f over %d nodes)\n",
+			cfg.Concurrency, *addr, *zipf, top.NumNodes())
+	} else {
+		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		brokers, err := broker.MaxSG(top.Graph, *k)
+		if err != nil {
+			fatal(err)
+		}
+		engine := routing.NewEngine(top, nil, brokers)
+		qp, err := queryplane.New(queryplane.Config{
+			Compute: func(_ context.Context, src, dst int, o routing.Options) (*routing.Path, error) {
+				return engine.BestPath(src, dst, o)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		target = &workload.PlaneTarget{Plane: qp, Opts: opts}
+		fmt.Printf("loadgen: in-process, %d nodes, %d brokers, %d workers (zipf %.2f)\n",
+			top.NumNodes(), len(brokers), cfg.Concurrency, *zipf)
+	}
+
+	newGen := func(w int) (*workload.PairGen, error) {
+		return workload.NewPairGen(top, cfg.Zipf, cfg.Seed+int64(w)*7919)
+	}
+	rep, err := workload.Run(target, newGen, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+
+	// When driving a live server, fold in its own view of the run.
+	if *addr != "" {
+		if st, err := workload.FetchServerStats(*addr, &http.Client{Timeout: *timeout}); err == nil {
+			fmt.Printf("server:   %d queries, %.1f%% hit rate, %d shed, %d evictions, gen %d\n",
+				st.Queries, 100*st.HitRate(), st.Shed, st.Evictions, st.Generation)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -104,12 +104,16 @@ type hold struct {
 type Plane struct {
 	top     *topology.Topology
 	engine  *routing.Engine
+	metrics *routing.Metrics
 	inB     []bool
 	agents  map[int32]*agent
 	crashed map[int32]bool
 	bus     []Message
 	stats   Stats
 	nextID  int
+	// version counts mutations of committed link capacity (commit,
+	// release); path caches key their invalidation off it.
+	version uint64
 }
 
 // New builds a control plane for the broker set. metrics supplies link
@@ -123,6 +127,7 @@ func New(top *topology.Topology, metrics *routing.Metrics, brokers []int32) *Pla
 	p := &Plane{
 		top:     top,
 		engine:  routing.NewEngine(top, metrics, brokers),
+		metrics: metrics,
 		inB:     make([]bool, top.NumNodes()),
 		agents:  make(map[int32]*agent, len(brokers)),
 		crashed: make(map[int32]bool),
@@ -183,6 +188,11 @@ func (p *Plane) Recover(b int32) { delete(p.crashed, b) }
 
 // Stats returns a copy of the message counters.
 func (p *Plane) Stats() Stats { return p.stats }
+
+// Version returns the count of committed capacity mutations (commits and
+// releases). A cached path computed at version v is stale once Version()
+// moves past v: some link's residual capacity changed underneath it.
+func (p *Plane) Version() uint64 { return p.version }
 
 // Available returns the owning agent's ledgered available capacity for the
 // link (0 when unmanaged).
@@ -315,9 +325,19 @@ func (p *Plane) deliver(a *agent, m Message) {
 		delete(a.holds, m.SessionID)
 	case MsgCommit:
 		// Holds become durable allocations: keep the ledger as is but drop
-		// the hold record (released only by MsgRelease).
+		// the hold record (released only by MsgRelease). Mirror the
+		// allocation into the shared metrics so the read-only path engine
+		// sees the reduced residual capacity; the agent ledger stays
+		// authoritative, so a mirror shortfall is ignored rather than
+		// failing an already-acked commit.
+		for _, h := range a.holds[m.SessionID] {
+			_ = p.metrics.Reserve(h.hop[0], h.hop[1], h.bw)
+		}
+		p.version++
 		delete(a.holds, m.SessionID)
 	case MsgRelease:
 		a.avail[m.Hop] += m.Bandwidth
+		p.metrics.Release(m.Hop[0], m.Hop[1], m.Bandwidth)
+		p.version++
 	}
 }

@@ -179,6 +179,58 @@ func TestSetupValidation(t *testing.T) {
 	}
 }
 
+// Commits and releases must be visible to the shared metrics (so path
+// queries observe residual capacity) and must advance the version counter
+// (so path caches know to invalidate).
+func TestCommitMirrorsMetricsAndBumpsVersion(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	if p.Version() != 0 {
+		t.Fatalf("fresh plane version = %d", p.Version())
+	}
+	before := m.Available(1, 2)
+	s, err := p.Setup(0, 4, 4, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := p.Version()
+	if v1 == 0 {
+		t.Fatal("commit did not advance version")
+	}
+	if got := m.Available(1, 2); got != before-4 {
+		t.Fatalf("metrics residual after commit = %f, want %f", got, before-4)
+	}
+	if err := p.Teardown(s); err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() <= v1 {
+		t.Fatal("release did not advance version")
+	}
+	if got := m.Available(1, 2); got != before {
+		t.Fatalf("metrics residual after release = %f, want %f", got, before)
+	}
+}
+
+// Aborted setups leave both the agent ledger and the metrics untouched.
+func TestAbortLeavesMetricsAndVersion(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	if _, err := p.Setup(0, 4, 7, routing.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	v := p.Version()
+	residual := m.Available(1, 2)
+	if _, err := p.Setup(0, 4, 7, routing.Options{}); err == nil {
+		t.Fatal("oversubscribing setup committed")
+	}
+	if p.Version() != v {
+		t.Fatal("abort advanced version")
+	}
+	if got := m.Available(1, 2); got != residual {
+		t.Fatalf("abort changed metrics residual: %f vs %f", got, residual)
+	}
+}
+
 func TestMsgTypeString(t *testing.T) {
 	if MsgPrepare.String() != "PREPARE" || MsgRelease.String() != "RELEASE" {
 		t.Fatalf("names: %s %s", MsgPrepare, MsgRelease)

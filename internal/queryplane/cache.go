@@ -1,0 +1,154 @@
+package queryplane
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"brokerset/internal/routing"
+)
+
+// entry is one cached path with the generation it was computed under.
+// Entries form a doubly-linked LRU list threaded through their shard.
+type entry struct {
+	key        routing.QueryKey
+	path       *routing.Path
+	gen        uint64
+	prev, next *entry
+}
+
+// cacheShard is one independently locked slice of the cache: a map for
+// lookup plus an intrusive LRU list (sentinel-rooted) for eviction order.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[routing.QueryKey]*entry
+	root  entry // sentinel: root.next = MRU, root.prev = LRU
+	cap   int
+}
+
+func newCacheShard(capacity int) *cacheShard {
+	s := &cacheShard{items: make(map[routing.QueryKey]*entry, capacity), cap: capacity}
+	s.root.prev = &s.root
+	s.root.next = &s.root
+	return s
+}
+
+func (s *cacheShard) unlink(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *cacheShard) pushFront(e *entry) {
+	e.prev = &s.root
+	e.next = s.root.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// Cache is a sharded, size-bounded, generation-aware LRU of computed
+// B-dominated paths. Invalidation is O(1): bumping the generation makes
+// every existing entry stale; stale entries are dropped lazily on lookup or
+// by eviction pressure.
+type Cache struct {
+	shards    []*cacheShard
+	mask      uint64
+	gen       atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewCache builds a cache with the given shard count (rounded up to a power
+// of two, min 1) and total entry capacity split evenly across shards.
+func NewCache(shards, capacity int) *Cache {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = newCacheShard(per)
+	}
+	return c
+}
+
+// Generation returns the current invalidation generation.
+func (c *Cache) Generation() uint64 { return c.gen.Load() }
+
+// Invalidate bumps the generation, atomically staling every cached entry.
+// It returns the new generation.
+func (c *Cache) Invalidate() uint64 { return c.gen.Add(1) }
+
+// Evictions returns the cumulative count of capacity evictions and stale
+// drops.
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
+
+func (c *Cache) shardFor(k routing.QueryKey) *cacheShard {
+	return c.shards[k.Hash()&c.mask]
+}
+
+// Get returns the cached path for k if present and computed under gen.
+// Entries from older generations are removed and reported as misses.
+func (c *Cache) Get(k routing.QueryKey, gen uint64) (*routing.Path, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	if e.gen != gen {
+		s.unlink(e)
+		delete(s.items, k)
+		s.mu.Unlock()
+		c.evictions.Add(1)
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	p := e.path
+	s.mu.Unlock()
+	return p, true
+}
+
+// Put stores a path computed under gen. If the generation has moved on the
+// entry is inserted anyway (it will read as stale), preserving the
+// invariant that Get never returns a path newer-labelled than its compute.
+func (c *Cache) Put(k routing.QueryKey, p *routing.Path, gen uint64) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		e.path = p
+		e.gen = gen
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		return
+	}
+	var evicted bool
+	if len(s.items) >= s.cap {
+		lru := s.root.prev
+		s.unlink(lru)
+		delete(s.items, lru.key)
+		evicted = true
+	}
+	e := &entry{key: k, path: p, gen: gen}
+	s.items[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the total number of resident entries (stale included).
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}

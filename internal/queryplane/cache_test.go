@@ -1,0 +1,129 @@
+package queryplane
+
+import (
+	"testing"
+	"time"
+
+	"brokerset/internal/routing"
+)
+
+func key(src, dst int) routing.QueryKey {
+	return routing.Options{}.CacheKey(src, dst)
+}
+
+func pathFor(src, dst int) *routing.Path {
+	return &routing.Path{Nodes: []int32{int32(src), int32(dst)}, Latency: 1}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(4, 64)
+	gen := c.Generation()
+	if _, ok := c.Get(key(1, 2), gen); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key(1, 2), pathFor(1, 2), gen)
+	p, ok := c.Get(key(1, 2), gen)
+	if !ok || p.Nodes[0] != 1 || p.Nodes[1] != 2 {
+		t.Fatalf("get = %v, %v", p, ok)
+	}
+	// Distinct options are distinct entries.
+	k2 := routing.Options{MinBandwidth: 2}.CacheKey(1, 2)
+	if _, ok := c.Get(k2, gen); ok {
+		t.Fatal("options conflated into one key")
+	}
+}
+
+func TestCacheGenerationInvalidation(t *testing.T) {
+	c := NewCache(2, 16)
+	gen := c.Generation()
+	c.Put(key(1, 2), pathFor(1, 2), gen)
+	ng := c.Invalidate()
+	if ng != gen+1 {
+		t.Fatalf("generation = %d, want %d", ng, gen+1)
+	}
+	if _, ok := c.Get(key(1, 2), ng); ok {
+		t.Fatal("stale entry survived invalidation")
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("stale drop not counted as eviction")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry still resident: len = %d", c.Len())
+	}
+	// Entries stored under an old generation never read fresh.
+	c.Put(key(3, 4), pathFor(3, 4), gen)
+	if _, ok := c.Get(key(3, 4), ng); ok {
+		t.Fatal("old-generation Put read back as fresh")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1, 3) // single shard, capacity 3
+	gen := c.Generation()
+	for i := 0; i < 3; i++ {
+		c.Put(key(i, 100), pathFor(i, 100), gen)
+	}
+	// Touch 0 so 1 becomes LRU.
+	if _, ok := c.Get(key(0, 100), gen); !ok {
+		t.Fatal("miss on resident entry")
+	}
+	c.Put(key(3, 100), pathFor(3, 100), gen)
+	if _, ok := c.Get(key(1, 100), gen); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	for _, want := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(want, 100), gen); !ok {
+			t.Fatalf("entry %d wrongly evicted", want)
+		}
+	}
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+}
+
+func TestCacheShardRounding(t *testing.T) {
+	c := NewCache(3, 10) // rounds to 4 shards
+	if len(c.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(c.shards))
+	}
+	c = NewCache(0, 0)
+	if len(c.shards) != 1 || c.shards[0].cap != 1 {
+		t.Fatalf("degenerate cache: %d shards cap %d", len(c.shards), c.shards[0].cap)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h latencyHist
+	if h.quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.quantile(0.50)
+	p99 := h.quantile(0.99)
+	// Log-bucketed estimates: allow the ~6% bucket width plus slack.
+	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 900*time.Microsecond || p99 > 1200*time.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.quantile(0) > h.quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistBucketsContinuous(t *testing.T) {
+	last := -1
+	for ns := int64(0); ns < 1<<20; ns += 7 {
+		b := histBucket(ns)
+		if b < last {
+			t.Fatalf("bucket regressed at %d ns: %d < %d", ns, b, last)
+		}
+		last = b
+	}
+	if histBucket(1<<63-1) != numBuckets-1 {
+		t.Fatal("max duration not in last bucket")
+	}
+}

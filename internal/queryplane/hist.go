@@ -1,0 +1,81 @@
+package queryplane
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histSub is the number of linear sub-buckets per power-of-two octave: 16
+// sub-buckets bound the quantile estimation error at ~6%.
+const histSub = 16
+
+// numBuckets covers nanosecond latencies up to ~2^62 ns.
+const numBuckets = histSub * 60
+
+// latencyHist is a lock-free HDR-style histogram of durations: log2 octaves
+// split into histSub linear sub-buckets, one atomic counter each. observe
+// and quantile are safe for concurrent use.
+type latencyHist struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+}
+
+func histBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	if ns < histSub {
+		return int(ns)
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // >= 4
+	frac := (ns >> (exp - 4)) & (histSub - 1)
+	b := (exp-3)*histSub + int(frac)
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+// histValue returns a representative (upper-bound) duration for a bucket.
+func histValue(b int) time.Duration {
+	if b < histSub {
+		return time.Duration(b)
+	}
+	exp := b/histSub + 3
+	frac := int64(b % histSub)
+	return time.Duration((histSub + frac + 1) << (exp - 4))
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.buckets[histBucket(d.Nanoseconds())].Add(1)
+	h.count.Add(1)
+}
+
+// quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
+// of all observed durations; 0 when nothing was observed. The snapshot is
+// not atomic across buckets, which is fine for monitoring output.
+func (h *latencyHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b := 0; b < numBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum > rank {
+			return histValue(b)
+		}
+	}
+	return histValue(numBuckets - 1)
+}

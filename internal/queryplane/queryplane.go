@@ -1,0 +1,215 @@
+// Package queryplane is the concurrent serving layer between the HTTP
+// front-end and the routing engine: a sharded, generation-invalidated LRU
+// cache of computed B-dominated paths, singleflight deduplication of
+// concurrent identical queries, and a bounded worker pool with queue-full
+// shedding so overload degrades into fast 429s instead of collapse. The
+// paper's brokers answer E2E path queries for the whole client population;
+// this package is what lets one broker daemon do that at a rate that
+// scales with cores instead of being bounded by one Dijkstra at a time.
+package queryplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"brokerset/internal/routing"
+)
+
+// ErrShed is returned when the compute queue is full and the query was
+// rejected to protect latency (HTTP layers should map it to 429).
+var ErrShed = errors.New("queryplane: overloaded, query shed")
+
+// ComputeFunc resolves a cache miss. Implementations must be safe for
+// concurrent calls (the caller typically wraps the routing engine in a
+// read lock) and should respect ctx cancellation for long computations.
+type ComputeFunc func(ctx context.Context, src, dst int, opts routing.Options) (*routing.Path, error)
+
+// Config parameterizes a QueryPlane. Zero values get serving-grade
+// defaults; only Compute is required.
+type Config struct {
+	// Shards is the cache shard count (rounded up to a power of two).
+	// Default: 16.
+	Shards int
+	// Capacity is the total cached-entry budget across shards.
+	// Default: 65536.
+	Capacity int
+	// Workers bounds concurrent path computations. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds callers waiting for a worker slot; beyond it
+	// queries are shed with ErrShed. Default: 4×Workers.
+	QueueDepth int
+	// Timeout is the per-query compute budget. Default: 2s.
+	Timeout time.Duration
+	// Compute resolves cache misses. Required.
+	Compute ComputeFunc
+}
+
+// Stats is a point-in-time snapshot of the plane's counters.
+type Stats struct {
+	Queries      uint64        `json:"queries"`
+	Hits         uint64        `json:"hits"`
+	Misses       uint64        `json:"misses"`
+	Dedup        uint64        `json:"dedup"`
+	Shed         uint64        `json:"shed"`
+	Errors       uint64        `json:"errors"`
+	Evictions    uint64        `json:"evictions"`
+	Inflight     int64         `json:"inflight"`
+	Waiting      int64         `json:"waiting"`
+	CacheEntries int           `json:"cache_entries"`
+	Generation   uint64        `json:"generation"`
+	P50          time.Duration `json:"-"`
+	P95          time.Duration `json:"-"`
+	P99          time.Duration `json:"-"`
+}
+
+// HitRate returns Hits / Queries (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// QueryPlane serves path queries through the cache/singleflight/worker-pool
+// stack. All methods are safe for concurrent use.
+type QueryPlane struct {
+	cfg     Config
+	cache   *Cache
+	flights flightGroup
+	sem     chan struct{}
+
+	queries  atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	dedup    atomic.Uint64
+	shed     atomic.Uint64
+	errs     atomic.Uint64
+	inflight atomic.Int64
+	waiting  atomic.Int64
+	hist     latencyHist
+}
+
+// New builds a QueryPlane, applying defaults for zero Config fields.
+func New(cfg Config) (*QueryPlane, error) {
+	if cfg.Compute == nil {
+		return nil, fmt.Errorf("queryplane: Config.Compute is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 65536
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return &QueryPlane{
+		cfg:   cfg,
+		cache: NewCache(cfg.Shards, cfg.Capacity),
+		sem:   make(chan struct{}, cfg.Workers),
+	}, nil
+}
+
+// Invalidate stales every cached path. Call it after any mutation of link
+// residual capacity (session commit/release, link failure).
+func (q *QueryPlane) Invalidate() { q.cache.Invalidate() }
+
+// Generation returns the current cache generation.
+func (q *QueryPlane) Generation() uint64 { return q.cache.Generation() }
+
+// Query answers a path query: cache hit, joined in-flight computation, or a
+// fresh computation on the worker pool. cached reports a cache hit (the
+// result was served without any computation on behalf of this caller).
+func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Options) (path *routing.Path, cached bool, err error) {
+	start := time.Now()
+	q.queries.Add(1)
+	key := opts.CacheKey(src, dst)
+	gen := q.cache.Generation()
+	if p, ok := q.cache.Get(key, gen); ok {
+		q.hits.Add(1)
+		q.hist.observe(time.Since(start))
+		return p, true, nil
+	}
+	q.misses.Add(1)
+	path, shared, err := q.flights.do(flightKey{key: key, gen: gen}, func() (*routing.Path, error) {
+		if err := q.acquireSlot(ctx); err != nil {
+			return nil, err
+		}
+		defer func() { <-q.sem }()
+		q.inflight.Add(1)
+		defer q.inflight.Add(-1)
+		cctx, cancel := context.WithTimeout(ctx, q.cfg.Timeout)
+		defer cancel()
+		p, err := q.cfg.Compute(cctx, src, dst, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Stored under the pre-compute generation: if an invalidation
+		// raced with the computation the entry reads as stale, never as
+		// fresher than the state it was computed from.
+		q.cache.Put(key, p, gen)
+		return p, nil
+	})
+	if shared {
+		q.dedup.Add(1)
+	}
+	switch {
+	case err == nil:
+		q.hist.observe(time.Since(start))
+	case errors.Is(err, ErrShed):
+		q.shed.Add(1)
+	default:
+		q.errs.Add(1)
+	}
+	return path, false, err
+}
+
+// acquireSlot takes a worker slot, shedding when the wait queue is full.
+func (q *QueryPlane) acquireSlot(ctx context.Context) error {
+	select {
+	case q.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if q.waiting.Add(1) > int64(q.cfg.QueueDepth) {
+		q.waiting.Add(-1)
+		return ErrShed
+	}
+	defer q.waiting.Add(-1)
+	select {
+	case q.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the counters and latency quantiles.
+func (q *QueryPlane) Stats() Stats {
+	return Stats{
+		Queries:      q.queries.Load(),
+		Hits:         q.hits.Load(),
+		Misses:       q.misses.Load(),
+		Dedup:        q.dedup.Load(),
+		Shed:         q.shed.Load(),
+		Errors:       q.errs.Load(),
+		Evictions:    q.cache.Evictions(),
+		Inflight:     q.inflight.Load(),
+		Waiting:      q.waiting.Load(),
+		CacheEntries: q.cache.Len(),
+		Generation:   q.cache.Generation(),
+		P50:          q.hist.quantile(0.50),
+		P95:          q.hist.quantile(0.95),
+		P99:          q.hist.quantile(0.99),
+	}
+}

@@ -1,0 +1,305 @@
+package queryplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/routing"
+)
+
+// countingCompute fabricates paths and counts invocations; block, when
+// non-nil, stalls computations until closed.
+type countingCompute struct {
+	calls atomic.Int64
+	block chan struct{}
+	fail  atomic.Bool
+}
+
+func (c *countingCompute) fn(ctx context.Context, src, dst int, opts routing.Options) (*routing.Path, error) {
+	c.calls.Add(1)
+	if c.block != nil {
+		select {
+		case <-c.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if c.fail.Load() {
+		return nil, fmt.Errorf("routing: no dominated path %d -> %d", src, dst)
+	}
+	return &routing.Path{Nodes: []int32{int32(src), int32(dst)}, Latency: 1}, nil
+}
+
+func newPlane(t *testing.T, cc *countingCompute, mut func(*Config)) *QueryPlane {
+	t.Helper()
+	cfg := Config{Compute: cc.fn}
+	if mut != nil {
+		mut(&cfg)
+	}
+	qp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qp
+}
+
+func TestQueryCacheHitFlow(t *testing.T) {
+	cc := &countingCompute{}
+	qp := newPlane(t, cc, nil)
+	ctx := context.Background()
+
+	p, cached, err := qp.Query(ctx, 1, 2, routing.Options{})
+	if err != nil || cached || p == nil {
+		t.Fatalf("first query: %v cached=%v", err, cached)
+	}
+	p, cached, err = qp.Query(ctx, 1, 2, routing.Options{})
+	if err != nil || !cached {
+		t.Fatalf("second query not a hit: %v cached=%v", err, cached)
+	}
+	if p.Nodes[0] != 1 {
+		t.Fatalf("bad cached path %v", p.Nodes)
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	st := qp.Stats()
+	if st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %f", st.HitRate())
+	}
+	// Different options bypass the cached entry.
+	if _, cached, _ := qp.Query(ctx, 1, 2, routing.Options{MaxHops: 3}); cached {
+		t.Fatal("constrained query served from unconstrained entry")
+	}
+}
+
+func TestQueryInvalidation(t *testing.T) {
+	cc := &countingCompute{}
+	qp := newPlane(t, cc, nil)
+	ctx := context.Background()
+	if _, _, err := qp.Query(ctx, 1, 2, routing.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	qp.Invalidate()
+	_, cached, err := qp.Query(ctx, 1, 2, routing.Options{})
+	if err != nil || cached {
+		t.Fatalf("post-invalidation query: %v cached=%v", err, cached)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("compute ran %d times, want 2", got)
+	}
+}
+
+func TestQuerySingleflightDedup(t *testing.T) {
+	cc := &countingCompute{block: make(chan struct{})}
+	qp := newPlane(t, cc, func(c *Config) { c.Workers = 4; c.QueueDepth = 64 })
+	ctx := context.Background()
+
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = qp.Query(ctx, 7, 8, routing.Options{})
+		}(i)
+	}
+	// Let the flight leader start, then release it.
+	for cc.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(cc.block)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times for identical concurrent queries, want 1", got)
+	}
+	if st := qp.Stats(); st.Dedup != n-1 {
+		t.Fatalf("dedup = %d, want %d", st.Dedup, n-1)
+	}
+}
+
+func TestQueryShedding(t *testing.T) {
+	cc := &countingCompute{block: make(chan struct{})}
+	qp := newPlane(t, cc, func(c *Config) { c.Workers = 1; c.QueueDepth = 1 })
+	ctx := context.Background()
+
+	const n = 12
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct keys so singleflight can't absorb the load.
+			_, _, err := qp.Query(ctx, i, 100+i, routing.Options{})
+			if errors.Is(err, ErrShed) {
+				shed.Add(1)
+			}
+		}(i)
+	}
+	// One query computes, one waits; the other ten must shed quickly.
+	for shed.Load() < n-2 {
+		time.Sleep(time.Millisecond)
+	}
+	close(cc.block)
+	wg.Wait()
+	if got := shed.Load(); got != n-2 {
+		t.Fatalf("shed %d queries, want %d", got, n-2)
+	}
+	if st := qp.Stats(); st.Shed != uint64(n-2) {
+		t.Fatalf("stats.Shed = %d", st.Shed)
+	}
+}
+
+func TestQueryErrorNotCached(t *testing.T) {
+	cc := &countingCompute{}
+	cc.fail.Store(true)
+	qp := newPlane(t, cc, nil)
+	ctx := context.Background()
+	if _, _, err := qp.Query(ctx, 1, 2, routing.Options{}); err == nil {
+		t.Fatal("error swallowed")
+	}
+	cc.fail.Store(false)
+	_, cached, err := qp.Query(ctx, 1, 2, routing.Options{})
+	if err != nil || cached {
+		t.Fatalf("error was cached: %v cached=%v", err, cached)
+	}
+	if st := qp.Stats(); st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	cc := &countingCompute{block: make(chan struct{})} // never closed
+	qp := newPlane(t, cc, func(c *Config) { c.Timeout = 20 * time.Millisecond })
+	_, _, err := qp.Query(context.Background(), 1, 2, routing.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil Compute accepted")
+	}
+	qp, err := New(Config{Compute: (&countingCompute{}).fn, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(qp.cache.shards); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+}
+
+func TestQueryParallelConsistency(t *testing.T) {
+	// Hammer the plane from many goroutines with interleaved
+	// invalidations; under -race this exercises every lock boundary.
+	cc := &countingCompute{}
+	qp := newPlane(t, cc, func(c *Config) {
+		c.Capacity = 128
+		// Pin pool sizing so single-core machines don't shed.
+		c.Workers = 8
+		c.QueueDepth = 64
+	})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src, dst := (w*31+i)%64, 64+(w*17+i)%64
+				if _, _, err := qp.Query(ctx, src, dst, routing.Options{}); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		qp.Invalidate()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	st := qp.Stats()
+	if st.Queries == 0 || st.Queries != st.Hits+st.Misses {
+		t.Fatalf("counter imbalance: %+v", st)
+	}
+}
+
+func TestSessionStore(t *testing.T) {
+	s := NewSessionStore(4)
+	for i := 1; i <= 100; i++ {
+		s.Put(&ctrlplane.Session{ID: i, Bandwidth: float64(i)})
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	sess, ok := s.Get(42)
+	if !ok || sess.Bandwidth != 42 {
+		t.Fatalf("get(42) = %+v, %v", sess, ok)
+	}
+	list := s.List()
+	if len(list) != 100 || list[0].ID != 1 || list[99].ID != 100 {
+		t.Fatalf("list len %d, first %d, last %d", len(list), list[0].ID, list[len(list)-1].ID)
+	}
+	if _, ok := s.Delete(42); !ok {
+		t.Fatal("delete existing failed")
+	}
+	if _, ok := s.Delete(42); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := s.Get(42); ok {
+		t.Fatal("deleted session still readable")
+	}
+	if s.Len() != 99 {
+		t.Fatalf("len after delete = %d", s.Len())
+	}
+}
+
+func TestSessionStoreParallel(t *testing.T) {
+	s := NewSessionStore(8)
+	var wg sync.WaitGroup
+	var deleted atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := w*200 + i
+				s.Put(&ctrlplane.Session{ID: id})
+				s.Get(id)
+				if i%2 == 0 {
+					if _, ok := s.Delete(id); ok {
+						deleted.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := int64(s.Len()) + deleted.Load(); got != 8*200 {
+		t.Fatalf("lost sessions: resident+deleted = %d, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,96 @@
+package queryplane
+
+import (
+	"sort"
+	"sync"
+
+	"brokerset/internal/ctrlplane"
+)
+
+// SessionStore is a sharded map of active QoS sessions keyed by session id,
+// replacing the single global mutex a naive server would serialize every
+// session lookup behind. All methods are safe for concurrent use; the
+// control-plane state machine itself still needs external write ordering.
+type SessionStore struct {
+	shards []sessionShard
+	mask   int
+}
+
+type sessionShard struct {
+	mu sync.RWMutex
+	m  map[int]*ctrlplane.Session
+}
+
+// NewSessionStore builds a store with the given shard count (rounded up to
+// a power of two, min 1).
+func NewSessionStore(shards int) *SessionStore {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &SessionStore{shards: make([]sessionShard, n), mask: n - 1}
+	for i := range s.shards {
+		s.shards[i].m = make(map[int]*ctrlplane.Session)
+	}
+	return s
+}
+
+func (s *SessionStore) shardFor(id int) *sessionShard {
+	// Fibonacci hashing spreads sequential session ids across shards.
+	return &s.shards[int(uint64(id)*0x9e3779b97f4a7c15>>32)&s.mask]
+}
+
+// Put stores a session under its id.
+func (s *SessionStore) Put(sess *ctrlplane.Session) {
+	sh := s.shardFor(sess.ID)
+	sh.mu.Lock()
+	sh.m[sess.ID] = sess
+	sh.mu.Unlock()
+}
+
+// Get returns the session with the given id.
+func (s *SessionStore) Get(id int) (*ctrlplane.Session, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	sess, ok := sh.m[id]
+	sh.mu.RUnlock()
+	return sess, ok
+}
+
+// Delete removes and returns the session with the given id; exactly one
+// concurrent Delete for an id observes ok = true.
+func (s *SessionStore) Delete(id int) (*ctrlplane.Session, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sess, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	return sess, ok
+}
+
+// Len returns the number of stored sessions.
+func (s *SessionStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// List snapshots all sessions ordered by id.
+func (s *SessionStore) List() []*ctrlplane.Session {
+	var out []*ctrlplane.Session
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for _, sess := range s.shards[i].m {
+			out = append(out, sess)
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -368,8 +368,8 @@ type pathHeap struct{ items []pathItem }
 func (h *pathHeap) Len() int           { return len(h.items) }
 func (h *pathHeap) Less(i, j int) bool { return h.items[i].cost < h.items[j].cost }
 func (h *pathHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *pathHeap) Push(x interface{}) { h.items = append(h.items, x.(pathItem)) }
-func (h *pathHeap) Pop() interface{} {
+func (h *pathHeap) Push(x any) { h.items = append(h.items, x.(pathItem)) }
+func (h *pathHeap) Pop() any {
 	old := h.items
 	n := len(old)
 	it := old[n-1]

@@ -1,0 +1,56 @@
+package routing
+
+import "testing"
+
+func TestCacheKeyIdentity(t *testing.T) {
+	a := Options{MaxHops: 4, MinBandwidth: 2.5}.CacheKey(1, 2)
+	b := Options{MaxHops: 4, MinBandwidth: 2.5}.CacheKey(1, 2)
+	if a != b {
+		t.Fatal("identical queries produced different keys")
+	}
+	distinct := []QueryKey{
+		Options{}.CacheKey(1, 2),
+		Options{}.CacheKey(2, 1), // direction matters
+		Options{MaxHops: 4}.CacheKey(1, 2),
+		Options{MinBandwidth: 2.5}.CacheKey(1, 2),
+		Options{BrokersOnly: true}.CacheKey(1, 2),
+		a,
+	}
+	seen := make(map[QueryKey]bool)
+	for _, k := range distinct {
+		if seen[k] {
+			t.Fatalf("key collision: %+v", k)
+		}
+		seen[k] = true
+	}
+	// Negative MaxHops collapses to unbounded, matching BestPath.
+	if (Options{MaxHops: -3}).CacheKey(1, 2) != (Options{}).CacheKey(1, 2) {
+		t.Fatal("negative MaxHops not normalized")
+	}
+}
+
+func TestCacheKeyRoundTrip(t *testing.T) {
+	o := Options{MaxHops: 6, MinBandwidth: 1.25, BrokersOnly: true}
+	got := o.CacheKey(3, 9).Options()
+	if got != o {
+		t.Fatalf("round trip = %+v, want %+v", got, o)
+	}
+}
+
+func TestCacheKeyHashSpreads(t *testing.T) {
+	// Sequential ids must not all land on the same shard for any small
+	// power-of-two shard count.
+	for _, shards := range []uint64{4, 16, 64} {
+		used := make(map[uint64]bool)
+		for src := 0; src < 64; src++ {
+			k := Options{}.CacheKey(src, src+1)
+			used[k.Hash()&(shards-1)] = true
+		}
+		if len(used) < int(shards)/2 {
+			t.Fatalf("%d shards: only %d used by 64 sequential keys", shards, len(used))
+		}
+	}
+	if (QueryKey{}).Hash() == (QueryKey{Src: 1}).Hash() {
+		t.Fatal("trivial hash collision")
+	}
+}

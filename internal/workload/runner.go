@@ -1,0 +1,263 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"brokerset/internal/queryplane"
+	"brokerset/internal/routing"
+)
+
+// Outcome describes how one query resolved.
+type Outcome struct {
+	// Cached reports the query was served from the path cache.
+	Cached bool
+	// Found reports a path existed (false = clean "no dominated path").
+	Found bool
+	// Shed reports the server rejected the query under overload (429).
+	Shed bool
+}
+
+// Target answers one path query. Implementations must be safe for
+// concurrent use by many workers.
+type Target interface {
+	Query(src, dst int32) (Outcome, error)
+}
+
+// Config parameterizes a closed-loop run.
+type Config struct {
+	// Concurrency is the number of synchronous workers. Default 8.
+	Concurrency int
+	// Duration bounds the run in wall time (default 5s) unless Requests
+	// is set.
+	Duration time.Duration
+	// Requests, when > 0, bounds the run by total request count instead
+	// of duration.
+	Requests int
+	// Zipf is the demand exponent passed to NewPairGen. Default 1.1.
+	Zipf float64
+	// Seed derives per-worker generator seeds.
+	Seed int64
+}
+
+// Report summarizes a closed-loop run.
+type Report struct {
+	Requests int           `json:"requests"`
+	Errors   int           `json:"errors"`
+	Shed     int           `json:"shed"`
+	NotFound int           `json:"not_found"`
+	Hits     int           `json:"cache_hits"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	QPS      float64       `json:"qps"`
+	HitRate  float64       `json:"hit_rate"`
+	P50      time.Duration `json:"p50_ns"`
+	P95      time.Duration `json:"p95_ns"`
+	P99      time.Duration `json:"p99_ns"`
+}
+
+// String renders the report in loadgen's human output format.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d (errors %d, shed %d, no-path %d)\n", r.Requests, r.Errors, r.Shed, r.NotFound)
+	fmt.Fprintf(&b, "elapsed:  %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "qps:      %.1f\n", r.QPS)
+	fmt.Fprintf(&b, "hit rate: %.1f%%\n", 100*r.HitRate)
+	fmt.Fprintf(&b, "latency:  p50 %v  p95 %v  p99 %v",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	return b.String()
+}
+
+// pairSource builds one demand generator per worker so workers never
+// contend on a shared RNG.
+type pairSource func(worker int) (*PairGen, error)
+
+// Run drives target with cfg.Concurrency closed-loop workers: each worker
+// repeatedly draws a pair, issues the query, and records the latency. The
+// run stops at cfg.Duration (or cfg.Requests) and merges per-worker
+// samples into exact quantiles.
+func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	type workerStats struct {
+		requests, errors, shed, notFound, hits int
+		latencies                              []time.Duration
+	}
+	var (
+		wg      sync.WaitGroup
+		stats   = make([]workerStats, cfg.Concurrency)
+		budget  chan struct{} // request-count budget, nil when duration-bound
+		useBudg = cfg.Requests > 0
+	)
+	if useBudg {
+		budget = make(chan struct{}, cfg.Requests)
+		for i := 0; i < cfg.Requests; i++ {
+			budget <- struct{}{}
+		}
+		close(budget)
+	}
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		gen, err := newGen(w)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(w int, gen *PairGen) {
+			defer wg.Done()
+			st := &stats[w]
+			for {
+				if useBudg {
+					if _, ok := <-budget; !ok {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				src, dst := gen.Pair()
+				t0 := time.Now()
+				out, err := target.Query(src, dst)
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.requests++
+				switch {
+				case err != nil:
+					st.errors++
+				case out.Shed:
+					st.shed++
+				case !out.Found:
+					st.notFound++
+				case out.Cached:
+					st.hits++
+				}
+			}
+		}(w, gen)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Elapsed: elapsed}
+	var all []time.Duration
+	for i := range stats {
+		rep.Requests += stats[i].requests
+		rep.Errors += stats[i].errors
+		rep.Shed += stats[i].shed
+		rep.NotFound += stats[i].notFound
+		rep.Hits += stats[i].hits
+		all = append(all, stats[i].latencies...)
+	}
+	if rep.Requests == 0 {
+		return nil, fmt.Errorf("workload: no requests completed")
+	}
+	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.HitRate = float64(rep.Hits) / float64(rep.Requests)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(all)))
+		if i >= len(all) {
+			i = len(all) - 1
+		}
+		return all[i]
+	}
+	rep.P50, rep.P95, rep.P99 = q(0.50), q(0.95), q(0.99)
+	return rep, nil
+}
+
+// PlaneTarget drives an in-process query plane directly (no HTTP).
+type PlaneTarget struct {
+	Plane *queryplane.QueryPlane
+	Opts  routing.Options
+}
+
+// Query implements Target.
+func (t *PlaneTarget) Query(src, dst int32) (Outcome, error) {
+	_, cached, err := t.Plane.Query(context.Background(), int(src), int(dst), t.Opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, queryplane.ErrShed):
+			return Outcome{Shed: true}, nil
+		// A clean routing miss is a valid outcome, not a target failure.
+		case strings.Contains(err.Error(), "no dominated path"):
+			return Outcome{}, nil
+		}
+		return Outcome{}, err
+	}
+	return Outcome{Cached: cached, Found: true}, nil
+}
+
+// HTTPTarget drives a live brokerd over its /path endpoint. Cache hits are
+// detected from the X-Cache response header.
+type HTTPTarget struct {
+	// Base is the server root, e.g. "http://localhost:8080".
+	Base string
+	// Opts adds maxhops/minbw constraints to every query.
+	Opts routing.Options
+	// Client overrides http.DefaultClient (e.g. for timeouts).
+	Client *http.Client
+}
+
+// Query implements Target.
+func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
+	q := url.Values{}
+	q.Set("src", fmt.Sprint(src))
+	q.Set("dst", fmt.Sprint(dst))
+	if t.Opts.MaxHops > 0 {
+		q.Set("maxhops", fmt.Sprint(t.Opts.MaxHops))
+	}
+	if t.Opts.MinBandwidth > 0 {
+		q.Set("minbw", fmt.Sprint(t.Opts.MinBandwidth))
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(t.Base + "/path?" + q.Encode())
+	if err != nil {
+		return Outcome{}, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return Outcome{Cached: resp.Header.Get("X-Cache") == "hit", Found: true}, nil
+	case http.StatusNotFound:
+		return Outcome{}, nil
+	case http.StatusTooManyRequests:
+		return Outcome{Shed: true}, nil
+	default:
+		return Outcome{}, fmt.Errorf("workload: /path status %d", resp.StatusCode)
+	}
+}
+
+// FetchServerStats retrieves a live brokerd's /metrics snapshot (counters
+// only; quantile durations are reported via the latency_ms map).
+func FetchServerStats(base string, client *http.Client) (queryplane.Stats, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var st queryplane.Stats
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("workload: /metrics status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
