@@ -19,6 +19,12 @@
 //	POST   /sessions          {"src":A,"dst":B,"gbps":G}
 //	GET    /sessions/{id}
 //	DELETE /sessions/{id}
+//	POST   /churn             {"events":[...]} | {"generate":N} [, "heal":false]
+//
+// With -churn set, a background loop additionally draws Poisson bursts of
+// churn from the seeded generator at that interval, applies them, and
+// self-heals the coalition (broker re-selection, session re-pathing, cache
+// invalidation).
 package main
 
 import (
@@ -50,6 +56,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "generator seed")
 		k        = flag.Int("k", 100, "broker budget (0 = complete alliance)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+
+		churnEvery = flag.Duration("churn", 0, "background churn interval (0 = off)")
+		churnSeed  = flag.Int64("churn-seed", 42, "churn generator seed")
+		healTarget = flag.Float64("heal-target", 0, "connectivity the healer restores (0 = initial coalition's)")
 	)
 	flag.Parse()
 
@@ -73,13 +83,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv, err := newServer(top, *k)
+	srv, err := newServer(top, *k, *healTarget, *churnSeed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
-		top.NumNodes(), len(srv.brokers), 100*srv.connectivity(), *addr)
+		top.NumNodes(), len(srv.brokers), 100*srv.connectivityLocked(), *addr)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -93,6 +103,10 @@ func main() {
 	// drain in-flight requests for up to -drain before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *churnEvery > 0 {
+		fmt.Printf("brokerd: background churn every %v (seed %d)\n", *churnEvery, *churnSeed)
+		go srv.runChurnLoop(ctx, *churnEvery)
+	}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()

@@ -9,8 +9,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"brokerset/internal/broker"
+	"brokerset/internal/churn"
+	"brokerset/internal/coverage"
 	"brokerset/internal/ctrlplane"
 	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
@@ -19,26 +22,37 @@ import (
 
 // server exposes the broker coalition over HTTP: path queries served
 // through the concurrent query plane (sharded cache + singleflight +
-// bounded worker pool) and QoS session setup/teardown through the
-// control-plane two-phase commit.
+// bounded worker pool), QoS session setup/teardown through the
+// control-plane two-phase commit, and an admin churn plane that mutates
+// the live topology and self-heals the coalition.
 type server struct {
-	top     *topology.Topology
-	brokers []int32
-	engine  *routing.Engine
+	top    *topology.Topology
+	engine *routing.Engine
 
 	qp       *queryplane.QueryPlane
 	sessions *queryplane.SessionStore
 
 	// stateMu orders concurrent path computations (read lock) against
-	// control-plane mutations of shared link state (write lock). The
-	// engine and metrics are not internally synchronized.
+	// control-plane and churn mutations of shared link/broker state
+	// (write lock). The engine and metrics are not internally
+	// synchronized. brokers is also guarded by it now that healing can
+	// change the coalition at runtime.
 	stateMu sync.RWMutex
+	brokers []int32
 	plane   *ctrlplane.Plane
+
+	churnState *churn.State
+	applier    *churn.Applier
+	gen        *churn.Generator
+	healer     *churn.Healer
 }
 
 // newServer wires a server for the topology: it selects k brokers with
-// MaxSG and builds the routing engine, control plane, and query plane.
-func newServer(top *topology.Topology, k int) (*server, error) {
+// MaxSG and builds the routing engine, control plane, query plane, and the
+// churn/self-healing plane. healTarget is the saturated connectivity the
+// healer must restore after damage (0 = the initial coalition's
+// connectivity). churnSeed seeds the admin churn generator.
+func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int64) (*server, error) {
 	var (
 		brokers []int32
 		err     error
@@ -75,7 +89,72 @@ func newServer(top *topology.Topology, k int) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	s.churnState = churn.NewState(top, metrics)
+	s.applier = churn.NewApplier(s.churnState)
+	s.gen = churn.NewGenerator(s.churnState, func() []int32 { return s.plane.Brokers() }, churn.GenConfig{Seed: churnSeed})
+	if healTarget <= 0 {
+		healTarget = coverageConnectivity(top, brokers)
+	}
+	if healTarget <= 0 || healTarget > 1 {
+		return nil, fmt.Errorf("brokerd: heal target %f outside (0,1]", healTarget)
+	}
+	s.healer, err = churn.NewHealer(s.churnState, s.plane, s.sessions, s.qp, churn.HealerConfig{
+		Target: healTarget,
+		// The query-plane engine shares metrics with the control plane but
+		// keeps its own broker membership; follow coalition changes.
+		BrokersChanged: func(brokers []int32) {
+			s.engine.SetBrokers(brokers)
+			s.brokers = brokers
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// churnAndHeal applies a burst of churn events and runs one heal pass, all
+// under the state write lock. Either half may be empty (nil events = heal
+// only). It backs both POST /churn and the -churn background loop.
+func (s *server) churnAndHeal(events []churn.Event, heal bool) (churn.BlastRadius, *churn.HealReport, error) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	blast, err := s.applier.ApplyAll(events)
+	if err != nil {
+		return blast, nil, err
+	}
+	s.healer.Metrics.EventsApplied.Add(uint64(len(events)))
+	// Any applied damage stales cached paths even before healing.
+	if blast.Size() > 0 || blast.BrokerPlane {
+		s.qp.Invalidate()
+	}
+	if !heal {
+		return blast, nil, nil
+	}
+	rep, err := s.healer.Heal()
+	return blast, rep, err
+}
+
+// runChurnLoop drives background churn: every interval it draws a Poisson
+// burst from the seeded generator, applies it, and heals. It exits when ctx
+// is cancelled.
+func (s *server) runChurnLoop(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.stateMu.Lock()
+			events := s.gen.Tick()
+			s.stateMu.Unlock()
+			if _, _, err := s.churnAndHeal(events, true); err != nil {
+				fmt.Printf("brokerd: churn loop: %v\n", err)
+			}
+		}
+	}
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -87,6 +166,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/path", s.handlePath)
 	mux.HandleFunc("/sessions", s.handleSessions)
 	mux.HandleFunc("/sessions/", s.handleSessionByID)
+	mux.HandleFunc("/churn", s.handleChurn)
 	return mux
 }
 
@@ -123,25 +203,29 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stateMu.RLock()
 	st := s.plane.Stats()
+	nBrokers := len(s.brokers)
+	conn := s.connectivityLocked()
 	s.stateMu.RUnlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Nodes:        s.top.NumNodes(),
 		ASes:         s.top.NumASes(),
 		IXPs:         s.top.NumIXPs(),
 		Links:        s.top.Graph.NumEdges(),
-		Brokers:      len(s.brokers),
-		Connectivity: s.connectivity(),
+		Brokers:      nBrokers,
+		Connectivity: conn,
 		Sessions:     s.sessions.Len(),
 		Commits:      st.Commits,
 		Aborts:       st.Aborts,
 	})
 }
 
-// metricsResponse is the /metrics payload: query-plane counters plus
-// latency quantiles in milliseconds.
+// metricsResponse is the /metrics payload: query-plane counters (cache
+// misses split into cold vs invalidation-caused), latency quantiles in
+// milliseconds, and the churn healer's counters.
 type metricsResponse struct {
 	queryplane.Stats
-	LatencyMs map[string]float64 `json:"latency_ms"`
+	LatencyMs map[string]float64    `json:"latency_ms"`
+	Healer    churn.MetricsSnapshot `json:"healer"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -157,12 +241,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"p95": float64(st.P95.Microseconds()) / 1000,
 			"p99": float64(st.P99.Microseconds()) / 1000,
 		},
+		Healer: s.healer.Metrics.Snapshot(),
 	})
 }
 
-func (s *server) connectivity() float64 {
-	// Coverage is static per broker set; cheap enough to recompute.
-	return coverageConnectivity(s.top, s.brokers)
+// connectivityLocked recomputes coalition connectivity on the live graph;
+// callers hold stateMu (read suffices).
+func (s *server) connectivityLocked() float64 {
+	return coverage.SaturatedConnectivity(s.churnState.LiveGraph(), s.brokers)
 }
 
 type brokerInfo struct {
@@ -177,13 +263,71 @@ func (s *server) handleBrokers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	out := make([]brokerInfo, 0, len(s.brokers))
-	for _, b := range s.brokers {
+	s.stateMu.RLock()
+	brokers := append([]int32(nil), s.brokers...)
+	s.stateMu.RUnlock()
+	out := make([]brokerInfo, 0, len(brokers))
+	for _, b := range brokers {
 		out = append(out, brokerInfo{
 			ID: b, Name: s.top.Name[b], Class: s.top.Class[b].String(), Degree: s.top.Graph.Degree(int(b)),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// churnRequest is the POST /churn payload: either an explicit event list,
+// or "generate": N to draw N events from the server's seeded generator.
+// "heal": false applies damage without repairing (the default heals).
+type churnRequest struct {
+	Events   []churn.Event `json:"events"`
+	Generate int           `json:"generate"`
+	Heal     *bool         `json:"heal"`
+}
+
+type churnResponse struct {
+	Applied int               `json:"applied"`
+	Events  []churn.Event     `json:"events"`
+	Blast   churn.BlastRadius `json:"blast"`
+	Heal    *churn.HealReport `json:"heal,omitempty"`
+}
+
+func (s *server) handleChurn(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req churnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Generate < 0 || req.Generate > 100000 {
+		writeError(w, http.StatusBadRequest, "generate outside [0,100000]")
+		return
+	}
+	events := req.Events
+	if req.Generate > 0 {
+		s.stateMu.Lock()
+		gen, err := s.gen.GenerateTrace(req.Generate)
+		s.stateMu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		events = append(events, gen...)
+	}
+	heal := req.Heal == nil || *req.Heal
+	blast, rep, err := s.churnAndHeal(events, heal)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, churnResponse{
+		Applied: len(events),
+		Events:  events,
+		Blast:   blast,
+		Heal:    rep,
+	})
 }
 
 type pathResponse struct {

@@ -17,7 +17,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(top, 20)
+	srv, err := newServer(top, 20, 0, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"brokerset/internal/churn"
+	"brokerset/internal/coverage"
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/queryplane"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// churnStack bundles the churn machinery for in-process churn-under-load
+// runs: event generator, applier, control plane, and self-healing loop.
+// mu plays the role of brokerd's state lock — path computations hold it
+// shared, churn bursts hold it exclusively.
+type churnStack struct {
+	mu      sync.RWMutex
+	state   *churn.State
+	applier *churn.Applier
+	gen     *churn.Generator
+	healer  *churn.Healer
+	plane   *ctrlplane.Plane
+}
+
+func newChurnStack(top *topology.Topology, metrics *routing.Metrics, engine *routing.Engine, brokers []int32, qp *queryplane.QueryPlane, seed int64) (*churnStack, error) {
+	st := churn.NewState(top, metrics)
+	plane := ctrlplane.New(top, metrics, brokers)
+	gen := churn.NewGenerator(st, plane.Brokers, churn.GenConfig{Seed: seed})
+	healer, err := churn.NewHealer(st, plane, nil, qp, churn.HealerConfig{
+		Target:         coverage.SaturatedConnectivity(top.Graph, brokers),
+		BrokersChanged: engine.SetBrokers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &churnStack{
+		state:   st,
+		applier: churn.NewApplier(st),
+		gen:     gen,
+		healer:  healer,
+		plane:   plane,
+	}, nil
+}
+
+// burst draws n churn events, applies them, and runs one heal pass,
+// returning the pass duration for the workload's repair-latency quantiles.
+func (c *churnStack) burst(n int) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	events, err := c.gen.GenerateTrace(n)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := c.applier.ApplyAll(events); err != nil {
+		return 0, err
+	}
+	c.healer.Metrics.EventsApplied.Add(uint64(len(events)))
+	rep, err := c.healer.Heal()
+	if err != nil {
+		return 0, err
+	}
+	return rep.Duration, nil
+}

@@ -12,12 +12,19 @@
 // In-process (no HTTP; measures the query plane itself):
 //
 //	loadgen -scale 0.1 -k 100 -c 32 -d 10s
+//
+// In-process with topology churn interleaved (measures availability under
+// self-healing: a churn burst is applied and healed every -churn-every,
+// while the workers keep querying):
+//
+//	loadgen -scale 0.1 -k 100 -c 32 -d 10s -churn-every 500ms -churn-events 4
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"time"
@@ -30,20 +37,35 @@ import (
 )
 
 func main() {
+	if _, err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: flags in, report out.
+func run(argv []string, out io.Writer) (*workload.Report, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		addr    = flag.String("addr", "", "brokerd base URL (empty: run in-process)")
-		scale   = flag.Float64("scale", 0.1, "in-process topology scale")
-		seed    = flag.Int64("seed", 1, "topology + demand seed")
-		k       = flag.Int("k", 100, "in-process broker budget")
-		conc    = flag.Int("c", 16, "closed-loop worker count")
-		dur     = flag.Duration("d", 5*time.Second, "run duration")
-		reqs    = flag.Int("n", 0, "request budget (overrides -d when > 0)")
-		zipf    = flag.Float64("zipf", 1.1, "demand Zipf exponent (> 1)")
-		maxhops = flag.Int("maxhops", 0, "query hop bound (0 = unbounded)")
-		minbw   = flag.Float64("minbw", 0, "query min available Gbps")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		addr    = fs.String("addr", "", "brokerd base URL (empty: run in-process)")
+		scale   = fs.Float64("scale", 0.1, "in-process topology scale")
+		seed    = fs.Int64("seed", 1, "topology + demand seed")
+		k       = fs.Int("k", 100, "in-process broker budget")
+		conc    = fs.Int("c", 16, "closed-loop worker count")
+		dur     = fs.Duration("d", 5*time.Second, "run duration")
+		reqs    = fs.Int("n", 0, "request budget (overrides -d when > 0)")
+		zipf    = fs.Float64("zipf", 1.1, "demand Zipf exponent (> 1)")
+		maxhops = fs.Int("maxhops", 0, "query hop bound (0 = unbounded)")
+		minbw   = fs.Float64("minbw", 0, "query min available Gbps")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+
+		churnEvery  = fs.Duration("churn-every", 0, "in-process churn injection interval (0 = off)")
+		churnEvents = fs.Int("churn-events", 4, "events per churn burst")
+		churnSeed   = fs.Int64("churn-seed", 42, "churn generator seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
 
 	opts := routing.Options{MaxHops: *maxhops, MinBandwidth: *minbw}
 	cfg := workload.Config{
@@ -60,39 +82,59 @@ func main() {
 		err    error
 	)
 	if *addr != "" {
+		if *churnEvery > 0 {
+			return nil, fmt.Errorf("-churn-every is in-process only (use brokerd -churn against a live server)")
+		}
 		// Demand generation needs the same topology shape the server runs;
 		// regenerate it locally from the shared scale/seed convention.
 		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		target = &workload.HTTPTarget{
 			Base:   *addr,
 			Opts:   opts,
 			Client: &http.Client{Timeout: *timeout},
 		}
-		fmt.Printf("loadgen: %d workers -> %s (zipf %.2f over %d nodes)\n",
+		fmt.Fprintf(out, "loadgen: %d workers -> %s (zipf %.2f over %d nodes)\n",
 			cfg.Concurrency, *addr, *zipf, top.NumNodes())
 	} else {
 		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		brokers, err := broker.MaxSG(top.Graph, *k)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		engine := routing.NewEngine(top, nil, brokers)
+		metrics := routing.DefaultMetrics(top, nil)
+		engine := routing.NewEngine(top, metrics, brokers)
+		var stack *churnStack
 		qp, err := queryplane.New(queryplane.Config{
 			Compute: func(_ context.Context, src, dst int, o routing.Options) (*routing.Path, error) {
+				if stack != nil {
+					stack.mu.RLock()
+					defer stack.mu.RUnlock()
+				}
 				return engine.BestPath(src, dst, o)
 			},
 		})
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
 		target = &workload.PlaneTarget{Plane: qp, Opts: opts}
-		fmt.Printf("loadgen: in-process, %d nodes, %d brokers, %d workers (zipf %.2f)\n",
+
+		if *churnEvery > 0 {
+			stack, err = newChurnStack(top, metrics, engine, brokers, qp, *churnSeed)
+			if err != nil {
+				return nil, err
+			}
+			cfg.ChurnEvery = *churnEvery
+			cfg.Churn = func() (time.Duration, error) { return stack.burst(*churnEvents) }
+			fmt.Fprintf(out, "loadgen: churn every %v, %d events/burst (seed %d)\n",
+				*churnEvery, *churnEvents, *churnSeed)
+		}
+		fmt.Fprintf(out, "loadgen: in-process, %d nodes, %d brokers, %d workers (zipf %.2f)\n",
 			top.NumNodes(), len(brokers), cfg.Concurrency, *zipf)
 	}
 
@@ -101,20 +143,16 @@ func main() {
 	}
 	rep, err := workload.Run(target, newGen, cfg)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	fmt.Println(rep)
+	fmt.Fprintln(out, rep)
 
 	// When driving a live server, fold in its own view of the run.
 	if *addr != "" {
 		if st, err := workload.FetchServerStats(*addr, &http.Client{Timeout: *timeout}); err == nil {
-			fmt.Printf("server:   %d queries, %.1f%% hit rate, %d shed, %d evictions, gen %d\n",
+			fmt.Fprintf(out, "server:   %d queries, %.1f%% hit rate, %d shed, %d evictions, gen %d\n",
 				st.Queries, 100*st.HitRate(), st.Shed, st.Evictions, st.Generation)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "loadgen:", err)
-	os.Exit(1)
+	return rep, nil
 }

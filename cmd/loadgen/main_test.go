@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunInProcessSmoke drives the full in-process loadgen path on a small
+// topology: flags parsed, plane built, workers run, report produced.
+func TestRunInProcessSmoke(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := run([]string{
+		"-scale", "0.01", "-k", "20", "-c", "4", "-n", "400", "-d", "5s",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 400 {
+		t.Fatalf("requests = %d, want 400", rep.Requests)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("QPS = %f, want > 0", rep.QPS)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rep.Errors)
+	}
+	// Zipf demand repeats pairs, so the cache must land some hits; and a
+	// rate above 1 would be nonsense.
+	if rep.HitRate <= 0 || rep.HitRate > 1 {
+		t.Fatalf("hit rate = %f, want in (0,1]", rep.HitRate)
+	}
+	if !strings.Contains(out.String(), "in-process") {
+		t.Fatalf("missing banner in output:\n%s", out.String())
+	}
+}
+
+// TestRunWithChurn exercises the churn-under-load path: bursts are injected
+// and healed while workers query, and the report carries availability and
+// repair quantiles.
+func TestRunWithChurn(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := run([]string{
+		"-scale", "0.01", "-k", "20", "-c", "4", "-d", "1200ms",
+		"-churn-every", "150ms", "-churn-events", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ChurnBursts == 0 {
+		t.Fatal("no churn bursts recorded")
+	}
+	if rep.Availability <= 0 || rep.Availability > 1 {
+		t.Fatalf("availability = %f, want in (0,1]", rep.Availability)
+	}
+	if rep.RepairP95 < rep.RepairP50 {
+		t.Fatalf("repair p95 %v < p50 %v", rep.RepairP95, rep.RepairP50)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-zipf", "nope"}, &out); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+	if _, err := run([]string{"-addr", "http://localhost:1", "-churn-every", "1s"}, &out); err == nil {
+		t.Fatal("churn against remote target accepted")
+	}
+}

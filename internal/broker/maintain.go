@@ -25,6 +25,16 @@ type MaintainResult struct {
 // step the paper's §7 motivates: topologies churn, and reconvening the full
 // selection from scratch is unnecessary.
 func Maintain(g *graph.Graph, old []int32, target float64) (*MaintainResult, error) {
+	return MaintainAvoiding(g, old, target, nil)
+}
+
+// MaintainAvoiding is Maintain with an avoidance mask: nodes with
+// avoid[u] == true are dropped from the incoming set and never selected as
+// new brokers. This is the primitive the churn healer uses — failed broker
+// processes and departed ASes stay in the graph (their links may still be
+// dominated by neighbouring brokers) but must not be (re)hired. A nil mask
+// avoids nothing.
+func MaintainAvoiding(g *graph.Graph, old []int32, target float64, avoid []bool) (*MaintainResult, error) {
 	if target <= 0 || target > 1 {
 		return nil, fmt.Errorf("broker: target connectivity %f outside (0,1]", target)
 	}
@@ -32,13 +42,14 @@ func Maintain(g *graph.Graph, old []int32, target float64) (*MaintainResult, err
 	if n == 0 {
 		return nil, fmt.Errorf("broker: empty graph")
 	}
+	avoided := func(u int) bool { return u < len(avoid) && avoid[u] }
 
 	res := &MaintainResult{}
 	inc := coverage.NewIncremental(g)
 	kept := make(map[int32]bool, len(old))
 	for _, b := range old {
-		if int(b) < 0 || int(b) >= n {
-			res.Removed = append(res.Removed, b) // node left the topology
+		if int(b) < 0 || int(b) >= n || avoided(int(b)) {
+			res.Removed = append(res.Removed, b) // node left the topology or is barred
 			continue
 		}
 		if !kept[b] {
@@ -53,7 +64,7 @@ func Maintain(g *graph.Graph, old []int32, target float64) (*MaintainResult, err
 	for inc.Connectivity() < target {
 		best, bestGain := -1, int64(0)
 		for u := 0; u < n; u++ {
-			if inc.InB(u) {
+			if inc.InB(u) || avoided(u) {
 				continue
 			}
 			if gain := inc.Gain(u); gain > bestGain {

@@ -128,3 +128,59 @@ func TestMaintainValidation(t *testing.T) {
 		t.Error("unreachable target accepted")
 	}
 }
+
+// MaintainAvoiding must drop avoided incumbents and never hire an avoided
+// replacement — the churn healer's contract for failed brokers and departed
+// nodes.
+func TestMaintainAvoiding(t *testing.T) {
+	top := internetGraph(t, 0.02)
+	base, err := MaxSG(top.Graph, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := coverage.SaturatedConnectivity(top.Graph, base) - 0.05
+	// Avoid the first few incumbents.
+	avoid := make([]bool, top.Graph.NumNodes())
+	avoided := map[int32]bool{}
+	for _, b := range base[:3] {
+		avoid[b] = true
+		avoided[b] = true
+	}
+	res, err := MaintainAvoiding(top.Graph, base, target, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Connectivity < target {
+		t.Fatalf("connectivity %f below target %f", res.Connectivity, target)
+	}
+	for _, b := range res.Brokers {
+		if avoided[b] {
+			t.Fatalf("avoided node %d in maintained set", b)
+		}
+	}
+	removed := map[int32]bool{}
+	for _, b := range res.Removed {
+		removed[b] = true
+	}
+	for b := range avoided {
+		if !removed[b] {
+			t.Fatalf("avoided incumbent %d not reported removed", b)
+		}
+	}
+	// A short avoid mask (fewer entries than nodes) must be tolerated.
+	if _, err := MaintainAvoiding(top.Graph, base, target, []bool{true}); err != nil {
+		t.Fatalf("short mask rejected: %v", err)
+	}
+	// Maintain is MaintainAvoiding with no mask.
+	r1, err := Maintain(top.Graph, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := MaintainAvoiding(top.Graph, base, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Brokers) != len(r2.Brokers) {
+		t.Fatalf("nil-mask MaintainAvoiding diverges from Maintain: %d vs %d", len(r1.Brokers), len(r2.Brokers))
+	}
+}

@@ -1,0 +1,35 @@
+package churn
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace hammers the trace parser: arbitrary input must either fail
+// cleanly or produce events that survive a write/read round trip unchanged.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# brokerset-churn v1\n1 link_fail 0 1\n2 broker_fail 42\n")
+	f.Add("1 node_leave 3\n\n# trailing comment")
+	f.Add("9 member_join 100 200")
+	f.Add("x link_fail 1 2")
+	f.Add("1 link_fail -1 -2\n1 node_join -7")
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, events); err != nil {
+			t.Fatalf("write of parsed events failed: %v", err)
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written trace failed: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(events, back) {
+			t.Fatalf("round trip drift:\n%+v\n%+v", events, back)
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package churn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brokerset/internal/broker"
+	"brokerset/internal/coverage"
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/queryplane"
+	"brokerset/internal/routing"
+)
+
+// Invalidator is anything whose cached state must be staled after a heal
+// (the query plane's generation bump).
+type Invalidator interface {
+	Invalidate()
+}
+
+// HealerConfig parameterizes the healer.
+type HealerConfig struct {
+	// Target is the saturated connectivity the repaired broker set must
+	// reach on the live graph. Required, in (0,1].
+	Target float64
+	// Opts constrains re-path computations (typically the zero Options).
+	Opts routing.Options
+	// BrokersChanged, when non-nil, is called with the new coalition after
+	// every membership change so co-located engines can follow (brokerd's
+	// query-plane engine shares metrics but not membership with the
+	// control plane).
+	BrokersChanged func(brokers []int32)
+}
+
+// HealReport summarizes one heal pass.
+type HealReport struct {
+	// Connectivity is the live-graph saturated connectivity of the
+	// repaired coalition; TargetMet reports whether it reached the target
+	// (the live graph may be too broken for any coalition to).
+	Connectivity float64 `json:"connectivity"`
+	TargetMet    bool    `json:"target_met"`
+	// BrokersAdded/BrokersRemoved are the membership delta.
+	BrokersAdded   []int32 `json:"brokers_added"`
+	BrokersRemoved []int32 `json:"brokers_removed"`
+	// Session repair outcome counts.
+	SessionsChecked  int `json:"sessions_checked"`
+	SessionsRepaired int `json:"sessions_repaired"`
+	SessionsAborted  int `json:"sessions_aborted"`
+	// Duration is the wall time of the pass.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// HealerMetrics is the cumulative, atomically-updated healer counter set
+// exported through /metrics.
+type HealerMetrics struct {
+	EventsApplied    atomic.Uint64
+	HealPasses       atomic.Uint64
+	MaintainPasses   atomic.Uint64
+	BrokerAdds       atomic.Uint64
+	BrokerRemoves    atomic.Uint64
+	SessionsRepaired atomic.Uint64
+	SessionsAborted  atomic.Uint64
+
+	mu      sync.Mutex
+	repairs []time.Duration // heal-pass wall times, for quantiles
+}
+
+// MetricsSnapshot is the JSON shape of HealerMetrics.
+type MetricsSnapshot struct {
+	EventsApplied    uint64  `json:"events_applied"`
+	HealPasses       uint64  `json:"heal_passes"`
+	MaintainPasses   uint64  `json:"maintain_passes"`
+	BrokerAdds       uint64  `json:"broker_adds"`
+	BrokerRemoves    uint64  `json:"broker_removes"`
+	SessionsRepaired uint64  `json:"sessions_repaired"`
+	SessionsAborted  uint64  `json:"sessions_aborted"`
+	RepairP50Ms      float64 `json:"repair_p50_ms"`
+	RepairP95Ms      float64 `json:"repair_p95_ms"`
+}
+
+func (m *HealerMetrics) observeRepair(d time.Duration) {
+	m.mu.Lock()
+	m.repairs = append(m.repairs, d)
+	if len(m.repairs) > 4096 { // bound memory on long -churn runs
+		m.repairs = append(m.repairs[:0], m.repairs[len(m.repairs)-2048:]...)
+	}
+	m.mu.Unlock()
+}
+
+// RepairQuantile returns the p-quantile of recorded heal-pass durations
+// (0 when none recorded).
+func (m *HealerMetrics) RepairQuantile(p float64) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.repairs) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(m.repairs))
+	copy(sorted, m.repairs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Snapshot captures the counters and repair quantiles.
+func (m *HealerMetrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		EventsApplied:    m.EventsApplied.Load(),
+		HealPasses:       m.HealPasses.Load(),
+		MaintainPasses:   m.MaintainPasses.Load(),
+		BrokerAdds:       m.BrokerAdds.Load(),
+		BrokerRemoves:    m.BrokerRemoves.Load(),
+		SessionsRepaired: m.SessionsRepaired.Load(),
+		SessionsAborted:  m.SessionsAborted.Load(),
+		RepairP50Ms:      float64(m.RepairQuantile(0.50).Microseconds()) / 1000,
+		RepairP95Ms:      float64(m.RepairQuantile(0.95).Microseconds()) / 1000,
+	}
+}
+
+// Healer repairs the broker plane after churn damage. One Heal pass:
+//
+//  1. Re-select the coalition on the live graph with MaintainAvoiding
+//     (failed brokers and departed nodes barred), keeping survivors and
+//     greedily adding replacements until the connectivity target holds.
+//  2. Push the new membership into the control plane (ledger migration)
+//     and any co-located engines.
+//  3. Sweep the session store: every damaged session is re-pathed through
+//     2PC, or cleanly aborted (and dropped from the store) when no
+//     dominated path survives.
+//  4. Invalidate the query plane so stale cached paths die.
+//
+// Callers serialize Heal against control-plane writes and path computation
+// (brokerd holds its state write lock).
+type Healer struct {
+	cfg      HealerConfig
+	state    *State
+	plane    *ctrlplane.Plane
+	sessions *queryplane.SessionStore
+	inval    Invalidator
+	Metrics  HealerMetrics
+}
+
+// NewHealer wires a healer. sessions and inval may be nil (no session
+// sweep / no cache to stale) for headless simulation uses.
+func NewHealer(state *State, plane *ctrlplane.Plane, sessions *queryplane.SessionStore, inval Invalidator, cfg HealerConfig) (*Healer, error) {
+	if cfg.Target <= 0 || cfg.Target > 1 {
+		return nil, fmt.Errorf("churn: healer target %f outside (0,1]", cfg.Target)
+	}
+	if state == nil || plane == nil {
+		return nil, fmt.Errorf("churn: healer needs a state and a control plane")
+	}
+	return &Healer{cfg: cfg, state: state, plane: plane, sessions: sessions, inval: inval}, nil
+}
+
+// Heal runs one repair pass and returns its report. It is not safe for
+// concurrent use with control-plane writes; callers hold the state lock.
+func (h *Healer) Heal() (*HealReport, error) {
+	start := time.Now()
+	rep := &HealReport{}
+	live := h.state.LiveGraph()
+
+	// Survivors: current coalition minus failed brokers and departed nodes.
+	var survivors []int32
+	for _, b := range h.plane.Brokers() {
+		if !h.state.BrokerDown(b) && !h.state.NodeDown(b) {
+			survivors = append(survivors, b)
+		}
+	}
+
+	// Crash-mark failed brokers in the control plane so any conflicting
+	// in-flight protocol activity sees them dead.
+	for _, b := range h.state.DownBrokers() {
+		h.plane.Crash(b)
+	}
+
+	res, err := broker.MaintainAvoiding(live, survivors, h.cfg.Target, h.state.AvoidMask())
+	h.Metrics.MaintainPasses.Add(1)
+	if err != nil {
+		// Target unreachable on the damaged graph: fall back to best
+		// effort — keep the survivors, still repair sessions below.
+		res = &broker.MaintainResult{Brokers: survivors}
+	}
+	rep.TargetMet = err == nil
+
+	added, removed := h.plane.SetBrokers(res.Brokers)
+	rep.BrokersAdded, rep.BrokersRemoved = added, removed
+	h.Metrics.BrokerAdds.Add(uint64(len(added)))
+	h.Metrics.BrokerRemoves.Add(uint64(len(removed)))
+	if h.cfg.BrokersChanged != nil && (len(added) > 0 || len(removed) > 0) {
+		h.cfg.BrokersChanged(res.Brokers)
+	}
+	rep.Connectivity = coverage.SaturatedConnectivity(live, res.Brokers)
+	if rep.Connectivity >= h.cfg.Target {
+		rep.TargetMet = true
+	}
+
+	// Sweep sessions: re-path or abort everything the damage touched.
+	if h.sessions != nil {
+		for _, sess := range h.sessions.List() {
+			if !h.plane.SessionDamaged(sess) {
+				continue
+			}
+			rep.SessionsChecked++
+			if err := h.plane.Repath(sess, h.cfg.Opts); err != nil {
+				h.sessions.Delete(sess.ID)
+				rep.SessionsAborted++
+				h.Metrics.SessionsAborted.Add(1)
+				continue
+			}
+			rep.SessionsRepaired++
+			h.Metrics.SessionsRepaired.Add(1)
+		}
+	}
+
+	if h.inval != nil {
+		h.inval.Invalidate()
+	}
+	rep.Duration = time.Since(start)
+	h.Metrics.HealPasses.Add(1)
+	h.Metrics.observeRepair(rep.Duration)
+	return rep, nil
+}

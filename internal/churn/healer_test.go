@@ -1,0 +1,247 @@
+package churn
+
+import (
+	"math/rand"
+	"testing"
+
+	"brokerset/internal/broker"
+	"brokerset/internal/coverage"
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/queryplane"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+type countingInvalidator struct{ n int }
+
+func (c *countingInvalidator) Invalidate() { c.n++ }
+
+func TestNewHealerValidation(t *testing.T) {
+	top, m := ixpTop(t)
+	st := NewState(top, m)
+	plane := ctrlplane.New(top, m, []int32{1, 2, 3})
+	for _, target := range []float64{0, -0.5, 1.01} {
+		if _, err := NewHealer(st, plane, nil, nil, HealerConfig{Target: target}); err == nil {
+			t.Errorf("target %f accepted", target)
+		}
+	}
+	if _, err := NewHealer(nil, plane, nil, nil, HealerConfig{Target: 0.9}); err == nil {
+		t.Error("nil state accepted")
+	}
+	if _, err := NewHealer(st, nil, nil, nil, HealerConfig{Target: 0.9}); err == nil {
+		t.Error("nil plane accepted")
+	}
+}
+
+// The core self-healing contract: after broker failures and link damage,
+// one Heal pass restores the connectivity target with a coalition that
+// excludes the failed broker, re-paths or cleanly aborts every damaged
+// session, and leaks nothing in the capacity ledger.
+func TestHealRepairsBrokerPlaneAndSessions(t *testing.T) {
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokers, err := broker.MaxSG(top.Graph, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := routing.DefaultMetrics(top, nil)
+	plane := ctrlplane.New(top, m, brokers)
+	st := NewState(top, m)
+	sessions := queryplane.NewSessionStore(4)
+	inval := &countingInvalidator{}
+	target := coverage.SaturatedConnectivity(top.Graph, brokers)
+
+	h, err := NewHealer(st, plane, sessions, inval, HealerConfig{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Establish a population of sessions.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 120 && sessions.Len() < 30; i++ {
+		src, dst := rng.Intn(top.NumNodes()), rng.Intn(top.NumNodes())
+		if src == dst {
+			continue
+		}
+		if s, err := plane.Setup(src, dst, 0.5+rng.Float64(), routing.Options{}); err == nil {
+			sessions.Put(s)
+		}
+	}
+	if sessions.Len() < 10 {
+		t.Fatalf("only %d sessions established", sessions.Len())
+	}
+
+	// Damage: kill the busiest broker (first one appearing on a session
+	// path) and fail the first hop of a handful of sessions.
+	a := NewApplier(st)
+	var dead int32 = -1
+	isBroker := make(map[int32]bool, len(brokers))
+	for _, b := range brokers {
+		isBroker[b] = true
+	}
+	for _, s := range sessions.List() {
+		for _, n := range s.Path {
+			if isBroker[n] {
+				dead = n
+				break
+			}
+		}
+		if dead >= 0 {
+			break
+		}
+	}
+	if dead < 0 {
+		t.Fatal("no session path touches a broker?")
+	}
+	events := []Event{{Type: BrokerFail, Node: dead}}
+	for _, s := range sessions.List()[:5] {
+		events = append(events, Event{Type: LinkFail, U: s.Path[0], V: s.Path[1]})
+	}
+	if _, err := a.ApplyAll(events); err != nil {
+		t.Fatal(err)
+	}
+
+	before := sessions.Len()
+	rep, err := h.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TargetMet || rep.Connectivity < target {
+		t.Fatalf("heal missed target: %+v (target %f)", rep, target)
+	}
+	if rep.SessionsChecked == 0 {
+		t.Fatal("damage touched sessions but none were checked")
+	}
+	if rep.SessionsRepaired+rep.SessionsAborted != rep.SessionsChecked {
+		t.Fatalf("session accounting: %+v", rep)
+	}
+	if sessions.Len() != before-rep.SessionsAborted {
+		t.Fatalf("aborted sessions not dropped: %d vs %d-%d", sessions.Len(), before, rep.SessionsAborted)
+	}
+	if inval.n == 0 {
+		t.Fatal("query plane not invalidated")
+	}
+
+	// The dead broker is out of the coalition; no surviving session is
+	// still damaged or routed over a failed link.
+	for _, b := range plane.Brokers() {
+		if b == dead {
+			t.Fatalf("failed broker %d still in coalition", dead)
+		}
+	}
+	for _, s := range sessions.List() {
+		if s.State != ctrlplane.StateCommitted {
+			t.Fatalf("stored session %d in state %v", s.ID, s.State)
+		}
+		if plane.SessionDamaged(s) {
+			t.Fatalf("session %d still damaged after heal", s.ID)
+		}
+		for i := 0; i+1 < len(s.Path); i++ {
+			if st.LinkDown(s.Path[i], s.Path[i+1]) {
+				t.Fatalf("session %d routed over downed link (%d,%d)", s.ID, s.Path[i], s.Path[i+1])
+			}
+		}
+	}
+
+	// Ledger conservation: tear everything down and the reservations must
+	// cancel out exactly — residual == capacity on every link, including
+	// the failed ones (their holds were released during re-pathing).
+	for _, s := range sessions.List() {
+		if err := plane.Teardown(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	top.Graph.Edges(func(u, v int) bool {
+		if got, want := m.Residual(int32(u), int32(v)), m.Capacity(int32(u), int32(v)); got != want {
+			t.Fatalf("leaked reservation on (%d,%d): residual %f, capacity %f", u, v, got, want)
+		}
+		return true
+	})
+
+	snap := h.Metrics.Snapshot()
+	if snap.HealPasses != 1 || snap.MaintainPasses != 1 {
+		t.Fatalf("metrics: %+v", snap)
+	}
+	if snap.SessionsRepaired != uint64(rep.SessionsRepaired) || snap.SessionsAborted != uint64(rep.SessionsAborted) {
+		t.Fatalf("metrics/report mismatch: %+v vs %+v", snap, rep)
+	}
+	if h.Metrics.RepairQuantile(0.5) <= 0 {
+		t.Fatal("no repair duration recorded")
+	}
+}
+
+// When the damage disconnects the graph, no coalition can reach the target:
+// the healer must fall back to the survivors (best effort) and say so.
+func TestHealFallsBackWhenTargetUnreachable(t *testing.T) {
+	top, m := ixpTop(t)
+	brokers := []int32{1, 2, 3}
+	plane := ctrlplane.New(top, m, brokers)
+	st := NewState(top, m)
+	target := coverage.SaturatedConnectivity(top.Graph, brokers)
+	if target <= 0 {
+		t.Fatalf("degenerate initial target %f", target)
+	}
+	h, err := NewHealer(st, plane, nil, nil, HealerConfig{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is a cut vertex (and node 5's paths go through 2 or 3):
+	// removing it splits the chain, so the initial connectivity is gone.
+	a := NewApplier(st)
+	if _, err := a.ApplyAll([]Event{
+		{Type: NodeLeave, Node: 2},
+		{Type: BrokerFail, Node: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TargetMet {
+		t.Fatalf("target reported met on a split graph: %+v", rep)
+	}
+	if rep.Connectivity >= target {
+		t.Fatalf("connectivity %f did not drop below target %f", rep.Connectivity, target)
+	}
+	// Survivors kept: 1 stays (2 departed, 3's process failed).
+	got := plane.Brokers()
+	for _, b := range got {
+		if b == 3 || b == 2 {
+			t.Fatalf("dead/departed broker kept: %v", got)
+		}
+	}
+}
+
+// Broker recovery: after the failed broker comes back, a heal pass may
+// rehire it (it is no longer avoided) and the target holds again.
+func TestHealAfterRecovery(t *testing.T) {
+	top, m := ixpTop(t)
+	brokers := []int32{1, 2, 3}
+	plane := ctrlplane.New(top, m, brokers)
+	st := NewState(top, m)
+	target := coverage.SaturatedConnectivity(top.Graph, brokers)
+	h, err := NewHealer(st, plane, nil, nil, HealerConfig{Target: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewApplier(st)
+	if _, err := a.Apply(Event{Type: BrokerFail, Node: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Heal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Apply(Event{Type: BrokerRecover, Node: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TargetMet {
+		t.Fatalf("target unmet after full recovery: %+v", rep)
+	}
+}

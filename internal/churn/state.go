@@ -1,0 +1,155 @@
+package churn
+
+import (
+	"sync"
+
+	"brokerset/internal/graph"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// State is the live view of a churning topology. The underlying CSR graph
+// stays immutable (node and link identities are the universe); churn is an
+// overlay of down-marks, mirrored into the routing metrics' per-arc failure
+// flags so path computation sees every change immediately. The effective
+// state of a link is down iff it was individually failed or either endpoint
+// has left.
+//
+// State is not internally synchronized: callers serialize mutations against
+// reads the same way they already serialize control-plane writes against
+// path computation (brokerd's state lock).
+type State struct {
+	top     *topology.Topology
+	metrics *routing.Metrics // nil: overlay only, no metric mirroring
+
+	nodeDown   []bool
+	linkDown   map[uint64]bool // individually failed links, packed (u<v)
+	brokerDown map[int32]bool
+
+	// liveMu guards only the live-graph cache, so concurrent readers
+	// (e.g. connectivity probes under a shared read lock) can rebuild it
+	// safely; all other fields follow the external-serialization rule.
+	liveMu    sync.Mutex
+	live      *graph.Graph // cached live graph; nil when dirty
+	downLinks int          // count of effectively-down links
+}
+
+func packLink(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// NewState wraps a topology (and optionally its routing metrics) in a live
+// churn overlay with everything up.
+func NewState(top *topology.Topology, metrics *routing.Metrics) *State {
+	return &State{
+		top:        top,
+		metrics:    metrics,
+		nodeDown:   make([]bool, top.NumNodes()),
+		linkDown:   make(map[uint64]bool),
+		brokerDown: make(map[int32]bool),
+	}
+}
+
+// Topology returns the underlying (immutable) topology.
+func (s *State) Topology() *topology.Topology { return s.top }
+
+// NodeDown reports whether node u has left the topology.
+func (s *State) NodeDown(u int32) bool { return s.nodeDown[u] }
+
+// LinkDown reports the effective state of link (u,v): individually failed
+// or incident to a departed node.
+func (s *State) LinkDown(u, v int32) bool {
+	return s.linkDown[packLink(u, v)] || s.nodeDown[u] || s.nodeDown[v]
+}
+
+// BrokerDown reports whether the broker process on node b is failed.
+func (s *State) BrokerDown(b int32) bool { return s.brokerDown[b] }
+
+// DownBrokers returns the failed broker nodes in ascending order.
+func (s *State) DownBrokers() []int32 {
+	var out []int32
+	for u := range s.nodeDown {
+		if s.brokerDown[int32(u)] {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}
+
+// AvoidMask returns a node mask of everything the healer must not hire as a
+// broker: departed nodes and failed broker processes.
+func (s *State) AvoidMask() []bool {
+	mask := make([]bool, len(s.nodeDown))
+	copy(mask, s.nodeDown)
+	for b := range s.brokerDown {
+		mask[b] = true
+	}
+	return mask
+}
+
+// DownLinks returns the number of effectively-down links.
+func (s *State) DownLinks() int {
+	s.LiveGraph() // refresh the count when dirty
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.downLinks
+}
+
+// invalidateLive drops the cached live graph.
+func (s *State) invalidateLive() {
+	s.liveMu.Lock()
+	s.live = nil
+	s.liveMu.Unlock()
+}
+
+// DownNodes returns the number of departed nodes.
+func (s *State) DownNodes() int {
+	n := 0
+	for _, d := range s.nodeDown {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// mirrorLink pushes link (u,v)'s current effective state into the metrics'
+// per-arc failure flags (no-op in overlay-only mode).
+func (s *State) mirrorLink(u, v int32) {
+	if s.metrics == nil {
+		return
+	}
+	if s.LinkDown(u, v) {
+		s.metrics.FailLink(u, v)
+	} else {
+		s.metrics.RestoreLink(u, v)
+	}
+}
+
+// LiveGraph returns the graph induced by the up links (departed nodes keep
+// their ids but become isolated, so node identities are stable). The result
+// is cached until the next mutation; the rebuild is internally locked so
+// concurrent readers may call it, as long as no mutation runs concurrently.
+func (s *State) LiveGraph() *graph.Graph {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	if s.live != nil {
+		return s.live
+	}
+	b := graph.NewBuilder(s.top.NumNodes())
+	down := 0
+	s.top.Graph.Edges(func(u, v int) bool {
+		if s.LinkDown(int32(u), int32(v)) {
+			down++
+			return true
+		}
+		b.AddEdge(u, v)
+		return true
+	})
+	s.downLinks = down
+	s.live = b.MustBuild()
+	return s.live
+}

@@ -65,6 +65,11 @@ type Stats struct {
 	Commits   int
 	Aborts    int
 	Teardowns int
+	// Repaths counts sessions successfully moved to a new path after
+	// topology damage; RepathAborts counts sessions gracefully aborted
+	// because no dominated path survived (or capacity ran out).
+	Repaths      int
+	RepathAborts int
 }
 
 // SessionState is the lifecycle state of a setup.
@@ -186,6 +191,81 @@ func (p *Plane) Crash(b int32) { p.crashed[b] = true }
 // Recover clears a crash.
 func (p *Plane) Recover(b int32) { delete(p.crashed, b) }
 
+// Crashed reports whether broker b is marked crashed.
+func (p *Plane) Crashed(b int32) bool { return p.crashed[b] }
+
+// Brokers returns the coalition membership in ascending id order.
+func (p *Plane) Brokers() []int32 {
+	out := make([]int32, 0, len(p.agents))
+	for u, in := range p.inB {
+		if in {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}
+
+// SetBrokers replaces the coalition membership, migrating capacity ledgers:
+// every link managed under both the old and new set keeps its residual
+// availability (link ownership may move between agents when the broker set
+// changes — ownerOf picks the lower-id broker endpoint), links that gain a
+// first broker endpoint are seeded from the metrics' residual capacity, and
+// links that lose all broker endpoints drop out of the ledger. Crash marks
+// persist across membership changes (they key off the node id). Added and
+// removed report the membership delta.
+func (p *Plane) SetBrokers(brokers []int32) (added, removed []int32) {
+	newIn := make([]bool, len(p.inB))
+	for _, b := range brokers {
+		newIn[b] = true
+	}
+	for u := range p.inB {
+		switch {
+		case newIn[u] && !p.inB[u]:
+			added = append(added, int32(u))
+		case !newIn[u] && p.inB[u]:
+			removed = append(removed, int32(u))
+		}
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return nil, nil
+	}
+	// Snapshot every managed hop's residual availability under the old
+	// ownership, then rebuild agents under the new one.
+	oldAvail := make(map[[2]int32]float64)
+	for _, a := range p.agents {
+		for hop, avail := range a.avail {
+			oldAvail[hop] = avail
+		}
+	}
+	p.inB = newIn
+	p.agents = make(map[int32]*agent, len(brokers))
+	for _, b := range brokers {
+		p.agents[b] = &agent{
+			id:    b,
+			avail: make(map[[2]int32]float64),
+			holds: make(map[int][]hold),
+		}
+	}
+	p.top.Graph.Edges(func(u, v int) bool {
+		owner, ok := p.ownerOf(int32(u), int32(v))
+		if !ok {
+			return true
+		}
+		key := hopKey(int32(u), int32(v))
+		if avail, had := oldAvail[key]; had {
+			p.agents[owner].avail[key] = avail
+		} else {
+			// Newly managed link: seed with residual capacity so any
+			// reservation still held by a legacy session stays accounted.
+			p.agents[owner].avail[key] = p.metrics.Residual(int32(u), int32(v))
+		}
+		return true
+	})
+	p.engine.SetBrokers(brokers)
+	p.version++
+	return added, removed
+}
+
 // Stats returns a copy of the message counters.
 func (p *Plane) Stats() Stats { return p.stats }
 
@@ -223,12 +303,25 @@ func (p *Plane) Setup(src, dst int, bw float64, opts routing.Options) (*Session,
 		return nil, fmt.Errorf("ctrlplane: no dominated path: %w", err)
 	}
 	p.nextID++
-	s := &Session{ID: p.nextID, Path: path.Nodes, Bandwidth: bw}
-	for i := 0; i+1 < len(path.Nodes); i++ {
-		owner, ok := p.ownerOf(path.Nodes[i], path.Nodes[i+1])
+	s := &Session{ID: p.nextID, Bandwidth: bw}
+	if err := p.establish(s, path.Nodes); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// establish runs the two-phase commit for session s over the node sequence,
+// setting Path/owners and leaving the session StateCommitted on success or
+// StateAborted (all holds released) on failure.
+func (p *Plane) establish(s *Session, nodes []int32) error {
+	s.Path = nodes
+	s.owners = s.owners[:0]
+	for i := 0; i+1 < len(nodes); i++ {
+		owner, ok := p.ownerOf(nodes[i], nodes[i+1])
 		if !ok {
-			return nil, fmt.Errorf("ctrlplane: hop (%d,%d) has no broker owner — path not dominated",
-				path.Nodes[i], path.Nodes[i+1])
+			s.State = StateAborted
+			return fmt.Errorf("ctrlplane: hop (%d,%d) has no broker owner — path not dominated",
+				nodes[i], nodes[i+1])
 		}
 		s.owners = append(s.owners, owner)
 	}
@@ -237,7 +330,7 @@ func (p *Plane) Setup(src, dst int, bw float64, opts routing.Options) (*Session,
 	for i, owner := range s.owners {
 		p.send(Message{
 			From: -1, To: owner, Type: MsgPrepare, SessionID: s.ID,
-			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: bw,
+			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: s.Bandwidth,
 		})
 	}
 	acks, nacks := p.drain()
@@ -250,9 +343,9 @@ func (p *Plane) Setup(src, dst int, bw float64, opts routing.Options) (*Session,
 		p.stats.Aborts++
 		s.State = StateAborted
 		if nacks > 0 {
-			return nil, fmt.Errorf("ctrlplane: setup %d aborted: insufficient capacity on %d hop(s)", s.ID, nacks)
+			return fmt.Errorf("ctrlplane: setup %d aborted: insufficient capacity on %d hop(s)", s.ID, nacks)
 		}
-		return nil, fmt.Errorf("ctrlplane: setup %d aborted: %d owner(s) unresponsive", s.ID, len(s.owners)-acks)
+		return fmt.Errorf("ctrlplane: setup %d aborted: %d owner(s) unresponsive", s.ID, len(s.owners)-acks)
 	}
 	// Phase 2 (success): COMMIT.
 	for _, owner := range s.owners {
@@ -261,7 +354,33 @@ func (p *Plane) Setup(src, dst int, bw float64, opts routing.Options) (*Session,
 	p.drain()
 	p.stats.Commits++
 	s.State = StateCommitted
-	return s, nil
+	return nil
+}
+
+// releaseAll returns a committed session's capacity on every hop. Hops whose
+// current owner is alive get a normal RELEASE message; hops that lost their
+// owner (broker removed or crashed since commit) are reclaimed directly by
+// the coordinator so no reservation leaks from the ledger.
+func (p *Plane) releaseAll(s *Session) {
+	for i := 0; i+1 < len(s.Path); i++ {
+		u, v := s.Path[i], s.Path[i+1]
+		owner, ok := p.ownerOf(u, v)
+		if ok && !p.crashed[owner] {
+			p.send(Message{
+				From: -1, To: owner, Type: MsgRelease, SessionID: s.ID,
+				Hop: hopKey(u, v), Bandwidth: s.Bandwidth,
+			})
+			continue
+		}
+		if ok {
+			// Crashed owner: credit its ledger directly so recovery sees a
+			// consistent view.
+			p.agents[owner].avail[hopKey(u, v)] += s.Bandwidth
+		}
+		p.metrics.Release(u, v, s.Bandwidth)
+		p.version++
+	}
+	p.drain()
 }
 
 // Teardown releases a committed session's capacity at every owner.
@@ -269,15 +388,55 @@ func (p *Plane) Teardown(s *Session) error {
 	if s == nil || s.State != StateCommitted {
 		return fmt.Errorf("ctrlplane: teardown of non-committed session")
 	}
-	for i, owner := range s.owners {
-		p.send(Message{
-			From: -1, To: owner, Type: MsgRelease, SessionID: s.ID,
-			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: s.Bandwidth,
-		})
-	}
-	p.drain()
+	p.releaseAll(s)
 	p.stats.Teardowns++
 	s.State = StateReleased
+	return nil
+}
+
+// SessionDamaged reports whether a committed session no longer matches the
+// live topology and coalition: a hop link is failed, a hop lost its broker
+// owner, ownership moved off the agent that holds the reservation, or the
+// owning agent crashed. Damaged sessions must be Repathed (or torn down).
+func (p *Plane) SessionDamaged(s *Session) bool {
+	if s == nil || s.State != StateCommitted {
+		return false
+	}
+	for i, owner := range s.owners {
+		u, v := s.Path[i], s.Path[i+1]
+		if p.metrics.Failed(u, v) {
+			return true
+		}
+		cur, ok := p.ownerOf(u, v)
+		if !ok || cur != owner || p.crashed[cur] {
+			return true
+		}
+	}
+	return false
+}
+
+// Repath moves a damaged committed session onto a fresh dominated path:
+// break-before-make — the old reservations are released (directly when the
+// owner is gone), then the new path is reserved through the normal 2PC. When
+// no dominated path survives (or capacity ran out) the session is left
+// cleanly aborted with nothing held, and an error is returned.
+func (p *Plane) Repath(s *Session, opts routing.Options) error {
+	if s == nil || s.State != StateCommitted {
+		return fmt.Errorf("ctrlplane: repath of non-committed session")
+	}
+	p.releaseAll(s)
+	src, dst := int(s.Path[0]), int(s.Path[len(s.Path)-1])
+	path, err := p.engine.BestPath(src, dst, opts)
+	if err != nil {
+		s.State = StateAborted
+		p.stats.RepathAborts++
+		return fmt.Errorf("ctrlplane: session %d aborted: no dominated path survives: %w", s.ID, err)
+	}
+	if err := p.establish(s, path.Nodes); err != nil {
+		p.stats.RepathAborts++
+		return fmt.Errorf("ctrlplane: session %d aborted during repath: %w", s.ID, err)
+	}
+	p.stats.Repaths++
 	return nil
 }
 

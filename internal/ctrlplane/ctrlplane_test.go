@@ -299,3 +299,177 @@ func TestControlPlaneOnInternetTopology(t *testing.T) {
 		return true
 	})
 }
+
+// diamondTop builds 0–1–2 / 0–3–2 (two disjoint paths) with fixed metrics.
+func diamondTop(t testing.TB) (*topology.Topology, *routing.Metrics) {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(3, 2)
+	g := b.MustBuild()
+	top := &topology.Topology{
+		Graph: g,
+		Class: make([]topology.Class, 4),
+		Tier:  []uint8{3, 3, 3, 3},
+		Name:  make([]string, 4),
+	}
+	g.Edges(func(u, v int) bool {
+		top.SetRel(u, v, topology.RelPeer)
+		return true
+	})
+	m := routing.DefaultMetrics(top, rand.New(rand.NewSource(1)))
+	g.Edges(func(u, v int) bool {
+		m.SetCapacity(int32(u), int32(v), 10)
+		m.SetLatency(int32(u), int32(v), 1)
+		return true
+	})
+	// Bias the search towards the 0–1–2 side.
+	m.SetLatency(0, 3, 5)
+	m.SetLatency(3, 2, 5)
+	return top, m
+}
+
+// SetBrokers must migrate agent ledgers: links that stay managed keep their
+// reservation-adjusted availability, newly-managed links seed from the
+// metrics residual, and the membership delta is reported.
+func TestSetBrokersMigratesLedgers(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	s, err := p.Setup(0, 4, 4, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Version()
+	added, removed := p.SetBrokers([]int32{2, 3, 4})
+	if len(added) != 1 || added[0] != 4 || len(removed) != 1 || removed[0] != 1 {
+		t.Fatalf("delta = +%v -%v", added, removed)
+	}
+	if p.Version() <= v {
+		t.Fatal("membership change did not advance version")
+	}
+	// (1,2) stays managed (owner moves 1 -> 2): availability preserved.
+	if got := p.Available(1, 2); got != 6 {
+		t.Fatalf("ledger(1,2) = %f, want 6", got)
+	}
+	// (4,3) is newly managed by 4's side: seeded from the metrics residual,
+	// which carries the session's reservation.
+	if got := p.Available(3, 4); got != 6 {
+		t.Fatalf("ledger(3,4) = %f, want 6", got)
+	}
+	// (0,1) lost its only broker endpoint: unmanaged now.
+	if got, ok := p.ownerOf(0, 1); ok {
+		t.Fatalf("unmanaged link still owned by %d", got)
+	}
+	// The session's (0,1) hop has no owner anymore -> damaged.
+	if !p.SessionDamaged(s) {
+		t.Fatal("session with unmanaged hop not damaged")
+	}
+	// Same set again: no-op.
+	if a2, r2 := p.SetBrokers([]int32{3, 2, 4}); a2 != nil || r2 != nil {
+		t.Fatalf("no-op delta = +%v -%v", a2, r2)
+	}
+}
+
+func TestRepathMovesReservations(t *testing.T) {
+	top, m := diamondTop(t)
+	p := New(top, m, []int32{1, 3})
+	s, err := p.Setup(0, 2, 4, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Path[1] != 1 {
+		t.Fatalf("setup took the slow side: %v", s.Path)
+	}
+	if p.SessionDamaged(s) {
+		t.Fatal("fresh session reported damaged")
+	}
+	m.FailLink(0, 1)
+	if !p.SessionDamaged(s) {
+		t.Fatal("session over failed link not damaged")
+	}
+	if err := p.Repath(s, routing.Options{}); err != nil {
+		t.Fatalf("Repath: %v", err)
+	}
+	if s.State != StateCommitted || s.Path[1] != 3 {
+		t.Fatalf("repathed session = %+v", s)
+	}
+	// Reservations moved: old path fully released, new path holds 4.
+	if got := m.Residual(0, 1); got != 10 {
+		t.Fatalf("old hop residual = %f, want 10", got)
+	}
+	if got := p.Available(0, 3); got != 6 {
+		t.Fatalf("new hop ledger = %f, want 6", got)
+	}
+	if st := p.Stats(); st.Repaths != 1 || st.RepathAborts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// When no dominated path survives, Repath aborts the session and releases
+// everything — the caller then drops it.
+func TestRepathAbortsCleanly(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	s, err := p.Setup(0, 4, 4, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.FailLink(2, 3) // the only path is cut
+	if err := p.Repath(s, routing.Options{}); err == nil {
+		t.Fatal("repath across a cut committed")
+	}
+	if s.State != StateAborted {
+		t.Fatalf("state = %v, want aborted", s.State)
+	}
+	// No leaked holds anywhere.
+	top.Graph.Edges(func(u, v int) bool {
+		if got := m.Residual(int32(u), int32(v)); got != 10 {
+			t.Fatalf("leaked hold on (%d,%d): residual %f", u, v, got)
+		}
+		return true
+	})
+	if st := p.Stats(); st.RepathAborts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if p.SessionDamaged(s) {
+		t.Fatal("aborted session reported damaged")
+	}
+}
+
+// A crashed owner marks its sessions damaged; releaseAll still recovers the
+// reservation by crediting the ledger directly.
+func TestCrashedOwnerDamagesAndReleases(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{1, 2, 3})
+	s, err := p.Setup(0, 4, 4, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Crash(2)
+	if !p.SessionDamaged(s) {
+		t.Fatal("session owned by crashed broker not damaged")
+	}
+	if err := p.Teardown(s); err != nil {
+		t.Fatal(err)
+	}
+	top.Graph.Edges(func(u, v int) bool {
+		if got := m.Residual(int32(u), int32(v)); got != 10 {
+			t.Fatalf("crashed-owner teardown leaked on (%d,%d): %f", u, v, got)
+		}
+		return true
+	})
+	if !p.Crashed(2) {
+		t.Fatal("Crashed(2) = false")
+	}
+}
+
+func TestBrokersAccessor(t *testing.T) {
+	top, m := lineTop(t)
+	p := New(top, m, []int32{3, 1, 2})
+	got := p.Brokers()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Brokers() = %v, want ascending [1 2 3]", got)
+	}
+}

@@ -91,25 +91,33 @@ func (c *Cache) shardFor(k routing.QueryKey) *cacheShard {
 // Get returns the cached path for k if present and computed under gen.
 // Entries from older generations are removed and reported as misses.
 func (c *Cache) Get(k routing.QueryKey, gen uint64) (*routing.Path, bool) {
+	p, ok, _ := c.Lookup(k, gen)
+	return p, ok
+}
+
+// Lookup is Get plus miss classification: stale reports that an entry for k
+// existed but belonged to an older generation (an invalidation-caused miss,
+// as opposed to a cold one). The stale entry is dropped.
+func (c *Cache) Lookup(k routing.QueryKey, gen uint64) (p *routing.Path, ok, stale bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.items[k]
 	if !ok {
 		s.mu.Unlock()
-		return nil, false
+		return nil, false, false
 	}
 	if e.gen != gen {
 		s.unlink(e)
 		delete(s.items, k)
 		s.mu.Unlock()
 		c.evictions.Add(1)
-		return nil, false
+		return nil, false, true
 	}
 	s.unlink(e)
 	s.pushFront(e)
-	p := e.path
+	p = e.path
 	s.mu.Unlock()
-	return p, true
+	return p, true, false
 }
 
 // Put stores a path computed under gen. If the generation has moved on the

@@ -50,20 +50,25 @@ type Config struct {
 
 // Stats is a point-in-time snapshot of the plane's counters.
 type Stats struct {
-	Queries      uint64        `json:"queries"`
-	Hits         uint64        `json:"hits"`
-	Misses       uint64        `json:"misses"`
-	Dedup        uint64        `json:"dedup"`
-	Shed         uint64        `json:"shed"`
-	Errors       uint64        `json:"errors"`
-	Evictions    uint64        `json:"evictions"`
-	Inflight     int64         `json:"inflight"`
-	Waiting      int64         `json:"waiting"`
-	CacheEntries int           `json:"cache_entries"`
-	Generation   uint64        `json:"generation"`
-	P50          time.Duration `json:"-"`
-	P95          time.Duration `json:"-"`
-	P99          time.Duration `json:"-"`
+	Queries uint64 `json:"queries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	// MissesCold counts misses with no prior entry for the key;
+	// MissesInvalidated counts misses caused by generation invalidation
+	// (a stale entry was present). Cold + Invalidated == Misses.
+	MissesCold        uint64        `json:"misses_cold"`
+	MissesInvalidated uint64        `json:"misses_invalidated"`
+	Dedup             uint64        `json:"dedup"`
+	Shed              uint64        `json:"shed"`
+	Errors            uint64        `json:"errors"`
+	Evictions         uint64        `json:"evictions"`
+	Inflight          int64         `json:"inflight"`
+	Waiting           int64         `json:"waiting"`
+	CacheEntries      int           `json:"cache_entries"`
+	Generation        uint64        `json:"generation"`
+	P50               time.Duration `json:"-"`
+	P95               time.Duration `json:"-"`
+	P99               time.Duration `json:"-"`
 }
 
 // HitRate returns Hits / Queries (0 when idle).
@@ -82,15 +87,17 @@ type QueryPlane struct {
 	flights flightGroup
 	sem     chan struct{}
 
-	queries  atomic.Uint64
-	hits     atomic.Uint64
-	misses   atomic.Uint64
-	dedup    atomic.Uint64
-	shed     atomic.Uint64
-	errs     atomic.Uint64
-	inflight atomic.Int64
-	waiting  atomic.Int64
-	hist     latencyHist
+	queries     atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	missesCold  atomic.Uint64
+	missesStale atomic.Uint64
+	dedup       atomic.Uint64
+	shed        atomic.Uint64
+	errs        atomic.Uint64
+	inflight    atomic.Int64
+	waiting     atomic.Int64
+	hist        latencyHist
 }
 
 // New builds a QueryPlane, applying defaults for zero Config fields.
@@ -135,10 +142,14 @@ func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Optio
 	q.queries.Add(1)
 	key := opts.CacheKey(src, dst)
 	gen := q.cache.Generation()
-	if p, ok := q.cache.Get(key, gen); ok {
+	if p, ok, stale := q.cache.Lookup(key, gen); ok {
 		q.hits.Add(1)
 		q.hist.observe(time.Since(start))
 		return p, true, nil
+	} else if stale {
+		q.missesStale.Add(1)
+	} else {
+		q.missesCold.Add(1)
 	}
 	q.misses.Add(1)
 	path, shared, err := q.flights.do(flightKey{key: key, gen: gen}, func() (*routing.Path, error) {
@@ -197,19 +208,21 @@ func (q *QueryPlane) acquireSlot(ctx context.Context) error {
 // Stats snapshots the counters and latency quantiles.
 func (q *QueryPlane) Stats() Stats {
 	return Stats{
-		Queries:      q.queries.Load(),
-		Hits:         q.hits.Load(),
-		Misses:       q.misses.Load(),
-		Dedup:        q.dedup.Load(),
-		Shed:         q.shed.Load(),
-		Errors:       q.errs.Load(),
-		Evictions:    q.cache.Evictions(),
-		Inflight:     q.inflight.Load(),
-		Waiting:      q.waiting.Load(),
-		CacheEntries: q.cache.Len(),
-		Generation:   q.cache.Generation(),
-		P50:          q.hist.quantile(0.50),
-		P95:          q.hist.quantile(0.95),
-		P99:          q.hist.quantile(0.99),
+		Queries:           q.queries.Load(),
+		Hits:              q.hits.Load(),
+		Misses:            q.misses.Load(),
+		MissesCold:        q.missesCold.Load(),
+		MissesInvalidated: q.missesStale.Load(),
+		Dedup:             q.dedup.Load(),
+		Shed:              q.shed.Load(),
+		Errors:            q.errs.Load(),
+		Evictions:         q.cache.Evictions(),
+		Inflight:          q.inflight.Load(),
+		Waiting:           q.waiting.Load(),
+		CacheEntries:      q.cache.Len(),
+		Generation:        q.cache.Generation(),
+		P50:               q.hist.quantile(0.50),
+		P95:               q.hist.quantile(0.95),
+		P99:               q.hist.quantile(0.99),
 	}
 }

@@ -303,3 +303,50 @@ func TestSessionStoreParallel(t *testing.T) {
 		t.Fatalf("lost sessions: resident+deleted = %d, want %d", got, 8*200)
 	}
 }
+
+// Cache misses split into cold (never computed) and invalidation-caused
+// (entry existed but its generation was staled). The split must add up to
+// the total miss count.
+func TestMissSplitColdVsInvalidated(t *testing.T) {
+	cc := &countingCompute{}
+	qp := newPlane(t, cc, nil)
+	ctx := context.Background()
+
+	// Three cold misses.
+	for i := 0; i < 3; i++ {
+		if _, _, err := qp.Query(ctx, 1, 2+i, routing.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := qp.Stats()
+	if st.MissesCold != 3 || st.MissesInvalidated != 0 {
+		t.Fatalf("after cold misses: %+v", st)
+	}
+
+	// Stale two of them, leave the third untouched.
+	qp.Invalidate()
+	for i := 0; i < 2; i++ {
+		if _, cached, err := qp.Query(ctx, 1, 2+i, routing.Options{}); err != nil || cached {
+			t.Fatalf("post-invalidation query: %v cached=%v", err, cached)
+		}
+	}
+	st = qp.Stats()
+	if st.MissesCold != 3 || st.MissesInvalidated != 2 {
+		t.Fatalf("after invalidation misses: %+v", st)
+	}
+	// A brand-new pair after invalidation is still a cold miss.
+	if _, _, err := qp.Query(ctx, 9, 10, routing.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st = qp.Stats()
+	if st.MissesCold != 4 || st.MissesInvalidated != 2 {
+		t.Fatalf("new pair after invalidation: %+v", st)
+	}
+	if st.MissesCold+st.MissesInvalidated != st.Misses {
+		t.Fatalf("split does not sum to total: %+v", st)
+	}
+	// Hits are unaffected.
+	if _, cached, err := qp.Query(ctx, 9, 10, routing.Options{}); err != nil || !cached {
+		t.Fatalf("warm query: %v cached=%v", err, cached)
+	}
+}

@@ -68,6 +68,29 @@ func NewEngine(top *topology.Topology, metrics *Metrics, brokers []int32) *Engin
 // Metrics exposes the engine's metrics store.
 func (e *Engine) Metrics() *Metrics { return e.metrics }
 
+// SetBrokers replaces the broker set the engine routes over. Paths computed
+// afterwards only use links dominated by the new set. Callers that cache
+// paths must invalidate them. Not safe for concurrent use with BestPath.
+func (e *Engine) SetBrokers(brokers []int32) {
+	for i := range e.inB {
+		e.inB[i] = false
+	}
+	for _, b := range brokers {
+		e.inB[b] = true
+	}
+}
+
+// Brokers returns the current broker set in ascending id order.
+func (e *Engine) Brokers() []int32 {
+	var out []int32
+	for u, in := range e.inB {
+		if in {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}
+
 // Topology exposes the engine's topology.
 func (e *Engine) Topology() *topology.Topology { return e.top }
 
@@ -368,7 +391,7 @@ type pathHeap struct{ items []pathItem }
 func (h *pathHeap) Len() int           { return len(h.items) }
 func (h *pathHeap) Less(i, j int) bool { return h.items[i].cost < h.items[j].cost }
 func (h *pathHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *pathHeap) Push(x any) { h.items = append(h.items, x.(pathItem)) }
+func (h *pathHeap) Push(x any)         { h.items = append(h.items, x.(pathItem)) }
 func (h *pathHeap) Pop() any {
 	old := h.items
 	n := len(old)

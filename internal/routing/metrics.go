@@ -133,6 +133,21 @@ func (m *Metrics) Available(u, v int32) float64 {
 	return 0
 }
 
+// Residual returns capacity minus reservations for a link, ignoring
+// failure state (a failed link keeps its reservations until their owners
+// release them). 0 for a non-edge.
+func (m *Metrics) Residual(u, v int32) float64 {
+	a := m.arcOf(u, v)
+	if a < 0 {
+		return 0
+	}
+	r := m.capacity[a] - m.used[a]
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
 // Reserve allocates bw Gbps on the link, failing when unavailable.
 func (m *Metrics) Reserve(u, v int32, bw float64) error {
 	a, b := m.bothArcs(u, v)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"brokerset/internal/churn"
 	"brokerset/internal/coverage"
 	"brokerset/internal/topology"
 )
@@ -23,6 +24,9 @@ type FailureResult struct {
 // FailBrokers removes a fraction of the brokers (picked uniformly at
 // random) and measures the connectivity damage and re-routability —
 // the resilience question a real coalition deployment has to answer.
+// Failures are expressed as churn.BrokerFail events applied through the
+// churn subsystem's Applier, so this offline experiment exercises the same
+// event path the live self-healing plane runs on.
 func FailBrokers(top *topology.Topology, brokers []int32, frac float64, samplePairs int, rng *rand.Rand) (*FailureResult, error) {
 	if frac < 0 || frac > 1 {
 		return nil, fmt.Errorf("sim: failure fraction %f outside [0,1]", frac)
@@ -32,13 +36,16 @@ func FailBrokers(top *topology.Topology, brokers []int32, frac float64, samplePa
 	}
 	nFail := int(frac * float64(len(brokers)))
 	perm := rng.Perm(len(brokers))
-	failed := make(map[int32]bool, nFail)
+	state := churn.NewState(top, nil)
+	applier := churn.NewApplier(state)
 	for i := 0; i < nFail; i++ {
-		failed[brokers[perm[i]]] = true
+		if _, err := applier.Apply(churn.Event{Type: churn.BrokerFail, Node: brokers[perm[i]]}); err != nil {
+			return nil, fmt.Errorf("sim: applying broker failure: %w", err)
+		}
 	}
 	var surviving []int32
 	for _, b := range brokers {
-		if !failed[b] {
+		if !state.BrokerDown(b) {
 			surviving = append(surviving, b)
 		}
 	}

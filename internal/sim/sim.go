@@ -227,10 +227,10 @@ type expiryItem struct {
 
 type expiryHeap []expiryItem
 
-func (h expiryHeap) Len() int            { return len(h) }
-func (h expiryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h expiryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x any) { *h = append(*h, x.(expiryItem)) }
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryItem)) }
 func (h *expiryHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -47,6 +47,13 @@ type Config struct {
 	Zipf float64
 	// Seed derives per-worker generator seeds.
 	Seed int64
+	// Churn, when non-nil, is invoked every ChurnEvery during the run
+	// (from a dedicated goroutine, concurrent with the workers): it
+	// applies a burst of topology churn, runs a heal pass, and returns the
+	// repair duration. Its errors stop further churn but not the run.
+	Churn func() (time.Duration, error)
+	// ChurnEvery is the interval between churn injections. Default 500ms.
+	ChurnEvery time.Duration
 }
 
 // Report summarizes a closed-loop run.
@@ -62,6 +69,18 @@ type Report struct {
 	P50      time.Duration `json:"p50_ns"`
 	P95      time.Duration `json:"p95_ns"`
 	P99      time.Duration `json:"p99_ns"`
+
+	// Churn-under-load fields (zero unless Config.Churn was set).
+	// ChurnBursts counts churn injections; Availability is the fraction of
+	// requests that resolved normally (found a path or were cleanly shed)
+	// rather than failing because healing was in flight — on a topology
+	// whose baseline connectivity is ~1, no-path and error outcomes during
+	// a churn run are healing-induced. RepairP50/RepairP95 summarize the
+	// injected heal-pass durations.
+	ChurnBursts  int           `json:"churn_bursts,omitempty"`
+	Availability float64       `json:"availability,omitempty"`
+	RepairP50    time.Duration `json:"repair_p50_ns,omitempty"`
+	RepairP95    time.Duration `json:"repair_p95_ns,omitempty"`
 }
 
 // String renders the report in loadgen's human output format.
@@ -73,6 +92,11 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "hit rate: %.1f%%\n", 100*r.HitRate)
 	fmt.Fprintf(&b, "latency:  p50 %v  p95 %v  p99 %v",
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.ChurnBursts > 0 {
+		fmt.Fprintf(&b, "\nchurn:    %d bursts, availability %.2f%%, repair p50 %v p95 %v",
+			r.ChurnBursts, 100*r.Availability,
+			r.RepairP50.Round(time.Microsecond), r.RepairP95.Round(time.Microsecond))
+	}
 	return b.String()
 }
 
@@ -110,6 +134,41 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	}
 	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
+
+	// Churn injector: a side goroutine disrupting the topology while the
+	// workers run, collecting each heal pass's repair latency.
+	var (
+		churnDone    chan struct{}
+		churnStop    chan struct{}
+		repairs      []time.Duration
+		churnedBurst int
+	)
+	if cfg.Churn != nil {
+		every := cfg.ChurnEvery
+		if every <= 0 {
+			every = 500 * time.Millisecond
+		}
+		churnStop = make(chan struct{})
+		churnDone = make(chan struct{})
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+					d, err := cfg.Churn()
+					if err != nil {
+						return
+					}
+					churnedBurst++
+					repairs = append(repairs, d)
+				}
+			}
+		}()
+	}
 	for w := 0; w < cfg.Concurrency; w++ {
 		gen, err := newGen(w)
 		if err != nil {
@@ -147,6 +206,10 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if cfg.Churn != nil {
+		close(churnStop)
+		<-churnDone
+	}
 
 	rep := &Report{Elapsed: elapsed}
 	var all []time.Duration
@@ -172,6 +235,22 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		return all[i]
 	}
 	rep.P50, rep.P95, rep.P99 = q(0.50), q(0.95), q(0.99)
+
+	if cfg.Churn != nil {
+		rep.ChurnBursts = churnedBurst
+		rep.Availability = float64(rep.Requests-rep.Errors-rep.NotFound) / float64(rep.Requests)
+		if len(repairs) > 0 {
+			sort.Slice(repairs, func(i, j int) bool { return repairs[i] < repairs[j] })
+			rq := func(p float64) time.Duration {
+				i := int(p * float64(len(repairs)))
+				if i >= len(repairs) {
+					i = len(repairs) - 1
+				}
+				return repairs[i]
+			}
+			rep.RepairP50, rep.RepairP95 = rq(0.50), rq(0.95)
+		}
+	}
 	return rep, nil
 }
 
