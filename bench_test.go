@@ -347,11 +347,11 @@ func BenchmarkCtrlPlaneSetup(b *testing.B) {
 	src, dst := int(brokers[0]), int(brokers[len(brokers)-1])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sess, err := plane.Setup(src, dst, 0.001, routing.Options{})
+		sess, err := plane.Setup(context.Background(), src, dst, 0.001, routing.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := plane.Teardown(sess); err != nil {
+		if err := plane.Teardown(context.Background(), sess); err != nil {
 			b.Fatal(err)
 		}
 	}

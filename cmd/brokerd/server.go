@@ -117,7 +117,7 @@ func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int6
 // churnAndHeal applies a burst of churn events and runs one heal pass, all
 // under the state write lock. Either half may be empty (nil events = heal
 // only). It backs both POST /churn and the -churn background loop.
-func (s *server) churnAndHeal(events []churn.Event, heal bool) (churn.BlastRadius, *churn.HealReport, error) {
+func (s *server) churnAndHeal(ctx context.Context, events []churn.Event, heal bool) (churn.BlastRadius, *churn.HealReport, error) {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	blast, err := s.applier.ApplyAll(events)
@@ -132,7 +132,9 @@ func (s *server) churnAndHeal(events []churn.Event, heal bool) (churn.BlastRadiu
 	if !heal {
 		return blast, nil, nil
 	}
-	rep, err := s.healer.Heal()
+	hctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	rep, err := s.healer.Heal(hctx)
 	return blast, rep, err
 }
 
@@ -150,7 +152,7 @@ func (s *server) runChurnLoop(ctx context.Context, interval time.Duration) {
 			s.stateMu.Lock()
 			events := s.gen.Tick()
 			s.stateMu.Unlock()
-			if _, _, err := s.churnAndHeal(events, true); err != nil {
+			if _, _, err := s.churnAndHeal(ctx, events, true); err != nil {
 				fmt.Printf("brokerd: churn loop: %v\n", err)
 			}
 		}
@@ -221,11 +223,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // metricsResponse is the /metrics payload: query-plane counters (cache
 // misses split into cold vs invalidation-caused), latency quantiles in
-// milliseconds, and the churn healer's counters.
+// milliseconds, the churn healer's counters, and the control plane's
+// 2PC/retry/breaker/recovery counters.
 type metricsResponse struct {
 	queryplane.Stats
 	LatencyMs map[string]float64    `json:"latency_ms"`
 	Healer    churn.MetricsSnapshot `json:"healer"`
+	Ctrlplane ctrlplane.Stats       `json:"ctrlplane"`
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -234,6 +238,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.qp.Stats()
+	s.stateMu.RLock()
+	cp := s.plane.Stats()
+	s.stateMu.RUnlock()
 	writeJSON(w, http.StatusOK, metricsResponse{
 		Stats: st,
 		LatencyMs: map[string]float64{
@@ -241,7 +248,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"p95": float64(st.P95.Microseconds()) / 1000,
 			"p99": float64(st.P99.Microseconds()) / 1000,
 		},
-		Healer: s.healer.Metrics.Snapshot(),
+		Healer:    s.healer.Metrics.Snapshot(),
+		Ctrlplane: cp,
 	})
 }
 
@@ -317,7 +325,7 @@ func (s *server) handleChurn(w http.ResponseWriter, r *http.Request) {
 		events = append(events, gen...)
 	}
 	heal := req.Heal == nil || *req.Heal
-	blast, rep, err := s.churnAndHeal(events, heal)
+	blast, rep, err := s.churnAndHeal(r.Context(), events, heal)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -373,6 +381,7 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, queryplane.ErrShed):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.qp.RetryAfter().Seconds())))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "path computation timed out")
@@ -416,13 +425,20 @@ func sessionJSON(sess *ctrlplane.Session) sessionResponse {
 	}
 }
 
+// opTimeout bounds one control-plane operation (2PC retries included) so a
+// sick coalition cannot pin the state write lock indefinitely.
+const opTimeout = 2 * time.Second
+
 // setup runs a session setup under the state write lock, invalidating the
-// path cache when the commit changed residual link capacity.
-func (s *server) setup(req sessionRequest) (*ctrlplane.Session, error) {
+// path cache when the commit changed residual link capacity. The request
+// context (bounded by opTimeout) caps the 2PC retry budget.
+func (s *server) setup(ctx context.Context, req sessionRequest) (*ctrlplane.Session, error) {
+	ctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	before := s.plane.Version()
-	sess, err := s.plane.Setup(req.Src, req.Dst, req.Gbps, routing.Options{})
+	sess, err := s.plane.Setup(ctx, req.Src, req.Dst, req.Gbps, routing.Options{})
 	if s.plane.Version() != before {
 		s.qp.Invalidate()
 	}
@@ -431,11 +447,13 @@ func (s *server) setup(req sessionRequest) (*ctrlplane.Session, error) {
 
 // teardown releases a session under the state write lock, invalidating the
 // path cache when capacity was returned.
-func (s *server) teardown(sess *ctrlplane.Session) error {
+func (s *server) teardown(ctx context.Context, sess *ctrlplane.Session) error {
+	ctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	before := s.plane.Version()
-	err := s.plane.Teardown(sess)
+	err := s.plane.Teardown(ctx, sess)
 	if s.plane.Version() != before {
 		s.qp.Invalidate()
 	}
@@ -461,7 +479,7 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
 			return
 		}
-		sess, err := s.setup(req)
+		sess, err := s.setup(r.Context(), req)
 		if err != nil {
 			writeError(w, http.StatusConflict, "%v", err)
 			return
@@ -487,7 +505,7 @@ func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "no session %d", id)
 			return
 		}
-		if err := s.teardown(sess); err != nil {
+		if err := s.teardown(r.Context(), sess); err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}

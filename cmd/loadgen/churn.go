@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -58,7 +59,9 @@ func (c *churnStack) burst(n int) (time.Duration, error) {
 		return 0, err
 	}
 	c.healer.Metrics.EventsApplied.Add(uint64(len(events)))
-	rep, err := c.healer.Heal()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rep, err := c.healer.Heal(ctx)
 	if err != nil {
 		return 0, err
 	}

@@ -58,6 +58,8 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		maxhops = fs.Int("maxhops", 0, "query hop bound (0 = unbounded)")
 		minbw   = fs.Float64("minbw", 0, "query min available Gbps")
 		timeout = fs.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		retries = fs.Int("retries", 2, "max retries per query on 429 shed (HTTP mode)")
+		retryWt = fs.Duration("retry-wait", 250*time.Millisecond, "cap on per-attempt Retry-After wait")
 
 		churnEvery  = fs.Duration("churn-every", 0, "in-process churn injection interval (0 = off)")
 		churnEvents = fs.Int("churn-events", 4, "events per churn burst")
@@ -79,6 +81,7 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 	var (
 		target workload.Target
 		top    *topology.Topology
+		stack  *churnStack
 		err    error
 	)
 	if *addr != "" {
@@ -92,9 +95,11 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 			return nil, err
 		}
 		target = &workload.HTTPTarget{
-			Base:   *addr,
-			Opts:   opts,
-			Client: &http.Client{Timeout: *timeout},
+			Base:         *addr,
+			Opts:         opts,
+			Client:       &http.Client{Timeout: *timeout},
+			MaxRetries:   *retries,
+			MaxRetryWait: *retryWt,
 		}
 		fmt.Fprintf(out, "loadgen: %d workers -> %s (zipf %.2f over %d nodes)\n",
 			cfg.Concurrency, *addr, *zipf, top.NumNodes())
@@ -109,7 +114,6 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		}
 		metrics := routing.DefaultMetrics(top, nil)
 		engine := routing.NewEngine(top, metrics, brokers)
-		var stack *churnStack
 		qp, err := queryplane.New(queryplane.Config{
 			Compute: func(_ context.Context, src, dst int, o routing.Options) (*routing.Path, error) {
 				if stack != nil {
@@ -146,6 +150,14 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		return nil, err
 	}
 	fmt.Fprintln(out, rep)
+
+	// Churn mode: show what the healing traffic cost the control plane —
+	// 2PC retries, breaker activity, and WAL recoveries.
+	if stack != nil {
+		st := stack.plane.Stats()
+		fmt.Fprintf(out, "ctrl:     %d msgs, %d commits, %d aborts, %d repaths, %d retries, %d timeouts, %d breaker trips, %d recoveries\n",
+			st.Messages, st.Commits, st.Aborts, st.Repaths, st.Retries, st.Timeouts, st.BreakerTrips, st.Recoveries)
+	}
 
 	// When driving a live server, fold in its own view of the run.
 	if *addr != "" {

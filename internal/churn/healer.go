@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -44,6 +45,12 @@ type HealReport struct {
 	// BrokersAdded/BrokersRemoved are the membership delta.
 	BrokersAdded   []int32 `json:"brokers_added"`
 	BrokersRemoved []int32 `json:"brokers_removed"`
+	// BrokersRecovered are crashed coalition members whose process came
+	// back: the healer replayed their WALs instead of replacing them.
+	BrokersRecovered []int32 `json:"brokers_recovered,omitempty"`
+	// SickAvoided are brokers whose control-plane circuit breaker is open
+	// (persistently unresponsive, not known-dead): selection avoided them.
+	SickAvoided []int32 `json:"sick_avoided,omitempty"`
 	// Session repair outcome counts.
 	SessionsChecked  int `json:"sessions_checked"`
 	SessionsRepaired int `json:"sessions_repaired"`
@@ -60,6 +67,7 @@ type HealerMetrics struct {
 	MaintainPasses   atomic.Uint64
 	BrokerAdds       atomic.Uint64
 	BrokerRemoves    atomic.Uint64
+	BrokerRecoveries atomic.Uint64
 	SessionsRepaired atomic.Uint64
 	SessionsAborted  atomic.Uint64
 
@@ -74,6 +82,7 @@ type MetricsSnapshot struct {
 	MaintainPasses   uint64  `json:"maintain_passes"`
 	BrokerAdds       uint64  `json:"broker_adds"`
 	BrokerRemoves    uint64  `json:"broker_removes"`
+	BrokerRecoveries uint64  `json:"broker_recoveries"`
 	SessionsRepaired uint64  `json:"sessions_repaired"`
 	SessionsAborted  uint64  `json:"sessions_aborted"`
 	RepairP50Ms      float64 `json:"repair_p50_ms"`
@@ -115,6 +124,7 @@ func (m *HealerMetrics) Snapshot() MetricsSnapshot {
 		MaintainPasses:   m.MaintainPasses.Load(),
 		BrokerAdds:       m.BrokerAdds.Load(),
 		BrokerRemoves:    m.BrokerRemoves.Load(),
+		BrokerRecoveries: m.BrokerRecoveries.Load(),
 		SessionsRepaired: m.SessionsRepaired.Load(),
 		SessionsAborted:  m.SessionsAborted.Load(),
 		RepairP50Ms:      float64(m.RepairQuantile(0.50).Microseconds()) / 1000,
@@ -157,28 +167,53 @@ func NewHealer(state *State, plane *ctrlplane.Plane, sessions *queryplane.Sessio
 	return &Healer{cfg: cfg, state: state, plane: plane, sessions: sessions, inval: inval}, nil
 }
 
-// Heal runs one repair pass and returns its report. It is not safe for
-// concurrent use with control-plane writes; callers hold the state lock.
-func (h *Healer) Heal() (*HealReport, error) {
+// Heal runs one repair pass and returns its report. ctx bounds the 2PC
+// repath traffic (nil means no deadline). It is not safe for concurrent
+// use with control-plane writes; callers hold the state lock.
+func (h *Healer) Heal(ctx context.Context) (*HealReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	rep := &HealReport{}
 	live := h.state.LiveGraph()
 
-	// Survivors: current coalition minus failed brokers and departed nodes.
+	// Crash-mark failed brokers in the control plane so any conflicting
+	// in-flight protocol activity sees them dead, and recover members whose
+	// process came back since the last pass: their WAL replays the exact
+	// reservation ledger, so they rejoin instead of being replaced.
+	for _, b := range h.state.DownBrokers() {
+		h.plane.Crash(b)
+	}
+	for _, b := range h.plane.Brokers() {
+		if h.plane.Crashed(b) && !h.state.BrokerDown(b) && !h.state.NodeDown(b) {
+			h.plane.Recover(b)
+			rep.BrokersRecovered = append(rep.BrokersRecovered, b)
+			h.Metrics.BrokerRecoveries.Add(1)
+		}
+	}
+
+	// Brokers with an open circuit breaker are unresponsive even though
+	// churn hasn't declared them dead: bar them from selection too.
+	sick := h.plane.SickBrokers()
+	rep.SickAvoided = sick
+	avoid := h.state.AvoidMask()
+	for _, b := range sick {
+		if int(b) < len(avoid) {
+			avoid[b] = true
+		}
+	}
+
+	// Survivors: current coalition minus failed brokers, departed nodes,
+	// and circuit-open members.
 	var survivors []int32
 	for _, b := range h.plane.Brokers() {
-		if !h.state.BrokerDown(b) && !h.state.NodeDown(b) {
+		if !h.state.BrokerDown(b) && !h.state.NodeDown(b) && int(b) < len(avoid) && !avoid[b] {
 			survivors = append(survivors, b)
 		}
 	}
 
-	// Crash-mark failed brokers in the control plane so any conflicting
-	// in-flight protocol activity sees them dead.
-	for _, b := range h.state.DownBrokers() {
-		h.plane.Crash(b)
-	}
-
-	res, err := broker.MaintainAvoiding(live, survivors, h.cfg.Target, h.state.AvoidMask())
+	res, err := broker.MaintainAvoiding(live, survivors, h.cfg.Target, avoid)
 	h.Metrics.MaintainPasses.Add(1)
 	if err != nil {
 		// Target unreachable on the damaged graph: fall back to best
@@ -206,7 +241,7 @@ func (h *Healer) Heal() (*HealReport, error) {
 				continue
 			}
 			rep.SessionsChecked++
-			if err := h.plane.Repath(sess, h.cfg.Opts); err != nil {
+			if err := h.plane.Repath(ctx, sess, h.cfg.Opts); err != nil {
 				h.sessions.Delete(sess.ID)
 				rep.SessionsAborted++
 				h.Metrics.SessionsAborted.Add(1)

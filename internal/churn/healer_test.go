@@ -1,6 +1,7 @@
 package churn
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestHealRepairsBrokerPlaneAndSessions(t *testing.T) {
 		if src == dst {
 			continue
 		}
-		if s, err := plane.Setup(src, dst, 0.5+rng.Float64(), routing.Options{}); err == nil {
+		if s, err := plane.Setup(context.Background(), src, dst, 0.5+rng.Float64(), routing.Options{}); err == nil {
 			sessions.Put(s)
 		}
 	}
@@ -104,7 +105,7 @@ func TestHealRepairsBrokerPlaneAndSessions(t *testing.T) {
 	}
 
 	before := sessions.Len()
-	rep, err := h.Heal()
+	rep, err := h.Heal(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestHealRepairsBrokerPlaneAndSessions(t *testing.T) {
 	// cancel out exactly — residual == capacity on every link, including
 	// the failed ones (their holds were released during re-pathing).
 	for _, s := range sessions.List() {
-		if err := plane.Teardown(s); err != nil {
+		if err := plane.Teardown(context.Background(), s); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -196,7 +197,7 @@ func TestHealFallsBackWhenTargetUnreachable(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := h.Heal()
+	rep, err := h.Heal(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,13 +232,13 @@ func TestHealAfterRecovery(t *testing.T) {
 	if _, err := a.Apply(Event{Type: BrokerFail, Node: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Heal(); err != nil {
+	if _, err := h.Heal(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := a.Apply(Event{Type: BrokerRecover, Node: 2}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := h.Heal()
+	rep, err := h.Heal(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

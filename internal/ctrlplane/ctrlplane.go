@@ -7,22 +7,39 @@
 // message-level realization so the coordination cost and failure behaviour
 // can be measured.
 //
-// The message bus is a synchronous FIFO queue — deterministic by
-// construction, which keeps protocol tests exact while still counting every
-// message a real deployment would send.
+// The protocol is failure-realistic: messages travel over a pluggable
+// Transport (the default is a lossless FIFO bus; FaultTransport injects
+// seeded loss, duplication, delay, reordering, and partitions), every
+// message carries a monotonically increasing id so retransmissions are
+// idempotent, the coordinator retries unacknowledged messages with capped
+// exponential backoff under the caller's context, a per-broker circuit
+// breaker fast-fails setups through persistently unresponsive brokers, and
+// each agent write-ahead-logs its ledger mutations so a crashed broker
+// recovers its exact reservation state (in-doubt sessions are resolved
+// against the coordinator's durable commit-point record).
 package ctrlplane
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
+	"sort"
+	"time"
 
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
 )
 
+// Coordinator is the reserved address of the 2PC coordinator on the
+// message bus (agents are addressed by their broker node id).
+const Coordinator int32 = -1
+
 // MsgType enumerates protocol messages.
 type MsgType uint8
 
-// Protocol message types (two-phase commit plus teardown).
+// Protocol message types: two-phase commit plus teardown, each
+// decision/request paired with an acknowledgement so the coordinator can
+// retry until delivery is confirmed.
 const (
 	MsgPrepare MsgType = iota + 1
 	MsgPrepareAck
@@ -30,6 +47,9 @@ const (
 	MsgCommit
 	MsgAbort
 	MsgRelease
+	MsgCommitAck
+	MsgAbortAck
+	MsgReleaseAck
 )
 
 var msgNames = [...]string{
@@ -39,6 +59,9 @@ var msgNames = [...]string{
 	MsgCommit:      "COMMIT",
 	MsgAbort:       "ABORT",
 	MsgRelease:     "RELEASE",
+	MsgCommitAck:   "COMMIT-ACK",
+	MsgAbortAck:    "ABORT-ACK",
+	MsgReleaseAck:  "RELEASE-ACK",
 }
 
 // String returns the wire name of the message type.
@@ -49,27 +72,69 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("msg(%d)", uint8(t))
 }
 
-// Message is one control-plane message. From/To are broker ids (To = -1
-// addresses the coordinator).
+// ackFor maps a request type to its acknowledgement type (ok=false for
+// types that are not requests).
+func ackFor(t MsgType) (MsgType, bool) {
+	switch t {
+	case MsgPrepare:
+		return MsgPrepareAck, true
+	case MsgCommit:
+		return MsgCommitAck, true
+	case MsgAbort:
+		return MsgAbortAck, true
+	case MsgRelease:
+		return MsgReleaseAck, true
+	}
+	return 0, false
+}
+
+// Message is one control-plane message. From/To are broker ids
+// (Coordinator addresses the 2PC coordinator). MsgID is unique per logical
+// message — retransmissions reuse it, which is what makes delivery
+// idempotent: agents deduplicate on it. AckFor carries the MsgID an
+// acknowledgement answers. Epoch scopes the message to one establish
+// attempt of the session (see Session.Epoch).
 type Message struct {
 	From, To  int32
 	Type      MsgType
 	SessionID int
+	Epoch     uint32
+	MsgID     uint64
+	AckFor    uint64
 	Hop       [2]int32
 	Bandwidth float64
 }
 
 // Stats counts control-plane activity.
 type Stats struct {
-	Messages  int
-	Commits   int
-	Aborts    int
-	Teardowns int
+	Messages  int `json:"messages"`
+	Commits   int `json:"commits"`
+	Aborts    int `json:"aborts"`
+	Teardowns int `json:"teardowns"`
 	// Repaths counts sessions successfully moved to a new path after
 	// topology damage; RepathAborts counts sessions gracefully aborted
 	// because no dominated path survived (or capacity ran out).
-	Repaths      int
-	RepathAborts int
+	Repaths      int `json:"repaths"`
+	RepathAborts int `json:"repath_aborts"`
+	// Retries counts retransmitted messages (including backlog re-sends);
+	// Timeouts counts per-broker RPCs that exhausted every attempt.
+	Retries  int `json:"retries"`
+	Timeouts int `json:"timeouts"`
+	// DupsDropped counts messages agents deduplicated by MsgID.
+	DupsDropped int `json:"dups_dropped"`
+	// Circuit-breaker activity: trips, and setups fast-failed through an
+	// open breaker.
+	BreakerTrips     int `json:"breaker_trips"`
+	BreakerFastFails int `json:"breaker_fast_fails"`
+	// Recoveries counts WAL replays; InDoubt* count prepared-but-undecided
+	// sessions resolved during recovery by the coordinator's commit-point
+	// record.
+	Recoveries       int `json:"recoveries"`
+	InDoubtCommitted int `json:"in_doubt_committed"`
+	InDoubtAborted   int `json:"in_doubt_aborted"`
+	// Backlogged is the current count of decided-but-undelivered messages
+	// still being re-driven toward unreachable agents.
+	Backlogged int `json:"backlogged"`
 }
 
 // SessionState is the lifecycle state of a setup.
@@ -88,21 +153,94 @@ type Session struct {
 	Path      []int32
 	Bandwidth float64
 	State     SessionState
+	// Epoch counts establish attempts (Setup is epoch 1; every Repath
+	// bumps it). Protocol messages are scoped by (ID, Epoch), so delayed
+	// stragglers from a superseded path can never touch the current one.
+	Epoch uint32
 	// owners[i] is the broker agent owning hop (Path[i], Path[i+1]).
 	owners []int32
 }
 
-// agent is one broker's local state: its view of the available capacity on
-// the links it owns, plus per-session holds.
+// agent is one broker's volatile state: its view of the available capacity
+// on the links it owns, per-attempt holds, dedup memory, and the fencing
+// record of finalized attempts. All of it is lost on Crash; the WAL is the
+// durable side.
 type agent struct {
 	id    int32
 	avail map[[2]int32]float64
-	holds map[int][]hold // sessionID -> held hops
+	holds map[sessKey][]hold
+	seen  map[uint64]struct{}
+	done  map[sessKey]walOp
+}
+
+func newAgent(b int32) *agent {
+	return &agent{
+		id:    b,
+		avail: make(map[[2]int32]float64),
+		holds: make(map[sessKey][]hold),
+		seen:  make(map[uint64]struct{}),
+		done:  make(map[sessKey]walOp),
+	}
 }
 
 type hold struct {
 	hop [2]int32
 	bw  float64
+}
+
+// RetryConfig tunes the coordinator's delivery machinery. The zero value
+// takes serving-grade defaults.
+type RetryConfig struct {
+	// MaxAttempts bounds send attempts per message per phase (default 6).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; subsequent retries double
+	// it up to MaxBackoff (defaults 1ms / 20ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the fraction of each backoff randomized away, [0,1)
+	// (default 0.5; negative disables).
+	Jitter float64
+	// Sleep, when non-nil, really sleeps each backoff. Nil keeps time
+	// virtual — retries happen immediately but the transport still
+	// advances one step per round, which is what deterministic tests want.
+	Sleep func(time.Duration)
+	// BreakerThreshold is the consecutive-timeout count that trips a
+	// broker's circuit breaker (default 3); BreakerCooldown is how many
+	// virtual clock ticks it stays open (default 64).
+	BreakerThreshold int
+	BreakerCooldown  int
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 6
+	}
+	if rc.BaseBackoff <= 0 {
+		rc.BaseBackoff = time.Millisecond
+	}
+	if rc.MaxBackoff <= 0 {
+		rc.MaxBackoff = 20 * time.Millisecond
+	}
+	if rc.Jitter == 0 {
+		rc.Jitter = 0.5
+	}
+	if rc.Jitter < 0 || rc.Jitter >= 1 {
+		rc.Jitter = 0
+	}
+	if rc.BreakerThreshold <= 0 {
+		rc.BreakerThreshold = 3
+	}
+	if rc.BreakerCooldown <= 0 {
+		rc.BreakerCooldown = 64
+	}
+	return rc
+}
+
+// breaker is one broker's circuit-breaker state: consecutive timed-out
+// RPCs, and the virtual-clock tick until which the circuit stays open.
+type breaker struct {
+	fails     int
+	openUntil int
 }
 
 // Plane is the coalition control plane.
@@ -113,9 +251,30 @@ type Plane struct {
 	inB     []bool
 	agents  map[int32]*agent
 	crashed map[int32]bool
-	bus     []Message
+
+	tr    Transport
+	retry RetryConfig
+	rng   *rand.Rand
+	// clock is virtual time: it advances once per public operation and
+	// once per retry round, and paces breaker cooldowns and transport
+	// delay release.
+	clock    int
+	breakers map[int32]*breaker
+	// wals is each broker's durable write-ahead log, keyed by node id so
+	// it survives crashes and membership changes.
+	wals map[int32]*wal
+	// decided is the coordinator's durable decision record: commit points
+	// and abort decisions per establish attempt. Recovery resolves
+	// in-doubt holds against it.
+	decided map[sessKey]bool
+	// backlog holds decided-but-unacknowledged messages (commits, aborts,
+	// releases to unreachable agents); they are lazily re-driven at the
+	// start of every operation and by Reconcile.
+	backlog map[uint64]Message
+
 	stats   Stats
 	nextID  int
+	nextMsg uint64
 	// version counts mutations of committed link capacity (commit,
 	// release); path caches key their invalidation off it.
 	version uint64
@@ -124,26 +283,30 @@ type Plane struct {
 // New builds a control plane for the broker set. metrics supplies link
 // capacities (nil = routing.DefaultMetrics with a fixed seed); each link
 // with at least one broker endpoint is assigned to exactly one owning
-// agent (the lower-id broker endpoint).
+// agent (the lower-id broker endpoint). The plane starts on a lossless
+// FIFO transport; see UseTransport and SetRetryConfig.
 func New(top *topology.Topology, metrics *routing.Metrics, brokers []int32) *Plane {
 	if metrics == nil {
 		metrics = routing.DefaultMetrics(top, nil)
 	}
 	p := &Plane{
-		top:     top,
-		engine:  routing.NewEngine(top, metrics, brokers),
-		metrics: metrics,
-		inB:     make([]bool, top.NumNodes()),
-		agents:  make(map[int32]*agent, len(brokers)),
-		crashed: make(map[int32]bool),
+		top:      top,
+		engine:   routing.NewEngine(top, metrics, brokers),
+		metrics:  metrics,
+		inB:      make([]bool, top.NumNodes()),
+		agents:   make(map[int32]*agent, len(brokers)),
+		crashed:  make(map[int32]bool),
+		tr:       NewReliableTransport(),
+		retry:    RetryConfig{}.withDefaults(),
+		rng:      rand.New(rand.NewSource(1)),
+		breakers: make(map[int32]*breaker),
+		wals:     make(map[int32]*wal),
+		decided:  make(map[sessKey]bool),
+		backlog:  make(map[uint64]Message),
 	}
 	for _, b := range brokers {
 		p.inB[b] = true
-		p.agents[b] = &agent{
-			id:    b,
-			avail: make(map[[2]int32]float64),
-			holds: make(map[int][]hold),
-		}
+		p.agents[b] = newAgent(b)
 	}
 	// Seed each owner's ledger with its links' capacities.
 	top.Graph.Edges(func(u, v int) bool {
@@ -155,7 +318,30 @@ func New(top *topology.Topology, metrics *routing.Metrics, brokers []int32) *Pla
 		p.agents[owner].avail[key] = metrics.Capacity(int32(u), int32(v))
 		return true
 	})
+	for _, b := range p.Brokers() {
+		p.walOf(b).snapshot(p.agents[b].avail, nil)
+	}
 	return p
+}
+
+// UseTransport replaces the message transport (default: lossless FIFO).
+// Swap in a FaultTransport to subject the protocol to seeded loss,
+// duplication, delay, reordering, and partitions. Call it before any
+// protocol activity.
+func (p *Plane) UseTransport(t Transport) { p.tr = t }
+
+// SetRetryConfig replaces the retry/breaker tuning; zero fields take
+// defaults.
+func (p *Plane) SetRetryConfig(rc RetryConfig) { p.retry = rc.withDefaults() }
+
+// walOf returns broker b's durable log, creating it on first use.
+func (p *Plane) walOf(b int32) *wal {
+	w := p.wals[b]
+	if w == nil {
+		w = &wal{}
+		p.wals[b] = w
+	}
+	return w
 }
 
 // ownerOf returns the broker agent owning link (u,v): the lower-id broker
@@ -184,12 +370,73 @@ func hopKey(u, v int32) [2]int32 {
 	return [2]int32{u, v}
 }
 
-// Crash marks a broker agent as crashed: it stops answering PREPAREs, so
-// setups through its links abort. Unknown brokers are ignored.
-func (p *Plane) Crash(b int32) { p.crashed[b] = true }
+// Crash fails broker b's process. All volatile state — the in-memory
+// capacity ledger, outstanding holds, dedup memory, and finalization
+// fencing — is lost; only the write-ahead log survives. While crashed the
+// agent neither receives nor acknowledges protocol messages, so in-flight
+// setups through it abort and new setups fast-fail ("unresponsive").
+// Crash/Recover round-trip exactly: Recover replays the WAL back to the
+// pre-crash ledger and resolves what the crash left in doubt. Unknown
+// brokers are only marked (nothing to wipe).
+func (p *Plane) Crash(b int32) {
+	if p.crashed[b] {
+		return
+	}
+	p.crashed[b] = true
+	if a := p.agents[b]; a != nil {
+		a.avail, a.holds, a.seen, a.done = nil, nil, nil, nil
+	}
+}
 
-// Recover clears a crash.
-func (p *Plane) Recover(b int32) { delete(p.crashed, b) }
+// Recover restarts a crashed broker: the agent's volatile state is rebuilt
+// by replaying its WAL (latest snapshot plus deltas — ledger availability,
+// outstanding holds, dedup memory, finalization fencing), and sessions the
+// crash left in doubt (holds with no decision record) are resolved against
+// the coordinator's durable commit point:
+//
+//	in-doubt state          decision record    resolution
+//	prepared (hold held)    commit logged      finish commit locally
+//	prepared (hold held)    abort logged       release the hold
+//	prepared (hold held)    none               presumed abort
+//
+// The shared metrics mirror is coordinator-owned and untouched by replay,
+// so recovery never double-counts a reservation. Recovering a broker that
+// is not crashed is a no-op.
+func (p *Plane) Recover(b int32) {
+	if !p.crashed[b] {
+		return
+	}
+	delete(p.crashed, b)
+	a := p.agents[b]
+	if a == nil {
+		return // no longer a coalition member; ledger migration moved on
+	}
+	avail, holds, done, seen := p.walOf(b).replay()
+	a.avail, a.done, a.seen = avail, done, seen
+	a.holds = make(map[sessKey][]hold)
+	w := p.walOf(b)
+	for _, key := range inDoubt(holds) {
+		if p.decided[key] {
+			// Commit point was logged: finish the commit locally — the
+			// availability deduction stands, the holds retire.
+			w.append(walRecord{Op: walCommit, Session: key})
+			a.done[key] = walCommit
+			p.stats.InDoubtCommitted++
+			continue
+		}
+		// Abort was logged, or no decision exists: presumed abort.
+		w.append(walRecord{Op: walAbort, Session: key})
+		for _, h := range holds[key] {
+			a.avail[h.hop] += h.bw
+		}
+		a.done[key] = walAbort
+		p.stats.InDoubtAborted++
+	}
+	if br := p.breakers[b]; br != nil {
+		br.fails, br.openUntil = 0, 0
+	}
+	p.stats.Recoveries++
+}
 
 // Crashed reports whether broker b is marked crashed.
 func (p *Plane) Crashed(b int32) bool { return p.crashed[b] }
@@ -205,14 +452,31 @@ func (p *Plane) Brokers() []int32 {
 	return out
 }
 
+// SickBrokers returns the brokers whose circuit breaker is currently open
+// (persistently unresponsive but not known-crashed), ascending. Healers
+// feed this into their avoid mask so re-selection routes around them.
+func (p *Plane) SickBrokers() []int32 {
+	var out []int32
+	for u, in := range p.inB {
+		if in && p.breakerOpen(int32(u)) {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}
+
 // SetBrokers replaces the coalition membership, migrating capacity ledgers:
 // every link managed under both the old and new set keeps its residual
 // availability (link ownership may move between agents when the broker set
 // changes — ownerOf picks the lower-id broker endpoint), links that gain a
 // first broker endpoint are seeded from the metrics' residual capacity, and
-// links that lose all broker endpoints drop out of the ledger. Crash marks
-// persist across membership changes (they key off the node id). Added and
-// removed report the membership delta.
+// links that lose all broker endpoints drop out of the ledger. Surviving
+// members keep their dedup memory and finalization fencing (so stragglers
+// from before the change stay fenced) and each rebuilt agent write-ahead
+// logs a fresh snapshot. Crash marks and breaker state persist across
+// membership changes (they key off the node id); backlog messages to
+// departed members are dropped (their capacity moved with the ledger
+// migration). Added and removed report the membership delta.
 func (p *Plane) SetBrokers(brokers []int32) (added, removed []int32) {
 	newIn := make([]bool, len(p.inB))
 	for _, b := range brokers {
@@ -230,8 +494,11 @@ func (p *Plane) SetBrokers(brokers []int32) (added, removed []int32) {
 		return nil, nil
 	}
 	// Snapshot every managed hop's residual availability under the old
-	// ownership, then rebuild agents under the new one.
+	// ownership, then rebuild agents under the new one. Crashed members'
+	// volatile ledgers are gone (nil maps iterate empty) — their links
+	// re-seed from the coordinator-owned metrics residual below.
 	oldAvail := make(map[[2]int32]float64)
+	oldAgents := p.agents
 	for _, a := range p.agents {
 		for hop, avail := range a.avail {
 			oldAvail[hop] = avail
@@ -240,11 +507,13 @@ func (p *Plane) SetBrokers(brokers []int32) (added, removed []int32) {
 	p.inB = newIn
 	p.agents = make(map[int32]*agent, len(brokers))
 	for _, b := range brokers {
-		p.agents[b] = &agent{
-			id:    b,
-			avail: make(map[[2]int32]float64),
-			holds: make(map[int][]hold),
+		a := newAgent(b)
+		if old := oldAgents[b]; old != nil && old.seen != nil {
+			// Surviving member: keep dedup + fencing so delayed
+			// stragglers from before the change cannot resurrect state.
+			a.seen, a.done = old.seen, old.done
 		}
+		p.agents[b] = a
 	}
 	p.top.Graph.Edges(func(u, v int) bool {
 		owner, ok := p.ownerOf(int32(u), int32(v))
@@ -261,13 +530,31 @@ func (p *Plane) SetBrokers(brokers []int32) (added, removed []int32) {
 		}
 		return true
 	})
+	for _, b := range p.Brokers() {
+		a := p.agents[b]
+		p.walOf(b).snapshot(a.avail, a.done)
+		if p.crashed[b] {
+			// Still crashed: the durable snapshot above is what Recover
+			// will replay; the volatile side stays lost.
+			a.avail, a.holds, a.seen, a.done = nil, nil, nil, nil
+		}
+	}
+	for id, m := range p.backlog {
+		if _, stillAgent := p.agents[m.To]; !stillAgent {
+			delete(p.backlog, id)
+		}
+	}
 	p.engine.SetBrokers(brokers)
 	p.version++
 	return added, removed
 }
 
-// Stats returns a copy of the message counters.
-func (p *Plane) Stats() Stats { return p.stats }
+// Stats returns a copy of the counters.
+func (p *Plane) Stats() Stats {
+	st := p.stats
+	st.Backlogged = len(p.backlog)
+	return st
+}
 
 // Version returns the count of committed capacity mutations (commits and
 // releases). A cached path computed at version v is stale once Version()
@@ -275,7 +562,8 @@ func (p *Plane) Stats() Stats { return p.stats }
 func (p *Plane) Version() uint64 { return p.version }
 
 // Available returns the owning agent's ledgered available capacity for the
-// link (0 when unmanaged).
+// link (0 when unmanaged or the owner is crashed — its volatile ledger is
+// lost until Recover replays the WAL).
 func (p *Plane) Available(u, v int32) float64 {
 	owner, ok := p.ownerOf(u, v)
 	if !ok {
@@ -284,36 +572,55 @@ func (p *Plane) Available(u, v int32) float64 {
 	return p.agents[owner].avail[hopKey(u, v)]
 }
 
-// send enqueues a message on the bus and counts it.
+// send pushes a message onto the transport and counts it.
 func (p *Plane) send(m Message) {
 	p.stats.Messages++
-	p.bus = append(p.bus, m)
+	p.tr.Send(m)
+}
+
+func (p *Plane) msgID() uint64 {
+	p.nextMsg++
+	return p.nextMsg
 }
 
 // Setup establishes a bw-Gbps session from src to dst over the best
-// B-dominated path, running two-phase commit across the hop owners. On
-// capacity shortage or a crashed owner the setup aborts with all holds
-// released, and an error is returned.
-func (p *Plane) Setup(src, dst int, bw float64, opts routing.Options) (*Session, error) {
+// B-dominated path, running the retrying two-phase commit across the hop
+// owners under ctx (which bounds the whole setup, retries included). On
+// capacity shortage, an unresponsive or crashed owner, or deadline expiry
+// the setup aborts with all holds released, and an error is returned.
+func (p *Plane) Setup(ctx context.Context, src, dst int, bw float64, opts routing.Options) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if bw <= 0 {
 		return nil, fmt.Errorf("ctrlplane: bandwidth must be > 0, got %f", bw)
 	}
+	p.tick()
 	path, err := p.engine.BestPath(src, dst, opts)
 	if err != nil {
 		return nil, fmt.Errorf("ctrlplane: no dominated path: %w", err)
 	}
 	p.nextID++
 	s := &Session{ID: p.nextID, Bandwidth: bw}
-	if err := p.establish(s, path.Nodes); err != nil {
+	if err := p.establish(ctx, s, path.Nodes); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// establish runs the two-phase commit for session s over the node sequence,
-// setting Path/owners and leaving the session StateCommitted on success or
-// StateAborted (all holds released) on failure.
-func (p *Plane) establish(s *Session, nodes []int32) error {
+// tick advances virtual time by one operation and lazily re-drives the
+// backlog of undelivered decisions.
+func (p *Plane) tick() {
+	p.clock++
+	p.flushBacklog()
+}
+
+// establish runs the two-phase commit for session s over the node sequence
+// under a fresh epoch, setting Path/owners and leaving the session
+// StateCommitted on success or StateAborted (all holds released or
+// abort-fenced) on failure.
+func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error {
+	s.Epoch++
 	s.Path = nodes
 	s.owners = s.owners[:0]
 	for i := 0; i+1 < len(nodes); i++ {
@@ -325,70 +632,140 @@ func (p *Plane) establish(s *Session, nodes []int32) error {
 		}
 		s.owners = append(s.owners, owner)
 	}
+	key := sessKey{s.ID, s.Epoch}
+
+	// Fast-fail through an open circuit breaker: don't burn the retry
+	// budget on a broker that just timed out repeatedly — the healer will
+	// route around it.
+	for _, owner := range s.owners {
+		if p.breakerOpen(owner) {
+			p.decided[key] = false
+			p.stats.BreakerFastFails++
+			p.stats.Aborts++
+			s.State = StateAborted
+			return fmt.Errorf("ctrlplane: setup %d aborted: broker %d circuit open", s.ID, owner)
+		}
+	}
 
 	// Phase 1: PREPARE every hop with its owner.
+	msgs := make([]Message, 0, len(s.owners))
 	for i, owner := range s.owners {
-		p.send(Message{
-			From: -1, To: owner, Type: MsgPrepare, SessionID: s.ID,
+		msgs = append(msgs, Message{
+			From: Coordinator, To: owner, Type: MsgPrepare,
+			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
 			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: s.Bandwidth,
 		})
 	}
-	acks, nacks := p.drain()
-	if nacks > 0 || acks < len(s.owners) {
-		// Phase 2 (failure): ABORT everywhere; owners release their holds.
-		for _, owner := range s.owners {
-			p.send(Message{From: -1, To: owner, Type: MsgAbort, SessionID: s.ID})
-		}
-		p.drain()
+	out := p.broadcast(ctx, msgs)
+	if len(out.nacked) > 0 || len(out.pending) > 0 {
+		// Decision: ABORT — durably recorded before any abort is sent, so
+		// a crashed owner resolves its in-doubt hold the same way.
+		p.decided[key] = false
+		p.abortAll(ctx, s)
 		p.stats.Aborts++
 		s.State = StateAborted
-		if nacks > 0 {
-			return fmt.Errorf("ctrlplane: setup %d aborted: insufficient capacity on %d hop(s)", s.ID, nacks)
+		if len(out.nacked) > 0 {
+			return fmt.Errorf("ctrlplane: setup %d aborted: insufficient capacity on %d hop(s)", s.ID, len(out.nacked))
 		}
-		return fmt.Errorf("ctrlplane: setup %d aborted: %d owner(s) unresponsive", s.ID, len(s.owners)-acks)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("ctrlplane: setup %d aborted: deadline expired: %w", s.ID, err)
+		}
+		return fmt.Errorf("ctrlplane: setup %d aborted: %d owner(s) unresponsive", s.ID, len(out.pending))
 	}
-	// Phase 2 (success): COMMIT.
-	for _, owner := range s.owners {
-		p.send(Message{From: -1, To: owner, Type: MsgCommit, SessionID: s.ID})
+
+	// Phase 2: decision is COMMIT. The commit point is durably recorded
+	// first; from here the session is committed regardless of which agents
+	// are reachable — undelivered COMMITs go to the backlog and crashed
+	// owners resolve via their WAL.
+	p.decided[key] = true
+	owners := uniqueOwners(s.owners)
+	cmsgs := make([]Message, 0, len(owners))
+	for _, owner := range owners {
+		cmsgs = append(cmsgs, Message{
+			From: Coordinator, To: owner, Type: MsgCommit,
+			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
+		})
 	}
-	p.drain()
+	cout := p.broadcast(ctx, cmsgs)
+	p.enqueueBacklog(cout.pending)
+	// The coordinator owns the shared metrics mirror: the reservation is
+	// recorded exactly once per hop at the commit point, so path queries
+	// observe residual capacity even while some owner is unreachable. The
+	// agent ledgers stay authoritative per link; a mirror shortfall is
+	// ignored rather than failing an already-decided commit.
+	for i := 0; i+1 < len(s.Path); i++ {
+		_ = p.metrics.Reserve(s.Path[i], s.Path[i+1], s.Bandwidth)
+	}
+	p.version++
 	p.stats.Commits++
 	s.State = StateCommitted
 	return nil
 }
 
-// releaseAll returns a committed session's capacity on every hop. Hops whose
-// current owner is alive get a normal RELEASE message; hops that lost their
-// owner (broker removed or crashed since commit) are reclaimed directly by
-// the coordinator so no reservation leaks from the ledger.
-func (p *Plane) releaseAll(s *Session) {
-	for i := 0; i+1 < len(s.Path); i++ {
-		u, v := s.Path[i], s.Path[i+1]
-		owner, ok := p.ownerOf(u, v)
-		if ok && !p.crashed[owner] {
-			p.send(Message{
-				From: -1, To: owner, Type: MsgRelease, SessionID: s.ID,
-				Hop: hopKey(u, v), Bandwidth: s.Bandwidth,
-			})
-			continue
-		}
-		if ok {
-			// Crashed owner: credit its ledger directly so recovery sees a
-			// consistent view.
-			p.agents[owner].avail[hopKey(u, v)] += s.Bandwidth
-		}
-		p.metrics.Release(u, v, s.Bandwidth)
-		p.version++
+// abortAll delivers the abort decision to every owner of s's current
+// attempt; undeliverable aborts are backlogged (the decision is already
+// durable, so late delivery or WAL recovery reaches the same state).
+func (p *Plane) abortAll(ctx context.Context, s *Session) {
+	owners := uniqueOwners(s.owners)
+	msgs := make([]Message, 0, len(owners))
+	for _, owner := range owners {
+		msgs = append(msgs, Message{
+			From: Coordinator, To: owner, Type: MsgAbort,
+			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
+		})
 	}
-	p.drain()
+	out := p.broadcast(ctx, msgs)
+	p.enqueueBacklog(out.pending)
 }
 
-// Teardown releases a committed session's capacity at every owner.
-func (p *Plane) Teardown(s *Session) error {
+func uniqueOwners(owners []int32) []int32 {
+	out := make([]int32, 0, len(owners))
+	seen := make(map[int32]bool, len(owners))
+	for _, o := range owners {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// releaseAll returns a committed session's capacity on every hop: the
+// coordinator releases the shared metrics mirror exactly once per hop
+// (whether or not the owning agent is reachable) and delivers RELEASE to
+// each current hop owner; undeliverable releases are backlogged so the
+// agent ledger catches up when the owner heals. Hops that lost every
+// broker endpoint have no agent ledger left to credit.
+func (p *Plane) releaseAll(ctx context.Context, s *Session) {
+	var msgs []Message
+	for i := 0; i+1 < len(s.Path); i++ {
+		u, v := s.Path[i], s.Path[i+1]
+		if owner, ok := p.ownerOf(u, v); ok {
+			msgs = append(msgs, Message{
+				From: Coordinator, To: owner, Type: MsgRelease,
+				SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
+				Hop: hopKey(u, v), Bandwidth: s.Bandwidth,
+			})
+		}
+		p.metrics.Release(u, v, s.Bandwidth)
+	}
+	p.version++
+	out := p.broadcast(ctx, msgs)
+	p.enqueueBacklog(out.pending)
+}
+
+// Teardown releases a committed session's capacity at every owner under
+// ctx (bounding delivery retries; the release itself is unconditional).
+func (p *Plane) Teardown(ctx context.Context, s *Session) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s == nil || s.State != StateCommitted {
 		return fmt.Errorf("ctrlplane: teardown of non-committed session")
 	}
-	p.releaseAll(s)
+	p.tick()
+	p.releaseAll(ctx, s)
 	p.stats.Teardowns++
 	s.State = StateReleased
 	return nil
@@ -396,8 +773,9 @@ func (p *Plane) Teardown(s *Session) error {
 
 // SessionDamaged reports whether a committed session no longer matches the
 // live topology and coalition: a hop link is failed, a hop lost its broker
-// owner, ownership moved off the agent that holds the reservation, or the
-// owning agent crashed. Damaged sessions must be Repathed (or torn down).
+// owner, ownership moved off the agent that holds the reservation, the
+// owning agent crashed, or its circuit breaker is open. Damaged sessions
+// must be Repathed (or torn down).
 func (p *Plane) SessionDamaged(s *Session) bool {
 	if s == nil || s.State != StateCommitted {
 		return false
@@ -408,7 +786,7 @@ func (p *Plane) SessionDamaged(s *Session) bool {
 			return true
 		}
 		cur, ok := p.ownerOf(u, v)
-		if !ok || cur != owner || p.crashed[cur] {
+		if !ok || cur != owner || p.crashed[cur] || p.breakerOpen(cur) {
 			return true
 		}
 	}
@@ -416,15 +794,20 @@ func (p *Plane) SessionDamaged(s *Session) bool {
 }
 
 // Repath moves a damaged committed session onto a fresh dominated path:
-// break-before-make — the old reservations are released (directly when the
-// owner is gone), then the new path is reserved through the normal 2PC. When
-// no dominated path survives (or capacity ran out) the session is left
-// cleanly aborted with nothing held, and an error is returned.
-func (p *Plane) Repath(s *Session, opts routing.Options) error {
+// break-before-make — the old reservations are released (backlogged toward
+// unreachable owners), then the new path is reserved through the normal
+// retrying 2PC under a new epoch. When no dominated path survives (or
+// capacity ran out) the session is left cleanly aborted with nothing held,
+// and an error is returned.
+func (p *Plane) Repath(ctx context.Context, s *Session, opts routing.Options) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s == nil || s.State != StateCommitted {
 		return fmt.Errorf("ctrlplane: repath of non-committed session")
 	}
-	p.releaseAll(s)
+	p.tick()
+	p.releaseAll(ctx, s)
 	src, dst := int(s.Path[0]), int(s.Path[len(s.Path)-1])
 	path, err := p.engine.BestPath(src, dst, opts)
 	if err != nil {
@@ -432,7 +815,7 @@ func (p *Plane) Repath(s *Session, opts routing.Options) error {
 		p.stats.RepathAborts++
 		return fmt.Errorf("ctrlplane: session %d aborted: no dominated path survives: %w", s.ID, err)
 	}
-	if err := p.establish(s, path.Nodes); err != nil {
+	if err := p.establish(ctx, s, path.Nodes); err != nil {
 		p.stats.RepathAborts++
 		return fmt.Errorf("ctrlplane: session %d aborted during repath: %w", s.ID, err)
 	}
@@ -440,63 +823,319 @@ func (p *Plane) Repath(s *Session, opts routing.Options) error {
 	return nil
 }
 
-// drain processes the bus until empty, returning the PREPARE ack/nack
-// tallies observed.
-func (p *Plane) drain() (acks, nacks int) {
-	for len(p.bus) > 0 {
-		m := p.bus[0]
-		p.bus = p.bus[1:]
-		switch m.Type {
-		case MsgPrepareAck:
-			acks++
-			continue
-		case MsgPrepareNack:
-			nacks++
+// rpcOutcome is the result of one broadcast round-trip set.
+type rpcOutcome struct {
+	acked   map[uint64]Message // MsgID -> original request
+	nacked  map[uint64]Message
+	pending map[uint64]Message // unanswered after all attempts
+}
+
+// broadcast sends msgs and pumps the transport, retrying unacknowledged
+// messages with capped exponential backoff (plus jitter) until every
+// message is answered, attempts run out, or ctx expires. Messages to
+// known-crashed brokers are not wasted on the wire — they stay pending so
+// the caller can abort or backlog them. Per-broker timeout streaks feed
+// the circuit breakers.
+func (p *Plane) broadcast(ctx context.Context, msgs []Message) rpcOutcome {
+	out := rpcOutcome{
+		acked:   make(map[uint64]Message),
+		nacked:  make(map[uint64]Message),
+		pending: make(map[uint64]Message, len(msgs)),
+	}
+	for _, m := range msgs {
+		out.pending[m.MsgID] = m
+	}
+	for attempt := 0; len(out.pending) > 0 && attempt < p.retry.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if attempt > 0 {
+			p.backoff(attempt)
+		}
+		for _, id := range sortedIDs(out.pending) {
+			m := out.pending[id]
+			if p.crashed[m.To] {
+				continue // known-dead: the failure detector already fired
+			}
+			if attempt > 0 {
+				p.stats.Retries++
+			}
+			p.send(m)
+		}
+		p.pump(&out)
+		// When everything still unanswered is known-crashed, more rounds
+		// cannot help — fail fast like the pre-retry plane did.
+		allCrashed := true
+		for _, m := range out.pending {
+			if !p.crashed[m.To] {
+				allCrashed = false
+				break
+			}
+		}
+		if allCrashed {
+			break
+		}
+	}
+	if ctx.Err() == nil {
+		for _, id := range sortedIDs(out.pending) {
+			if m := out.pending[id]; !p.crashed[m.To] {
+				p.breakerFail(m.To)
+			}
+		}
+	}
+	return out
+}
+
+func sortedIDs(m map[uint64]Message) []uint64 {
+	ids := make([]uint64, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// backoff advances virtual time one retry round and sleeps the capped,
+// jittered exponential delay when real sleeping is configured.
+func (p *Plane) backoff(attempt int) {
+	p.clock++
+	p.tr.Advance()
+	d := p.retry.BaseBackoff << uint(attempt-1)
+	if d > p.retry.MaxBackoff || d <= 0 {
+		d = p.retry.MaxBackoff
+	}
+	if p.retry.Jitter > 0 {
+		d -= time.Duration(p.retry.Jitter * float64(d) * p.rng.Float64())
+	}
+	if p.retry.Sleep != nil {
+		p.retry.Sleep(d)
+	}
+}
+
+// pump drains the transport: agent-bound messages run the agent state
+// machines (crashed and unknown agents eat their traffic silently),
+// coordinator-bound replies settle pending RPCs and backlog entries. out
+// may be nil (backlog-only pumping).
+func (p *Plane) pump(out *rpcOutcome) {
+	for {
+		m, ok := p.tr.Recv()
+		if !ok {
+			return
+		}
+		if m.To == Coordinator {
+			p.handleReply(m, out)
 			continue
 		}
-		if m.To == -1 {
-			continue // coordinator-bound notification
-		}
-		a, ok := p.agents[m.To]
-		if !ok || p.crashed[m.To] {
+		a, live := p.agents[m.To]
+		if !live || p.crashed[m.To] {
 			continue // dropped: crashed or unknown agent
 		}
 		p.deliver(a, m)
 	}
-	return acks, nacks
 }
 
-// deliver runs one agent's state machine step.
+// handleReply settles an acknowledgement against the in-flight broadcast
+// and the backlog; duplicate or stale acks are ignored.
+func (p *Plane) handleReply(m Message, out *rpcOutcome) {
+	if out != nil {
+		if req, ok := out.pending[m.AckFor]; ok {
+			delete(out.pending, m.AckFor)
+			if m.Type == MsgPrepareNack {
+				out.nacked[m.AckFor] = req
+			} else {
+				out.acked[m.AckFor] = req
+			}
+			p.breakerOK(m.From)
+			return
+		}
+	}
+	if _, ok := p.backlog[m.AckFor]; ok {
+		delete(p.backlog, m.AckFor)
+		p.breakerOK(m.From)
+	}
+}
+
+// enqueueBacklog records decided-but-undelivered messages for lazy
+// redelivery.
+func (p *Plane) enqueueBacklog(pending map[uint64]Message) {
+	for id, m := range pending {
+		p.backlog[id] = m
+	}
+}
+
+// flushBacklog re-sends every backlogged message whose target is a live
+// coalition member and pumps the replies — lazy anti-entropy run at the
+// top of every operation. Messages whose target left the coalition are
+// dropped (the ledger migration already accounted their capacity).
+func (p *Plane) flushBacklog() {
+	if len(p.backlog) == 0 {
+		return
+	}
+	for _, id := range sortedIDs(p.backlog) {
+		m := p.backlog[id]
+		if _, stillAgent := p.agents[m.To]; !stillAgent {
+			delete(p.backlog, id)
+			continue
+		}
+		if p.crashed[m.To] {
+			continue // redelivered after Recover
+		}
+		p.stats.Retries++
+		p.send(m)
+	}
+	p.pump(nil)
+	p.tr.Advance()
+}
+
+// Reconcile drives the backlog until every surviving agent has
+// acknowledged all outstanding decisions, or attempts run out. Call it
+// after recovering crashed brokers and lifting partitions to bring the
+// plane to quiescence (the state CheckInvariants expects).
+func (p *Plane) Reconcile(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for attempt := 0; len(p.backlog) > 0; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt >= 4*p.retry.MaxAttempts {
+			return fmt.Errorf("ctrlplane: %d backlog message(s) undeliverable after %d rounds", len(p.backlog), attempt)
+		}
+		p.clock++
+		p.flushBacklog()
+	}
+	return nil
+}
+
+// breakerOpen reports whether broker b's circuit is open at the current
+// virtual time.
+func (p *Plane) breakerOpen(b int32) bool {
+	br := p.breakers[b]
+	return br != nil && p.clock < br.openUntil
+}
+
+// breakerFail records one timed-out RPC against b, tripping the breaker on
+// a streak.
+func (p *Plane) breakerFail(b int32) {
+	br := p.breakers[b]
+	if br == nil {
+		br = &breaker{}
+		p.breakers[b] = br
+	}
+	br.fails++
+	p.stats.Timeouts++
+	if br.fails >= p.retry.BreakerThreshold && p.clock >= br.openUntil {
+		br.openUntil = p.clock + p.retry.BreakerCooldown
+		p.stats.BreakerTrips++
+	}
+}
+
+// breakerOK resets b's failure streak after a successful round-trip.
+func (p *Plane) breakerOK(b int32) {
+	if br := p.breakers[b]; br != nil {
+		br.fails = 0
+	}
+}
+
+// reply sends an acknowledgement of type t for orig from agent a.
+func (p *Plane) reply(a *agent, orig Message, t MsgType) {
+	p.send(Message{
+		From: a.id, To: Coordinator, Type: t,
+		SessionID: orig.SessionID, Epoch: orig.Epoch,
+		MsgID: p.msgID(), AckFor: orig.MsgID,
+	})
+}
+
+// maxSeen bounds an agent's dedup memory; beyond it the oldest half is
+// pruned (MsgIDs are monotonic, so pruning low ids retires the oldest
+// messages — anything that old has long since stopped being retried).
+const maxSeen = 16384
+
+func (a *agent) markSeen(id uint64) {
+	a.seen[id] = struct{}{}
+	if len(a.seen) <= maxSeen {
+		return
+	}
+	ids := make([]uint64, 0, len(a.seen))
+	for s := range a.seen {
+		ids = append(ids, s)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, s := range ids[:len(ids)/2] {
+		delete(a.seen, s)
+	}
+}
+
+// deliver runs one agent's state machine step. Every state change is
+// write-ahead logged before it applies; duplicates are answered from dedup
+// memory; messages for finalized attempts are fenced so stragglers cannot
+// resurrect holds.
 func (p *Plane) deliver(a *agent, m Message) {
+	if _, dup := a.seen[m.MsgID]; dup {
+		p.stats.DupsDropped++
+		if ack, ok := ackFor(m.Type); ok {
+			p.reply(a, m, ack)
+		}
+		return
+	}
+	key := sessKey{m.SessionID, m.Epoch}
+	w := p.walOf(a.id)
 	switch m.Type {
 	case MsgPrepare:
-		if a.avail[m.Hop] >= m.Bandwidth {
-			a.avail[m.Hop] -= m.Bandwidth // place hold
-			a.holds[m.SessionID] = append(a.holds[m.SessionID], hold{hop: m.Hop, bw: m.Bandwidth})
-			p.send(Message{From: a.id, To: -1, Type: MsgPrepareAck, SessionID: m.SessionID})
-		} else {
-			p.send(Message{From: a.id, To: -1, Type: MsgPrepareNack, SessionID: m.SessionID})
+		if op, finalized := a.done[key]; finalized {
+			// Stale PREPARE for a finalized attempt: never re-hold.
+			if op == walCommit {
+				p.reply(a, m, MsgPrepareAck)
+			} else {
+				p.reply(a, m, MsgPrepareNack)
+			}
+			return
 		}
+		if a.avail[m.Hop] >= m.Bandwidth {
+			w.append(walRecord{Op: walHold, MsgID: m.MsgID, Session: key, Hop: m.Hop, BW: m.Bandwidth})
+			a.markSeen(m.MsgID)
+			a.avail[m.Hop] -= m.Bandwidth // place hold
+			a.holds[key] = append(a.holds[key], hold{hop: m.Hop, bw: m.Bandwidth})
+			p.reply(a, m, MsgPrepareAck)
+		} else {
+			// Nacks are not dedup-remembered: a retransmit re-evaluates
+			// against current capacity (and is fenced once finalized).
+			p.reply(a, m, MsgPrepareNack)
+		}
+	case MsgCommit:
+		if a.done[key] != 0 {
+			p.reply(a, m, MsgCommitAck) // already finalized: idempotent
+			return
+		}
+		w.append(walRecord{Op: walCommit, MsgID: m.MsgID, Session: key})
+		a.markSeen(m.MsgID)
+		// Holds become durable allocations: availability stays deducted,
+		// the hold records retire. The shared metrics mirror is
+		// coordinator-owned (updated at the commit point), not touched
+		// here.
+		delete(a.holds, key)
+		a.done[key] = walCommit
+		p.reply(a, m, MsgCommitAck)
 	case MsgAbort:
-		for _, h := range a.holds[m.SessionID] {
+		if a.done[key] != 0 {
+			p.reply(a, m, MsgAbortAck)
+			return
+		}
+		w.append(walRecord{Op: walAbort, MsgID: m.MsgID, Session: key})
+		a.markSeen(m.MsgID)
+		for _, h := range a.holds[key] {
 			a.avail[h.hop] += h.bw
 		}
-		delete(a.holds, m.SessionID)
-	case MsgCommit:
-		// Holds become durable allocations: keep the ledger as is but drop
-		// the hold record (released only by MsgRelease). Mirror the
-		// allocation into the shared metrics so the read-only path engine
-		// sees the reduced residual capacity; the agent ledger stays
-		// authoritative, so a mirror shortfall is ignored rather than
-		// failing an already-acked commit.
-		for _, h := range a.holds[m.SessionID] {
-			_ = p.metrics.Reserve(h.hop[0], h.hop[1], h.bw)
-		}
-		p.version++
-		delete(a.holds, m.SessionID)
+		delete(a.holds, key)
+		a.done[key] = walAbort
+		p.reply(a, m, MsgAbortAck)
 	case MsgRelease:
-		a.avail[m.Hop] += m.Bandwidth
-		p.metrics.Release(m.Hop[0], m.Hop[1], m.Bandwidth)
-		p.version++
+		w.append(walRecord{Op: walRelease, MsgID: m.MsgID, Session: key, Hop: m.Hop, BW: m.Bandwidth})
+		a.markSeen(m.MsgID)
+		if _, owned := a.avail[m.Hop]; owned {
+			a.avail[m.Hop] += m.Bandwidth
+		}
+		p.reply(a, m, MsgReleaseAck)
 	}
 }

@@ -1,6 +1,7 @@
 package ctrlplane
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -44,7 +45,7 @@ func TestSetupCommitsAndLedgers(t *testing.T) {
 	p := New(top, m, brokers)
 
 	before01 := p.Available(0, 1)
-	s, err := p.Setup(0, 4, 4, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 4, 4, routing.Options{})
 	if err != nil {
 		t.Fatalf("Setup: %v", err)
 	}
@@ -61,21 +62,23 @@ func TestSetupCommitsAndLedgers(t *testing.T) {
 	if st.Commits != 1 || st.Aborts != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	// 4 hops: 4 PREPARE + 4 ACK + 4 COMMIT = 12 messages.
-	if st.Messages != 12 {
-		t.Fatalf("messages = %d, want 12", st.Messages)
+	// 4 hops, 3 distinct owners: 4 PREPARE + 4 PREPARE-ACK, then one
+	// COMMIT + COMMIT-ACK per owner (commits are acknowledged so the
+	// coordinator can retry them under loss).
+	if st.Messages != 14 {
+		t.Fatalf("messages = %d, want 14", st.Messages)
 	}
 }
 
 func TestContentionAbortsSecondSetup(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	if _, err := p.Setup(0, 4, 7, routing.Options{}); err != nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 7, routing.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	// Only 3 Gbps left on every hop: a 7 Gbps setup must abort cleanly.
 	before := p.Available(2, 3)
-	_, err := p.Setup(0, 4, 7, routing.Options{})
+	_, err := p.Setup(context.Background(), 0, 4, 7, routing.Options{})
 	if err == nil {
 		t.Fatal("oversubscribing setup committed")
 	}
@@ -93,11 +96,11 @@ func TestContentionAbortsSecondSetup(t *testing.T) {
 func TestTeardownRestoresCapacity(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	s, err := p.Setup(0, 4, 7, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 4, 7, routing.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Teardown(s); err != nil {
+	if err := p.Teardown(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	if s.State != StateReleased {
@@ -107,13 +110,13 @@ func TestTeardownRestoresCapacity(t *testing.T) {
 		t.Fatalf("capacity after teardown = %f, want 10", got)
 	}
 	// Capacity is reusable.
-	if _, err := p.Setup(0, 4, 9, routing.Options{}); err != nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 9, routing.Options{}); err != nil {
 		t.Fatalf("post-teardown setup failed: %v", err)
 	}
-	if err := p.Teardown(s); err == nil {
+	if err := p.Teardown(context.Background(), s); err == nil {
 		t.Fatal("double teardown accepted")
 	}
-	if err := p.Teardown(nil); err == nil {
+	if err := p.Teardown(context.Background(), nil); err == nil {
 		t.Fatal("nil teardown accepted")
 	}
 }
@@ -123,7 +126,7 @@ func TestCrashedOwnerAbortsWithoutLeak(t *testing.T) {
 	p := New(top, m, []int32{1, 2, 3})
 	p.Crash(2)
 	before := p.Available(0, 1) // owned by live agent 1
-	if _, err := p.Setup(0, 4, 2, routing.Options{}); err == nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 2, routing.Options{}); err == nil {
 		t.Fatal("setup through crashed owner committed")
 	} else if !strings.Contains(err.Error(), "unresponsive") {
 		t.Fatalf("unexpected error: %v", err)
@@ -133,7 +136,7 @@ func TestCrashedOwnerAbortsWithoutLeak(t *testing.T) {
 		t.Fatalf("crash-abort leaked a hold: %f vs %f", got, before)
 	}
 	p.Recover(2)
-	if _, err := p.Setup(0, 4, 2, routing.Options{}); err != nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 2, routing.Options{}); err != nil {
 		t.Fatalf("post-recovery setup failed: %v", err)
 	}
 }
@@ -166,15 +169,15 @@ func TestOwnerAssignment(t *testing.T) {
 func TestSetupValidation(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	if _, err := p.Setup(0, 4, 0, routing.Options{}); err == nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 0, routing.Options{}); err == nil {
 		t.Fatal("zero bandwidth accepted")
 	}
-	if _, err := p.Setup(0, 4, -1, routing.Options{}); err == nil {
+	if _, err := p.Setup(context.Background(), 0, 4, -1, routing.Options{}); err == nil {
 		t.Fatal("negative bandwidth accepted")
 	}
 	// No dominated path: brokers only at 1 -> node 4 unreachable.
 	p2 := New(top, m, []int32{1})
-	if _, err := p2.Setup(0, 4, 1, routing.Options{}); err == nil {
+	if _, err := p2.Setup(context.Background(), 0, 4, 1, routing.Options{}); err == nil {
 		t.Fatal("setup without dominated path accepted")
 	}
 }
@@ -189,7 +192,7 @@ func TestCommitMirrorsMetricsAndBumpsVersion(t *testing.T) {
 		t.Fatalf("fresh plane version = %d", p.Version())
 	}
 	before := m.Available(1, 2)
-	s, err := p.Setup(0, 4, 4, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 4, 4, routing.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +203,7 @@ func TestCommitMirrorsMetricsAndBumpsVersion(t *testing.T) {
 	if got := m.Available(1, 2); got != before-4 {
 		t.Fatalf("metrics residual after commit = %f, want %f", got, before-4)
 	}
-	if err := p.Teardown(s); err != nil {
+	if err := p.Teardown(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	if p.Version() <= v1 {
@@ -215,12 +218,12 @@ func TestCommitMirrorsMetricsAndBumpsVersion(t *testing.T) {
 func TestAbortLeavesMetricsAndVersion(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	if _, err := p.Setup(0, 4, 7, routing.Options{}); err != nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 7, routing.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	v := p.Version()
 	residual := m.Available(1, 2)
-	if _, err := p.Setup(0, 4, 7, routing.Options{}); err == nil {
+	if _, err := p.Setup(context.Background(), 0, 4, 7, routing.Options{}); err == nil {
 		t.Fatal("oversubscribing setup committed")
 	}
 	if p.Version() != v {
@@ -262,7 +265,7 @@ func TestControlPlaneOnInternetTopology(t *testing.T) {
 			continue
 		}
 		requests++
-		s, err := p.Setup(src, dst, 1+20*rng.Float64(), routing.Options{})
+		s, err := p.Setup(context.Background(), src, dst, 1+20*rng.Float64(), routing.Options{})
 		switch {
 		case err == nil:
 			committed++
@@ -275,7 +278,7 @@ func TestControlPlaneOnInternetTopology(t *testing.T) {
 		// Occasionally tear one down.
 		if len(live) > 0 && rng.Float64() < 0.3 {
 			idx := rng.Intn(len(live))
-			if err := p.Teardown(live[idx]); err != nil {
+			if err := p.Teardown(context.Background(), live[idx]); err != nil {
 				t.Fatal(err)
 			}
 			live = append(live[:idx], live[idx+1:]...)
@@ -337,7 +340,7 @@ func diamondTop(t testing.TB) (*topology.Topology, *routing.Metrics) {
 func TestSetBrokersMigratesLedgers(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	s, err := p.Setup(0, 4, 4, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 4, 4, routing.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +378,7 @@ func TestSetBrokersMigratesLedgers(t *testing.T) {
 func TestRepathMovesReservations(t *testing.T) {
 	top, m := diamondTop(t)
 	p := New(top, m, []int32{1, 3})
-	s, err := p.Setup(0, 2, 4, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 2, 4, routing.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +392,7 @@ func TestRepathMovesReservations(t *testing.T) {
 	if !p.SessionDamaged(s) {
 		t.Fatal("session over failed link not damaged")
 	}
-	if err := p.Repath(s, routing.Options{}); err != nil {
+	if err := p.Repath(context.Background(), s, routing.Options{}); err != nil {
 		t.Fatalf("Repath: %v", err)
 	}
 	if s.State != StateCommitted || s.Path[1] != 3 {
@@ -412,12 +415,12 @@ func TestRepathMovesReservations(t *testing.T) {
 func TestRepathAbortsCleanly(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	s, err := p.Setup(0, 4, 4, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 4, 4, routing.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m.FailLink(2, 3) // the only path is cut
-	if err := p.Repath(s, routing.Options{}); err == nil {
+	if err := p.Repath(context.Background(), s, routing.Options{}); err == nil {
 		t.Fatal("repath across a cut committed")
 	}
 	if s.State != StateAborted {
@@ -443,7 +446,7 @@ func TestRepathAbortsCleanly(t *testing.T) {
 func TestCrashedOwnerDamagesAndReleases(t *testing.T) {
 	top, m := lineTop(t)
 	p := New(top, m, []int32{1, 2, 3})
-	s, err := p.Setup(0, 4, 4, routing.Options{})
+	s, err := p.Setup(context.Background(), 0, 4, 4, routing.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +454,7 @@ func TestCrashedOwnerDamagesAndReleases(t *testing.T) {
 	if !p.SessionDamaged(s) {
 		t.Fatal("session owned by crashed broker not damaged")
 	}
-	if err := p.Teardown(s); err != nil {
+	if err := p.Teardown(context.Background(), s); err != nil {
 		t.Fatal(err)
 	}
 	top.Graph.Edges(func(u, v int) bool {

@@ -1,0 +1,269 @@
+package ctrlplane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Transport moves protocol messages between the coordinator and the broker
+// agents. The control plane owns exactly one transport; Send enqueues a
+// message toward its destination, Recv pops the next deliverable message,
+// and Advance moves simulated time forward one step (releasing messages a
+// faulty transport is holding back). Implementations need not be safe for
+// concurrent use — the plane serializes all protocol activity.
+type Transport interface {
+	Send(m Message)
+	Recv() (Message, bool)
+	Advance()
+}
+
+// ReliableTransport is the lossless, ordered, zero-latency transport the
+// plane uses by default: a synchronous FIFO queue, deterministic by
+// construction. It reproduces the pre-fault-injection message bus exactly.
+type ReliableTransport struct {
+	q []Message
+}
+
+// NewReliableTransport returns an empty FIFO transport.
+func NewReliableTransport() *ReliableTransport { return &ReliableTransport{} }
+
+// Send implements Transport.
+func (t *ReliableTransport) Send(m Message) { t.q = append(t.q, m) }
+
+// Recv implements Transport.
+func (t *ReliableTransport) Recv() (Message, bool) {
+	if len(t.q) == 0 {
+		return Message{}, false
+	}
+	m := t.q[0]
+	t.q = t.q[1:]
+	return m, true
+}
+
+// Advance implements Transport (no-op: nothing is ever held back).
+func (t *ReliableTransport) Advance() {}
+
+// FaultRates are per-message fault probabilities for one traffic direction.
+// Each rate is in [0,1); faults are rolled independently in the order drop,
+// duplicate, delay, reorder, so a message can be both duplicated and
+// delayed. A zero value injects nothing.
+type FaultRates struct {
+	// Drop is the probability the message is silently discarded.
+	Drop float64
+	// Duplicate is the probability a second copy is enqueued (the copy is
+	// subject to its own delay/reorder rolls).
+	Duplicate float64
+	// Delay is the probability the message is held back for 1..MaxDelay
+	// Advance steps before becoming deliverable.
+	Delay float64
+	// MaxDelay bounds the held-back steps (default 2 when Delay > 0).
+	MaxDelay int
+	// Reorder is the probability the message is inserted at a random queue
+	// position instead of the tail.
+	Reorder float64
+}
+
+// FaultConfig parameterizes a FaultTransport. The same seed always replays
+// the same fault schedule for the same message sequence, so any failing run
+// is reproducible from its seed alone.
+type FaultConfig struct {
+	Seed int64
+	// ToBroker applies to coordinator→agent traffic, ToCoord to
+	// agent→coordinator replies.
+	ToBroker FaultRates
+	ToCoord  FaultRates
+}
+
+// TransportStats counts fault-injection activity.
+type TransportStats struct {
+	Sent           uint64 `json:"sent"`
+	Delivered      uint64 `json:"delivered"`
+	Dropped        uint64 `json:"dropped"`
+	Duplicated     uint64 `json:"duplicated"`
+	Delayed        uint64 `json:"delayed"`
+	Reordered      uint64 `json:"reordered"`
+	PartitionDrops uint64 `json:"partition_drops"`
+}
+
+type heldMsg struct {
+	m       Message
+	readyAt int
+}
+
+// FaultTransport wraps the FIFO bus with deterministic, seeded fault
+// injection: message drop, duplication, delay (in Advance steps), reorder,
+// and per-broker partitions that silently eat traffic in both directions.
+type FaultTransport struct {
+	cfg         FaultConfig
+	rng         *rand.Rand
+	q           []Message
+	held        []heldMsg
+	partitioned map[int32]bool
+	step        int
+	stats       TransportStats
+
+	// OnDeliver, when non-nil, observes every message as Recv hands it
+	// over. Chaos harnesses use it to trigger mid-protocol crashes at
+	// exact, reproducible points.
+	OnDeliver func(m Message)
+}
+
+// NewFaultTransport builds a fault-injecting transport from cfg.
+func NewFaultTransport(cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		partitioned: make(map[int32]bool),
+	}
+}
+
+// Partition isolates broker b (on=true): messages from or to it are
+// silently dropped until the partition is lifted. The coordinator cannot
+// tell a partitioned broker from a slow one — only timeouts reveal it.
+func (t *FaultTransport) Partition(b int32, on bool) {
+	if on {
+		t.partitioned[b] = true
+	} else {
+		delete(t.partitioned, b)
+	}
+}
+
+// Partitioned reports whether broker b is currently isolated.
+func (t *FaultTransport) Partitioned(b int32) bool { return t.partitioned[b] }
+
+// Stats returns a copy of the fault counters.
+func (t *FaultTransport) Stats() TransportStats { return t.stats }
+
+func (t *FaultTransport) rates(m Message) FaultRates {
+	if m.To == Coordinator {
+		return t.cfg.ToCoord
+	}
+	return t.cfg.ToBroker
+}
+
+// enqueue places one copy on the queue, rolling delay and reorder faults.
+func (t *FaultTransport) enqueue(m Message, r FaultRates) {
+	if r.Delay > 0 && t.rng.Float64() < r.Delay {
+		maxd := r.MaxDelay
+		if maxd <= 0 {
+			maxd = 2
+		}
+		t.stats.Delayed++
+		t.held = append(t.held, heldMsg{m: m, readyAt: t.step + 1 + t.rng.Intn(maxd)})
+		return
+	}
+	if r.Reorder > 0 && len(t.q) > 0 && t.rng.Float64() < r.Reorder {
+		i := t.rng.Intn(len(t.q) + 1)
+		t.stats.Reordered++
+		t.q = append(t.q, Message{})
+		copy(t.q[i+1:], t.q[i:])
+		t.q[i] = m
+		return
+	}
+	t.q = append(t.q, m)
+}
+
+// Send implements Transport: rolls the configured faults and enqueues the
+// surviving copies.
+func (t *FaultTransport) Send(m Message) {
+	t.stats.Sent++
+	if (m.From != Coordinator && t.partitioned[m.From]) ||
+		(m.To != Coordinator && t.partitioned[m.To]) {
+		t.stats.PartitionDrops++
+		return
+	}
+	r := t.rates(m)
+	if r.Drop > 0 && t.rng.Float64() < r.Drop {
+		t.stats.Dropped++
+		return
+	}
+	t.enqueue(m, r)
+	if r.Duplicate > 0 && t.rng.Float64() < r.Duplicate {
+		t.stats.Duplicated++
+		t.enqueue(m, r)
+	}
+}
+
+// Recv implements Transport.
+func (t *FaultTransport) Recv() (Message, bool) {
+	if len(t.q) == 0 {
+		return Message{}, false
+	}
+	m := t.q[0]
+	t.q = t.q[1:]
+	t.stats.Delivered++
+	if t.OnDeliver != nil {
+		t.OnDeliver(m)
+	}
+	return m, true
+}
+
+// Advance implements Transport: one time step passes, and held-back
+// messages whose delay expired rejoin the queue (at seeded-random
+// positions, so a delayed message can overtake its successors).
+func (t *FaultTransport) Advance() {
+	t.step++
+	kept := t.held[:0]
+	for _, h := range t.held {
+		if h.readyAt > t.step {
+			kept = append(kept, h)
+			continue
+		}
+		i := t.rng.Intn(len(t.q) + 1)
+		t.q = append(t.q, Message{})
+		copy(t.q[i+1:], t.q[i:])
+		t.q[i] = h.m
+	}
+	t.held = kept
+}
+
+// msgWireSize is the fixed encoded size of a Message.
+const msgWireSize = 4 + 4 + 1 + 8 + 4 + 8 + 8 + 4 + 4 + 8
+
+// Encode appends the fixed-size little-endian wire form of m to dst.
+func (m Message) Encode(dst []byte) []byte {
+	var b [msgWireSize]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(m.From))
+	binary.LittleEndian.PutUint32(b[4:], uint32(m.To))
+	b[8] = byte(m.Type)
+	binary.LittleEndian.PutUint64(b[9:], uint64(m.SessionID))
+	binary.LittleEndian.PutUint32(b[17:], m.Epoch)
+	binary.LittleEndian.PutUint64(b[21:], m.MsgID)
+	binary.LittleEndian.PutUint64(b[29:], m.AckFor)
+	binary.LittleEndian.PutUint32(b[37:], uint32(m.Hop[0]))
+	binary.LittleEndian.PutUint32(b[41:], uint32(m.Hop[1]))
+	binary.LittleEndian.PutUint64(b[45:], math.Float64bits(m.Bandwidth))
+	return append(dst, b[:]...)
+}
+
+// DecodeMessage parses the wire form produced by Encode, rejecting
+// short/long buffers, unknown message types, and non-finite bandwidths —
+// a malformed frame must never enter an agent's state machine.
+func DecodeMessage(b []byte) (Message, error) {
+	if len(b) != msgWireSize {
+		return Message{}, fmt.Errorf("ctrlplane: message frame is %d bytes, want %d", len(b), msgWireSize)
+	}
+	m := Message{
+		From:      int32(binary.LittleEndian.Uint32(b[0:])),
+		To:        int32(binary.LittleEndian.Uint32(b[4:])),
+		Type:      MsgType(b[8]),
+		SessionID: int(int64(binary.LittleEndian.Uint64(b[9:]))),
+		Epoch:     binary.LittleEndian.Uint32(b[17:]),
+		MsgID:     binary.LittleEndian.Uint64(b[21:]),
+		AckFor:    binary.LittleEndian.Uint64(b[29:]),
+		Hop: [2]int32{
+			int32(binary.LittleEndian.Uint32(b[37:])),
+			int32(binary.LittleEndian.Uint32(b[41:])),
+		},
+		Bandwidth: math.Float64frombits(binary.LittleEndian.Uint64(b[45:])),
+	}
+	if m.Type < MsgPrepare || m.Type > MsgReleaseAck {
+		return Message{}, fmt.Errorf("ctrlplane: unknown message type %d", uint8(m.Type))
+	}
+	if math.IsNaN(m.Bandwidth) || math.IsInf(m.Bandwidth, 0) {
+		return Message{}, fmt.Errorf("ctrlplane: non-finite bandwidth")
+	}
+	return m, nil
+}

@@ -1,0 +1,147 @@
+package ctrlplane
+
+import (
+	"math"
+	"testing"
+)
+
+func mkMsg(id uint64, to int32) Message {
+	return Message{From: Coordinator, To: to, Type: MsgPrepare, SessionID: 1, Epoch: 1, MsgID: id, Hop: [2]int32{0, 1}, Bandwidth: 2}
+}
+
+func TestReliableTransportFIFO(t *testing.T) {
+	tr := NewReliableTransport()
+	if _, ok := tr.Recv(); ok {
+		t.Fatal("empty transport delivered")
+	}
+	for i := uint64(1); i <= 3; i++ {
+		tr.Send(mkMsg(i, 1))
+	}
+	tr.Advance() // no-op
+	for i := uint64(1); i <= 3; i++ {
+		m, ok := tr.Recv()
+		if !ok || m.MsgID != i {
+			t.Fatalf("recv %d: %v %v", i, m.MsgID, ok)
+		}
+	}
+}
+
+// drain pulls every deliverable message, advancing until the held queue
+// empties too.
+func drainAll(tr *FaultTransport) []uint64 {
+	var got []uint64
+	for rounds := 0; rounds < 64; rounds++ {
+		for {
+			m, ok := tr.Recv()
+			if !ok {
+				break
+			}
+			got = append(got, m.MsgID)
+		}
+		if len(tr.held) == 0 {
+			break
+		}
+		tr.Advance()
+	}
+	return got
+}
+
+// The same seed must replay the exact same fault schedule.
+func TestFaultTransportDeterministic(t *testing.T) {
+	run := func() ([]uint64, TransportStats) {
+		tr := NewFaultTransport(FaultConfig{
+			Seed:     42,
+			ToBroker: FaultRates{Drop: 0.1, Duplicate: 0.1, Delay: 0.2, MaxDelay: 3, Reorder: 0.2},
+			ToCoord:  FaultRates{Drop: 0.1, Duplicate: 0.1, Delay: 0.2, MaxDelay: 3, Reorder: 0.2},
+		})
+		for i := uint64(1); i <= 200; i++ {
+			to := int32(i % 5)
+			if i%3 == 0 {
+				to = Coordinator
+			}
+			tr.Send(mkMsg(i, to))
+		}
+		return drainAll(tr), tr.Stats()
+	}
+	got1, st1 := run()
+	got2, st2 := run()
+	if len(got1) != len(got2) || st1 != st2 {
+		t.Fatalf("non-deterministic replay: %d/%d msgs, %+v vs %+v", len(got1), len(got2), st1, st2)
+	}
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("delivery order diverged at %d: %d vs %d", i, got1[i], got2[i])
+		}
+	}
+	if st1.Dropped == 0 || st1.Duplicated == 0 || st1.Delayed == 0 || st1.Reordered == 0 {
+		t.Fatalf("fault schedule exercised nothing: %+v", st1)
+	}
+	if st1.Sent != 200 {
+		t.Fatalf("sent = %d", st1.Sent)
+	}
+}
+
+func TestFaultTransportPartition(t *testing.T) {
+	tr := NewFaultTransport(FaultConfig{Seed: 7})
+	tr.Partition(3, true)
+	if !tr.Partitioned(3) {
+		t.Fatal("partition not recorded")
+	}
+	tr.Send(mkMsg(1, 3))                                                      // to the partitioned broker
+	tr.Send(Message{From: 3, To: Coordinator, Type: MsgPrepareAck, MsgID: 2}) // from it
+	tr.Send(mkMsg(3, 1))                                                      // unrelated traffic flows
+	if got := drainAll(tr); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("partition leaked: delivered %v", got)
+	}
+	if st := tr.Stats(); st.PartitionDrops != 2 {
+		t.Fatalf("partition drops = %d", st.PartitionDrops)
+	}
+	tr.Partition(3, false)
+	tr.Send(mkMsg(4, 3))
+	if got := drainAll(tr); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("lifted partition still dropping: %v", got)
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{},
+		{From: Coordinator, To: 7, Type: MsgPrepare, SessionID: 123456, Epoch: 9, MsgID: 1 << 40, AckFor: 3, Hop: [2]int32{-2, 1 << 30}, Bandwidth: 3.25},
+		{From: 5, To: Coordinator, Type: MsgReleaseAck, SessionID: -1, MsgID: 1, AckFor: ^uint64(0), Bandwidth: 0},
+	}
+	for i, m := range msgs {
+		if m.Type == 0 {
+			m.Type = MsgCommit
+		}
+		b := m.Encode(nil)
+		if len(b) != msgWireSize {
+			t.Fatalf("case %d: encoded %d bytes, want %d", i, len(b), msgWireSize)
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got != m {
+			t.Fatalf("case %d: roundtrip %+v != %+v", i, got, m)
+		}
+	}
+}
+
+func TestMessageDecodeRejectsMalformed(t *testing.T) {
+	good := Message{Type: MsgPrepare, MsgID: 1}.Encode(nil)
+	if _, err := DecodeMessage(good[:len(good)-1]); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if _, err := DecodeMessage(append(good, 0)); err == nil {
+		t.Fatal("long frame accepted")
+	}
+	bad := Message{Type: MsgPrepare, MsgID: 1}.Encode(nil)
+	bad[8] = 200 // unknown type
+	if _, err := DecodeMessage(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	nan := Message{Type: MsgPrepare, Bandwidth: math.NaN()}.Encode(nil)
+	if _, err := DecodeMessage(nan); err == nil {
+		t.Fatal("NaN bandwidth accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package ctrlplane
+
+import "sort"
+
+// The write-ahead log models each broker's durable storage: every
+// state-changing protocol step is appended *before* the agent's in-memory
+// ledger mutates, so a crash can lose the volatile state (ledger cache,
+// holds, dedup memory) but never the log. Recovery replays the log from the
+// latest snapshot and resolves in-doubt sessions against the coordinator's
+// decision record. The log lives on the Plane keyed by broker id, so it
+// survives both Crash and coalition membership changes.
+
+// walOp enumerates WAL record kinds.
+type walOp uint8
+
+const (
+	// walSnapshot is a full ledger image, written when the agent is
+	// (re)created — at plane construction and on every SetBrokers ledger
+	// migration. Replay starts from the last snapshot.
+	walSnapshot walOp = iota + 1
+	// walHold records a PREPARE hold placed on a hop.
+	walHold
+	// walCommit records a COMMIT finalizing a session's holds.
+	walCommit
+	// walAbort records an ABORT (or an in-doubt session resolved to abort).
+	walAbort
+	// walRelease records a RELEASE crediting a hop.
+	walRelease
+)
+
+// sessKey identifies one establish attempt: Repath re-establishes the same
+// session under a new epoch, so stale messages from a previous attempt can
+// never touch the current one.
+type sessKey struct {
+	ID    int
+	Epoch uint32
+}
+
+// walRecord is one durable log entry. MsgID carries the protocol message
+// that caused the entry, so replay can rebuild the agent's dedup memory.
+type walRecord struct {
+	Op      walOp
+	MsgID   uint64
+	Session sessKey
+	Hop     [2]int32
+	BW      float64
+
+	// Snapshot payload (Op == walSnapshot only).
+	SnapAvail map[[2]int32]float64
+	SnapDone  map[sessKey]walOp
+}
+
+// wal is one broker's append-only durable log.
+type wal struct {
+	recs []walRecord
+}
+
+func (w *wal) append(r walRecord) { w.recs = append(w.recs, r) }
+
+// snapshot appends a full ledger image. Maps are deep-copied: the live
+// agent keeps mutating its own.
+func (w *wal) snapshot(avail map[[2]int32]float64, done map[sessKey]walOp) {
+	rec := walRecord{Op: walSnapshot, SnapAvail: make(map[[2]int32]float64, len(avail))}
+	for k, v := range avail {
+		rec.SnapAvail[k] = v
+	}
+	if len(done) > 0 {
+		rec.SnapDone = make(map[sessKey]walOp, len(done))
+		for k, v := range done {
+			rec.SnapDone[k] = v
+		}
+	}
+	w.recs = append(w.recs, rec)
+}
+
+// commitCounts tallies walCommit records per establish attempt — the
+// invariant checker uses it to prove no session epoch committed twice on
+// any broker.
+func (w *wal) commitCounts() map[sessKey]int {
+	out := make(map[sessKey]int)
+	for _, r := range w.recs {
+		if r.Op == walCommit && r.MsgID != 0 {
+			out[r.Session]++
+		}
+	}
+	return out
+}
+
+// replay rebuilds an agent's volatile state from the log: ledger
+// availability, outstanding holds, finalized-session fencing, and dedup
+// memory. It touches nothing outside the returned state — in particular it
+// never re-mirrors reservations into the shared metrics, which are
+// coordinator-owned.
+func (w *wal) replay() (avail map[[2]int32]float64, holds map[sessKey][]hold, done map[sessKey]walOp, seen map[uint64]struct{}) {
+	avail = make(map[[2]int32]float64)
+	holds = make(map[sessKey][]hold)
+	done = make(map[sessKey]walOp)
+	seen = make(map[uint64]struct{})
+	start := 0
+	for i, r := range w.recs {
+		if r.Op == walSnapshot {
+			start = i
+		}
+	}
+	for _, r := range w.recs[start:] {
+		if r.MsgID != 0 {
+			seen[r.MsgID] = struct{}{}
+		}
+		switch r.Op {
+		case walSnapshot:
+			avail = make(map[[2]int32]float64, len(r.SnapAvail))
+			for k, v := range r.SnapAvail {
+				avail[k] = v
+			}
+			holds = make(map[sessKey][]hold)
+			done = make(map[sessKey]walOp, len(r.SnapDone))
+			for k, v := range r.SnapDone {
+				done[k] = v
+			}
+		case walHold:
+			avail[r.Hop] -= r.BW
+			holds[r.Session] = append(holds[r.Session], hold{hop: r.Hop, bw: r.BW})
+		case walCommit:
+			// Holds become durable allocations: availability stays
+			// deducted, the hold records are retired.
+			delete(holds, r.Session)
+			done[r.Session] = walCommit
+		case walAbort:
+			for _, h := range holds[r.Session] {
+				avail[h.hop] += h.bw
+			}
+			delete(holds, r.Session)
+			done[r.Session] = walAbort
+		case walRelease:
+			if _, owned := avail[r.Hop]; owned {
+				avail[r.Hop] += r.BW
+			}
+		}
+	}
+	return avail, holds, done, seen
+}
+
+// inDoubt returns the establish attempts left holding capacity with no
+// decision record, in deterministic order — the sessions a recovering
+// broker must resolve against the coordinator's commit-point log.
+func inDoubt(holds map[sessKey][]hold) []sessKey {
+	keys := make([]sessKey, 0, len(holds))
+	for k := range holds {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ID != keys[j].ID {
+			return keys[i].ID < keys[j].ID
+		}
+		return keys[i].Epoch < keys[j].Epoch
+	})
+	return keys
+}

@@ -205,6 +205,25 @@ func (q *QueryPlane) acquireSlot(ctx context.Context) error {
 	}
 }
 
+// RetryAfter estimates how long a shed caller should wait before retrying:
+// roughly the time for the full wait queue to drain through the worker
+// pool at the observed p95 compute latency, floored at one second (the
+// HTTP Retry-After header has whole-second resolution).
+func (q *QueryPlane) RetryAfter() time.Duration {
+	p95 := q.hist.quantile(0.95)
+	if p95 <= 0 {
+		p95 = q.cfg.Timeout / 4
+	}
+	d := time.Duration(float64(p95) * float64(q.cfg.QueueDepth) / float64(q.cfg.Workers))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
 // Stats snapshots the counters and latency quantiles.
 func (q *QueryPlane) Stats() Stats {
 	return Stats{

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -23,8 +24,12 @@ type Outcome struct {
 	Cached bool
 	// Found reports a path existed (false = clean "no dominated path").
 	Found bool
-	// Shed reports the server rejected the query under overload (429).
+	// Shed reports the server rejected the query under overload (429) and
+	// the retry budget, if any, was exhausted.
 	Shed bool
+	// Retries counts 429-triggered re-issues of this query (each after
+	// honoring the server's Retry-After, bounded by the target's cap).
+	Retries int
 }
 
 // Target answers one path query. Implementations must be safe for
@@ -61,6 +66,7 @@ type Report struct {
 	Requests int           `json:"requests"`
 	Errors   int           `json:"errors"`
 	Shed     int           `json:"shed"`
+	Retries  int           `json:"retries"`
 	NotFound int           `json:"not_found"`
 	Hits     int           `json:"cache_hits"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
@@ -86,7 +92,7 @@ type Report struct {
 // String renders the report in loadgen's human output format.
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "requests: %d (errors %d, shed %d, no-path %d)\n", r.Requests, r.Errors, r.Shed, r.NotFound)
+	fmt.Fprintf(&b, "requests: %d (errors %d, shed %d, retries %d, no-path %d)\n", r.Requests, r.Errors, r.Shed, r.Retries, r.NotFound)
 	fmt.Fprintf(&b, "elapsed:  %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "qps:      %.1f\n", r.QPS)
 	fmt.Fprintf(&b, "hit rate: %.1f%%\n", 100*r.HitRate)
@@ -116,8 +122,8 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		cfg.Duration = 5 * time.Second
 	}
 	type workerStats struct {
-		requests, errors, shed, notFound, hits int
-		latencies                              []time.Duration
+		requests, errors, shed, retries, notFound, hits int
+		latencies                                       []time.Duration
 	}
 	var (
 		wg      sync.WaitGroup
@@ -191,6 +197,7 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 				out, err := target.Query(src, dst)
 				st.latencies = append(st.latencies, time.Since(t0))
 				st.requests++
+				st.retries += out.Retries
 				switch {
 				case err != nil:
 					st.errors++
@@ -217,6 +224,7 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
 		rep.Shed += stats[i].shed
+		rep.Retries += stats[i].retries
 		rep.NotFound += stats[i].notFound
 		rep.Hits += stats[i].hits
 		all = append(all, stats[i].latencies...)
@@ -277,7 +285,9 @@ func (t *PlaneTarget) Query(src, dst int32) (Outcome, error) {
 }
 
 // HTTPTarget drives a live brokerd over its /path endpoint. Cache hits are
-// detected from the X-Cache response header.
+// detected from the X-Cache response header. 429 shed responses are
+// retried up to MaxRetries times, honoring the server's Retry-After header
+// bounded by MaxRetryWait per attempt.
 type HTTPTarget struct {
 	// Base is the server root, e.g. "http://localhost:8080".
 	Base string
@@ -285,6 +295,27 @@ type HTTPTarget struct {
 	Opts routing.Options
 	// Client overrides http.DefaultClient (e.g. for timeouts).
 	Client *http.Client
+	// MaxRetries bounds 429-triggered retries per query (0 = give up
+	// immediately, preserving the old count-a-shed behavior).
+	MaxRetries int
+	// MaxRetryWait caps the per-attempt wait regardless of what Retry-After
+	// asks for (a load generator can't honor multi-second waits at full
+	// offered load). Default 250ms when retries are enabled.
+	MaxRetryWait time.Duration
+}
+
+// retryWait reconciles the server's Retry-After with the local cap.
+func (t *HTTPTarget) retryWait(header string) time.Duration {
+	cap := t.MaxRetryWait
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs > 0 {
+		if d := time.Duration(secs) * time.Second; d < cap {
+			return d
+		}
+	}
+	return cap
 }
 
 // Query implements Target.
@@ -302,21 +333,32 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(t.Base + "/path?" + q.Encode())
-	if err != nil {
-		return Outcome{}, err
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
-	switch resp.StatusCode {
-	case http.StatusOK:
-		return Outcome{Cached: resp.Header.Get("X-Cache") == "hit", Found: true}, nil
-	case http.StatusNotFound:
-		return Outcome{}, nil
-	case http.StatusTooManyRequests:
-		return Outcome{Shed: true}, nil
-	default:
-		return Outcome{}, fmt.Errorf("workload: /path status %d", resp.StatusCode)
+	u := t.Base + "/path?" + q.Encode()
+	retries := 0
+	for {
+		resp, err := client.Get(u)
+		if err != nil {
+			return Outcome{Retries: retries}, err
+		}
+		status := resp.StatusCode
+		retryAfter := resp.Header.Get("Retry-After")
+		cached := resp.Header.Get("X-Cache") == "hit"
+		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+		resp.Body.Close()
+		switch status {
+		case http.StatusOK:
+			return Outcome{Cached: cached, Found: true, Retries: retries}, nil
+		case http.StatusNotFound:
+			return Outcome{Retries: retries}, nil
+		case http.StatusTooManyRequests:
+			if retries >= t.MaxRetries {
+				return Outcome{Shed: true, Retries: retries}, nil
+			}
+			retries++
+			time.Sleep(t.retryWait(retryAfter))
+		default:
+			return Outcome{Retries: retries}, fmt.Errorf("workload: /path status %d", status)
+		}
 	}
 }
 
