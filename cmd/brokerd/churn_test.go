@@ -237,7 +237,7 @@ func TestChurnSelfHealingUnderLoad(t *testing.T) {
 
 	// Healer metrics surfaced through /metrics.
 	var mr metricsResponse
-	if code := getJSON(t, ts.URL+"/metrics", &mr); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &mr); code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
 	if mr.Healer.HealPasses == 0 || mr.Healer.EventsApplied < uint64(len(events)) {

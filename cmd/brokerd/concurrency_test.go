@@ -208,7 +208,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		Misses    uint64             `json:"misses"`
 		LatencyMs map[string]float64 `json:"latency_ms"`
 	}
-	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &m); code != http.StatusOK {
 		t.Fatalf("metrics status %d", code)
 	}
 	if m.Queries != 2 || m.Hits != 1 || m.Misses != 1 {

@@ -60,6 +60,7 @@ func main() {
 		churnEvery = flag.Duration("churn", 0, "background churn interval (0 = off)")
 		churnSeed  = flag.Int64("churn-seed", 42, "churn generator seed")
 		healTarget = flag.Float64("heal-target", 0, "connectivity the healer restores (0 = initial coalition's)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -91,9 +92,12 @@ func main() {
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
 		top.NumNodes(), len(srv.brokers), 100*srv.connectivityLocked(), *addr)
 
+	if *pprofOn {
+		fmt.Println("brokerd: pprof profiling exposed under /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.routes(),
+		Handler:           srv.handler(*pprofOn),
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

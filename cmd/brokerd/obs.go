@@ -1,0 +1,112 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"brokerset/internal/obs"
+)
+
+// initObs wires the unified observability layer: one metrics registry fed
+// by scrape-time collectors over every subsystem's existing counters, a
+// request tracer whose IDs the HTTP middleware mints, and a flight
+// recorder attached to the control plane. Called at the end of newServer.
+func (s *server) initObs() {
+	s.reg = obs.NewRegistry()
+	s.tracer = obs.NewTracer(4096)
+	s.flight = obs.NewFlightRecorder(4096)
+	s.plane.SetFlightRecorder(s.flight)
+
+	s.qp.RegisterMetrics(s.reg)
+	// The control plane is not internally synchronized; its collector
+	// snapshots under the same lock that orders control-plane mutations.
+	s.plane.RegisterMetrics(s.reg, s.stateMu.RLocker())
+	s.healer.Metrics.RegisterMetrics(s.reg)
+
+	s.httpReqs = s.reg.Counter("http_requests_total", "HTTP requests served")
+	s.httpHist = s.reg.Histogram("http_request_seconds", "HTTP request latency")
+	s.reg.RegisterCollector(func(emit func(obs.Sample)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(obs.Sample{Name: "process_goroutines", Help: "live goroutines", Kind: obs.KindGauge, Value: float64(runtime.NumGoroutine())})
+		emit(obs.Sample{Name: "process_heap_bytes", Help: "heap in use", Kind: obs.KindGauge, Value: float64(ms.HeapInuse)})
+	})
+}
+
+// handler wraps the route mux in the tracing/metrics middleware,
+// optionally exposing the net/http/pprof profiling endpoints (off by
+// default: profiling handlers on a routing daemon are debug surface).
+func (s *server) handler(pprofEnabled bool) http.Handler {
+	mux := s.routes()
+	if pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// instrument is the HTTP middleware: it mints (or adopts from the
+// X-Trace-ID request header) a trace ID, roots a span the downstream
+// planes extend via context, echoes the ID back in the response, and
+// feeds the request counter and latency histogram.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var tid uint64
+		if v := r.Header.Get("X-Trace-ID"); v != "" {
+			tid, _ = strconv.ParseUint(v, 10, 64)
+		}
+		ctx, span := s.tracer.Root(r.Context(), "http "+r.Method+" "+r.URL.Path, tid)
+		w.Header().Set("X-Trace-ID", strconv.FormatUint(span.TraceID, 10))
+		next.ServeHTTP(w, r.WithContext(ctx))
+		span.End()
+		s.httpReqs.Inc()
+		s.httpHist.Observe(time.Since(start))
+	})
+}
+
+// handleDebugTrace exports the tracer ring: Chrome trace-event JSON by
+// default (load it in Perfetto or chrome://tracing), JSONL with
+// ?format=jsonl, optionally filtered to one trace with ?trace=ID.
+func (s *server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	spans := s.tracer.Spans()
+	if v := r.URL.Query().Get("trace"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "trace must be a uint64 trace id")
+			return
+		}
+		spans = s.tracer.Trace(id)
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteChromeTrace(w, spans)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = obs.WriteJSONL(w, spans)
+	default:
+		writeError(w, http.StatusBadRequest, "format must be chrome or jsonl")
+	}
+}
+
+// handleDebugFlight dumps the flight recorder as JSONL (header line plus
+// the recent control-plane events).
+func (s *server) handleDebugFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = s.flight.Dump(w, map[string]any{"source": "brokerd"})
+}

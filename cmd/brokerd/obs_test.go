@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"brokerset/internal/obs"
+)
+
+// TestMetricsPrometheusExposition asserts the default /metrics output is
+// valid Prometheus text exposition covering every instrumented subsystem.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Generate some traffic so counters move.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/path?src=0&dst=5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus exposition: %v", err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"queryplane_queries_total",
+		"queryplane_latency_seconds{quantile=\"0.5\"}",
+		"ctrlplane_commits_total",
+		"transport_sent_total",
+		"healer_heal_passes_total",
+		"http_requests_total",
+		"process_goroutines",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsJSONCompat asserts ?format=json preserves the legacy
+// metricsResponse contract exactly: same top-level keys, same nesting.
+func TestMetricsJSONCompat(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-registry payload: queryplane.Stats fields inlined, plus
+	// latency_ms, healer, and ctrlplane objects.
+	for _, key := range []string{
+		"queries", "hits", "misses", "misses_cold", "misses_invalidated",
+		"dedup", "shed", "errors", "evictions", "inflight", "waiting",
+		"cache_entries", "generation", "latency_ms", "healer", "ctrlplane",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("legacy JSON view missing key %q", key)
+		}
+	}
+	var lat map[string]float64
+	if err := json.Unmarshal(raw["latency_ms"], &lat); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"p50", "p95", "p99"} {
+		if _, ok := lat[q]; !ok {
+			t.Errorf("latency_ms missing %q", q)
+		}
+	}
+	// Unknown formats are rejected.
+	r2, err := http.Get(ts.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("format=xml status %d, want 400", r2.StatusCode)
+	}
+}
+
+// TestTraceMiddleware asserts the middleware mints and echoes trace IDs,
+// adopts a caller-supplied X-Trace-ID, and that a traced /path request's
+// spans reach the query plane and export as a Chrome trace.
+func TestTraceMiddleware(t *testing.T) {
+	srv, ts := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/path?src=0&dst=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Trace-ID") == "" {
+		t.Fatal("response missing X-Trace-ID")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/path?src=1&dst=6", nil)
+	req.Header.Set("X-Trace-ID", "424242")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if got := r2.Header.Get("X-Trace-ID"); got != "424242" {
+		t.Fatalf("echoed trace id = %q, want 424242", got)
+	}
+	spans := srv.tracer.Trace(424242)
+	if len(spans) < 2 {
+		t.Fatalf("adopted trace has %d spans, want root + queryplane", len(spans))
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	if !names["queryplane.query"] {
+		t.Fatalf("trace did not reach the query plane: %v", names)
+	}
+
+	// Exported trace is Chrome trace-event JSON.
+	r3, err := http.Get(ts.URL + "/debug/trace?trace=424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r3.Body).Decode(&doc); err != nil {
+		t.Fatalf("/debug/trace not Chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(spans) {
+		t.Fatalf("exported %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+}
+
+// TestSessionTracePropagation asserts a traced session setup's spans cover
+// the control plane's 2PC.
+func TestSessionTracePropagation(t *testing.T) {
+	srv, ts := testServer(t)
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/sessions",
+		strings.NewReader(`{"src":0,"dst":5,"gbps":1}`))
+	req.Header.Set("X-Trace-ID", "777")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("setup status %d", resp.StatusCode)
+	}
+	names := map[string]bool{}
+	for _, s := range srv.tracer.Trace(777) {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"ctrlplane.setup", "ctrlplane.establish", "2pc.broadcast", "2pc.attempt", "2pc.send"} {
+		if !names[want] {
+			t.Fatalf("session trace missing %q spans: %v", want, names)
+		}
+	}
+}
+
+// TestDebugFlight asserts the flight recorder endpoint dumps the
+// control-plane events a setup produced.
+func TestDebugFlight(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/sessions", "application/json",
+		strings.NewReader(`{"src":0,"dst":5,"gbps":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("setup status %d", resp.StatusCode)
+	}
+	r2, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	body, _ := io.ReadAll(r2.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("flight dump has %d lines, want header + events", len(lines))
+	}
+	kinds := map[string]bool{}
+	for _, ln := range lines[1:] {
+		var e obs.FlightEvent
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("flight line not JSON: %v", err)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"send", "deliver", "decide"} {
+		if !kinds[want] {
+			t.Fatalf("flight dump missing %q events: %v", want, kinds)
+		}
+	}
+}
+
+// TestPprofGate asserts /debug/pprof/ is absent by default and served when
+// the -pprof flag enables it.
+func TestPprofGate(t *testing.T) {
+	srv, ts := testServer(t) // handler(false)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof served without the flag: status %d", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(srv.handler(true))
+	defer on.Close()
+	r2, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d with -pprof", r2.StatusCode)
+	}
+	body, _ := io.ReadAll(r2.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"brokerset/internal/churn"
 	"brokerset/internal/coverage"
 	"brokerset/internal/ctrlplane"
+	"brokerset/internal/obs"
 	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
@@ -45,6 +46,14 @@ type server struct {
 	applier    *churn.Applier
 	gen        *churn.Generator
 	healer     *churn.Healer
+
+	// Unified observability (see initObs): metrics registry, request
+	// tracer, control-plane flight recorder, HTTP front-door instruments.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	flight   *obs.FlightRecorder
+	httpReqs *obs.Counter
+	httpHist *obs.Histogram
 }
 
 // newServer wires a server for the topology: it selects k brokers with
@@ -111,6 +120,7 @@ func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int6
 	if err != nil {
 		return nil, err
 	}
+	s.initObs()
 	return s, nil
 }
 
@@ -169,6 +179,8 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/sessions", s.handleSessions)
 	mux.HandleFunc("/sessions/", s.handleSessionByID)
 	mux.HandleFunc("/churn", s.handleChurn)
+	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
 	return mux
 }
 
@@ -232,25 +244,38 @@ type metricsResponse struct {
 	Ctrlplane ctrlplane.Stats       `json:"ctrlplane"`
 }
 
+// handleMetrics negotiates the exposition: Prometheus text (version
+// 0.0.4) by default, the legacy JSON payload with ?format=json — the
+// pre-registry contract, byte-shape preserved for existing consumers.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	st := s.qp.Stats()
-	s.stateMu.RLock()
-	cp := s.plane.Stats()
-	s.stateMu.RUnlock()
-	writeJSON(w, http.StatusOK, metricsResponse{
-		Stats: st,
-		LatencyMs: map[string]float64{
-			"p50": float64(st.P50.Microseconds()) / 1000,
-			"p95": float64(st.P95.Microseconds()) / 1000,
-			"p99": float64(st.P99.Microseconds()) / 1000,
-		},
-		Healer:    s.healer.Metrics.Snapshot(),
-		Ctrlplane: cp,
-	})
+	switch r.URL.Query().Get("format") {
+	case "json":
+		st := s.qp.Stats()
+		s.stateMu.RLock()
+		cp := s.plane.Stats()
+		s.stateMu.RUnlock()
+		writeJSON(w, http.StatusOK, metricsResponse{
+			Stats: st,
+			LatencyMs: map[string]float64{
+				"p50": float64(st.P50.Microseconds()) / 1000,
+				"p95": float64(st.P95.Microseconds()) / 1000,
+				"p99": float64(st.P99.Microseconds()) / 1000,
+			},
+			Healer:    s.healer.Metrics.Snapshot(),
+			Ctrlplane: cp,
+		})
+	case "", "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "format must be prometheus or json")
+	}
 }
 
 // connectivityLocked recomputes coalition connectivity on the live graph;

@@ -21,7 +21,7 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.routes())
+	ts := httptest.NewServer(srv.handler(false))
 	t.Cleanup(ts.Close)
 	return srv, ts
 }

@@ -1,0 +1,25 @@
+// Command promcheck validates Prometheus text exposition read from stdin:
+// it exits 0 when every line parses (HELP/TYPE comments, sample syntax,
+// label syntax, float values, summary/histogram children typed by their
+// base family), and exits 1 naming the first offending line otherwise.
+//
+// CI pipes a live brokerd's /metrics scrape through it:
+//
+//	curl -fsS localhost:8080/metrics | promcheck
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"brokerset/internal/obs"
+)
+
+func main() {
+	if err := obs.ValidateExposition(bufio.NewReader(os.Stdin)); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: exposition ok")
+}

@@ -11,6 +11,7 @@ import (
 	"brokerset/internal/broker"
 	"brokerset/internal/coverage"
 	"brokerset/internal/ctrlplane"
+	"brokerset/internal/obs"
 	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
 )
@@ -114,6 +115,33 @@ func (m *HealerMetrics) RepairQuantile(p float64) time.Duration {
 		i = len(sorted) - 1
 	}
 	return sorted[i]
+}
+
+// RegisterMetrics exposes the healer counters and repair-time summary on
+// reg under the healer_ namespace. The counters are already atomic, so the
+// collector just adapts them to samples at scrape time.
+func (m *HealerMetrics) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(emit func(obs.Sample)) {
+		s := m.Snapshot()
+		for _, smp := range []struct {
+			name, help string
+			kind       obs.Kind
+			val        float64
+		}{
+			{"healer_events_applied_total", "churn events applied", obs.KindCounter, float64(s.EventsApplied)},
+			{"healer_heal_passes_total", "heal passes run", obs.KindCounter, float64(s.HealPasses)},
+			{"healer_maintain_passes_total", "maintain-only passes run", obs.KindCounter, float64(s.MaintainPasses)},
+			{"healer_broker_adds_total", "brokers added to the coalition", obs.KindCounter, float64(s.BrokerAdds)},
+			{"healer_broker_removes_total", "brokers removed from the coalition", obs.KindCounter, float64(s.BrokerRemoves)},
+			{"healer_broker_recoveries_total", "crashed brokers recovered", obs.KindCounter, float64(s.BrokerRecoveries)},
+			{"healer_sessions_repaired_total", "damaged sessions re-pathed", obs.KindCounter, float64(s.SessionsRepaired)},
+			{"healer_sessions_aborted_total", "damaged sessions aborted", obs.KindCounter, float64(s.SessionsAborted)},
+			{"healer_repair_p50_seconds", "median heal-pass wall time", obs.KindGauge, s.RepairP50Ms / 1e3},
+			{"healer_repair_p95_seconds", "p95 heal-pass wall time", obs.KindGauge, s.RepairP95Ms / 1e3},
+		} {
+			emit(obs.Sample{Name: smp.name, Help: smp.help, Kind: smp.kind, Value: smp.val})
+		}
+	})
 }
 
 // Snapshot captures the counters and repair quantiles.

@@ -1,14 +1,18 @@
 package ctrlplane
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"testing"
 
 	"brokerset/internal/graph"
+	"brokerset/internal/obs"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
 )
@@ -24,6 +28,32 @@ func chaosSeed(t *testing.T) int64 {
 		return seed
 	}
 	return 1
+}
+
+// dumpFlight writes the flight recorder to $FLIGHT_DUMP (CI uploads it as
+// an artifact) or a temp file, headed by the chaos seed and the violation
+// so the dump replays and explains itself.
+func dumpFlight(t *testing.T, fr *obs.FlightRecorder, seed int64, violation string) {
+	t.Helper()
+	path := os.Getenv("FLIGHT_DUMP")
+	if path == "" {
+		path = filepath.Join(t.TempDir(), "flight.jsonl")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Logf("flight dump: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := fr.Dump(f, map[string]any{
+		"test":       t.Name(),
+		"chaos_seed": seed,
+		"violation":  violation,
+	}); err != nil {
+		t.Logf("flight dump: %v", err)
+		return
+	}
+	t.Logf("flight recorder dumped to %s (%d events)", path, fr.Len())
 }
 
 // ringTop builds an n-node peer ring where every node is a broker-grade
@@ -87,6 +117,8 @@ func TestChaos2PC(t *testing.T) {
 	ft := NewFaultTransport(FaultConfig{Seed: seed, ToBroker: rates, ToCoord: rates})
 	p.UseTransport(ft)
 	p.SetRetryConfig(RetryConfig{MaxAttempts: 8, BreakerThreshold: 6, BreakerCooldown: 30})
+	fr := obs.NewFlightRecorder(4096)
+	p.SetFlightRecorder(fr)
 
 	// Crash a broker mid-commit every crashGap-th COMMIT delivery: the
 	// commit decision is already durable at the coordinator, the agent
@@ -187,9 +219,11 @@ func TestChaos2PC(t *testing.T) {
 		p.Recover(b)
 	}
 	if err := p.Reconcile(ctx); err != nil {
+		dumpFlight(t, fr, seed, err.Error())
 		t.Fatalf("reconcile: %v (seed %d)", err, seed)
 	}
 	if err := p.CheckInvariants(live); err != nil {
+		dumpFlight(t, fr, seed, err.Error())
 		t.Fatalf("invariants violated: %v (seed %d)", err, seed)
 	}
 
@@ -210,5 +244,73 @@ func TestChaos2PC(t *testing.T) {
 	}
 	if ts.Dropped == 0 || ts.Duplicated == 0 || ts.Delayed == 0 || ts.Reordered == 0 {
 		t.Fatalf("fault injection unexercised: %+v", ts)
+	}
+}
+
+// TestInvariantViolationDumpsFlight induces a ledger-drift invariant
+// violation and proves the flight recorder produces a self-explanatory
+// dump: a header carrying the chaos seed and the violated invariant,
+// followed by the protocol events (sends, deliveries, the commit
+// decision) that led up to it.
+func TestInvariantViolationDumpsFlight(t *testing.T) {
+	const nodes = 6
+	seed := chaosSeed(t)
+	top, m := ringTop(t, nodes)
+	brokers := make([]int32, nodes)
+	for i := range brokers {
+		brokers[i] = int32(i)
+	}
+	p := New(top, m, brokers)
+	fr := obs.NewFlightRecorder(256)
+	p.SetFlightRecorder(fr)
+
+	s, err := p.Setup(context.Background(), 0, 2, 5, routing.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one hop owner's ledger behind the protocol's back.
+	owner := s.owners[0]
+	hop := hopKey(s.Path[0], s.Path[1])
+	p.agents[owner].avail[hop] += 3
+
+	verr := p.CheckInvariants([]*Session{s})
+	if verr == nil {
+		t.Fatal("corrupted ledger passed the invariant check")
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	t.Setenv("FLIGHT_DUMP", path)
+	dumpFlight(t, fr, seed, verr.Error())
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("dump has %d lines, want header + events", len(lines))
+	}
+	var hdr struct {
+		ChaosSeed int64  `json:"chaos_seed"`
+		Violation string `json:"violation"`
+		Events    int    `json:"events"`
+	}
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header not JSON: %v", err)
+	}
+	if hdr.ChaosSeed != seed || hdr.Violation != verr.Error() || hdr.Events != len(lines)-1 {
+		t.Fatalf("header = %+v, want seed %d and violation %q", hdr, seed, verr.Error())
+	}
+	kinds := map[string]bool{}
+	for _, ln := range lines[1:] {
+		var e obs.FlightEvent
+		if err := json.Unmarshal(ln, &e); err != nil {
+			t.Fatalf("event line not JSON: %v", err)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"send", "deliver", "decide"} {
+		if !kinds[want] {
+			t.Fatalf("dump missing %q events; got kinds %v", want, kinds)
+		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"brokerset/internal/obs"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
 )
@@ -272,6 +273,10 @@ type Plane struct {
 	// start of every operation and by Reconcile.
 	backlog map[uint64]Message
 
+	// flight records recent protocol events for post-mortem dumps; nil
+	// (the default) disables recording at zero cost.
+	flight *obs.FlightRecorder
+
 	stats   Stats
 	nextID  int
 	nextMsg uint64
@@ -382,6 +387,7 @@ func (p *Plane) Crash(b int32) {
 	if p.crashed[b] {
 		return
 	}
+	p.flight.Recordf("ctrlplane", "crash", int64(p.clock), "broker %d", b)
 	p.crashed[b] = true
 	if a := p.agents[b]; a != nil {
 		a.avail, a.holds, a.seen, a.done = nil, nil, nil, nil
@@ -436,6 +442,7 @@ func (p *Plane) Recover(b int32) {
 		br.fails, br.openUntil = 0, 0
 	}
 	p.stats.Recoveries++
+	p.flight.Recordf("ctrlplane", "recover", int64(p.clock), "broker %d: %d holds in doubt", b, len(holds))
 }
 
 // Crashed reports whether broker b is marked crashed.
@@ -575,6 +582,8 @@ func (p *Plane) Available(u, v int32) float64 {
 // send pushes a message onto the transport and counts it.
 func (p *Plane) send(m Message) {
 	p.stats.Messages++
+	p.flight.Recordf("ctrlplane", "send", int64(p.clock), "%s %d->%d session %d.%d msg %d",
+		m.Type, m.From, m.To, m.SessionID, m.Epoch, m.MsgID)
 	p.tr.Send(m)
 }
 
@@ -595,16 +604,22 @@ func (p *Plane) Setup(ctx context.Context, src, dst int, bw float64, opts routin
 	if bw <= 0 {
 		return nil, fmt.Errorf("ctrlplane: bandwidth must be > 0, got %f", bw)
 	}
+	ctx, span := obs.StartSpan(ctx, "ctrlplane.setup")
+	defer span.End()
+	span.Annotatef("route", "%d->%d", src, dst)
 	p.tick()
 	path, err := p.engine.BestPath(src, dst, opts)
 	if err != nil {
+		span.Annotate("outcome", "no_path")
 		return nil, fmt.Errorf("ctrlplane: no dominated path: %w", err)
 	}
 	p.nextID++
 	s := &Session{ID: p.nextID, Bandwidth: bw}
 	if err := p.establish(ctx, s, path.Nodes); err != nil {
+		span.Annotate("outcome", "aborted")
 		return nil, err
 	}
+	span.Annotate("outcome", "committed")
 	return s, nil
 }
 
@@ -620,7 +635,10 @@ func (p *Plane) tick() {
 // StateCommitted on success or StateAborted (all holds released or
 // abort-fenced) on failure.
 func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error {
+	ctx, span := obs.StartSpan(ctx, "ctrlplane.establish")
+	defer span.End()
 	s.Epoch++
+	span.Annotatef("session", "%d.%d", s.ID, s.Epoch)
 	s.Path = nodes
 	s.owners = s.owners[:0]
 	for i := 0; i+1 < len(nodes); i++ {
@@ -640,6 +658,7 @@ func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error 
 	for _, owner := range s.owners {
 		if p.breakerOpen(owner) {
 			p.decided[key] = false
+			p.flight.Recordf("ctrlplane", "decide", int64(p.clock), "session %d.%d ABORT (breaker %d open)", key.ID, key.Epoch, owner)
 			p.stats.BreakerFastFails++
 			p.stats.Aborts++
 			s.State = StateAborted
@@ -661,6 +680,8 @@ func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error 
 		// Decision: ABORT — durably recorded before any abort is sent, so
 		// a crashed owner resolves its in-doubt hold the same way.
 		p.decided[key] = false
+		p.flight.Recordf("ctrlplane", "decide", int64(p.clock), "session %d.%d ABORT (%d nacked, %d pending)",
+			key.ID, key.Epoch, len(out.nacked), len(out.pending))
 		p.abortAll(ctx, s)
 		p.stats.Aborts++
 		s.State = StateAborted
@@ -678,6 +699,7 @@ func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error 
 	// are reachable — undelivered COMMITs go to the backlog and crashed
 	// owners resolve via their WAL.
 	p.decided[key] = true
+	p.flight.Recordf("ctrlplane", "decide", int64(p.clock), "session %d.%d COMMIT", key.ID, key.Epoch)
 	owners := uniqueOwners(s.owners)
 	cmsgs := make([]Message, 0, len(owners))
 	for _, owner := range owners {
@@ -764,6 +786,9 @@ func (p *Plane) Teardown(ctx context.Context, s *Session) error {
 	if s == nil || s.State != StateCommitted {
 		return fmt.Errorf("ctrlplane: teardown of non-committed session")
 	}
+	ctx, span := obs.StartSpan(ctx, "ctrlplane.teardown")
+	defer span.End()
+	span.Annotatef("session", "%d.%d", s.ID, s.Epoch)
 	p.tick()
 	p.releaseAll(ctx, s)
 	p.stats.Teardowns++
@@ -806,6 +831,9 @@ func (p *Plane) Repath(ctx context.Context, s *Session, opts routing.Options) er
 	if s == nil || s.State != StateCommitted {
 		return fmt.Errorf("ctrlplane: repath of non-committed session")
 	}
+	ctx, span := obs.StartSpan(ctx, "ctrlplane.repath")
+	defer span.End()
+	span.Annotatef("session", "%d.%d", s.ID, s.Epoch)
 	p.tick()
 	p.releaseAll(ctx, s)
 	src, dst := int(s.Path[0]), int(s.Path[len(s.Path)-1])
@@ -837,6 +865,12 @@ type rpcOutcome struct {
 // the caller can abort or backlog them. Per-broker timeout streaks feed
 // the circuit breakers.
 func (p *Plane) broadcast(ctx context.Context, msgs []Message) rpcOutcome {
+	ctx, span := obs.StartSpan(ctx, "2pc.broadcast")
+	defer span.End()
+	if len(msgs) > 0 {
+		span.Annotate("type", msgs[0].Type.String())
+		span.Annotatef("msgs", "%d", len(msgs))
+	}
 	out := rpcOutcome{
 		acked:   make(map[uint64]Message),
 		nacked:  make(map[uint64]Message),
@@ -849,8 +883,13 @@ func (p *Plane) broadcast(ctx context.Context, msgs []Message) rpcOutcome {
 		if ctx.Err() != nil {
 			break
 		}
+		actx, asp := obs.StartSpan(ctx, "2pc.attempt")
+		asp.Annotatef("attempt", "%d", attempt)
+		asp.Annotatef("pending", "%d", len(out.pending))
 		if attempt > 0 {
+			_, bsp := obs.StartSpan(actx, "2pc.backoff")
 			p.backoff(attempt)
+			bsp.End()
 		}
 		for _, id := range sortedIDs(out.pending) {
 			m := out.pending[id]
@@ -860,9 +899,14 @@ func (p *Plane) broadcast(ctx context.Context, msgs []Message) rpcOutcome {
 			if attempt > 0 {
 				p.stats.Retries++
 			}
+			_, ssp := obs.StartSpan(actx, "2pc.send")
+			ssp.Annotate("type", m.Type.String())
+			ssp.Annotatef("to", "%d", m.To)
 			p.send(m)
+			ssp.End()
 		}
 		p.pump(&out)
+		asp.End()
 		// When everything still unanswered is known-crashed, more rounds
 		// cannot help — fail fast like the pre-retry plane did.
 		allCrashed := true
@@ -959,6 +1003,8 @@ func (p *Plane) handleReply(m Message, out *rpcOutcome) {
 // redelivery.
 func (p *Plane) enqueueBacklog(pending map[uint64]Message) {
 	for id, m := range pending {
+		p.flight.Recordf("ctrlplane", "backlog", int64(p.clock), "%s to %d session %d.%d msg %d",
+			m.Type, m.To, m.SessionID, m.Epoch, id)
 		p.backlog[id] = m
 	}
 }
@@ -1028,6 +1074,7 @@ func (p *Plane) breakerFail(b int32) {
 	if br.fails >= p.retry.BreakerThreshold && p.clock >= br.openUntil {
 		br.openUntil = p.clock + p.retry.BreakerCooldown
 		p.stats.BreakerTrips++
+		p.flight.Recordf("ctrlplane", "breaker_trip", int64(p.clock), "broker %d open until tick %d", b, br.openUntil)
 	}
 }
 
@@ -1072,6 +1119,8 @@ func (a *agent) markSeen(id uint64) {
 // memory; messages for finalized attempts are fenced so stragglers cannot
 // resurrect holds.
 func (p *Plane) deliver(a *agent, m Message) {
+	p.flight.Recordf("ctrlplane", "deliver", int64(p.clock), "%s at broker %d session %d.%d msg %d",
+		m.Type, a.id, m.SessionID, m.Epoch, m.MsgID)
 	if _, dup := a.seen[m.MsgID]; dup {
 		p.stats.DupsDropped++
 		if ack, ok := ackFor(m.Type); ok {

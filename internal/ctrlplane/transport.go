@@ -23,14 +23,18 @@ type Transport interface {
 // plane uses by default: a synchronous FIFO queue, deterministic by
 // construction. It reproduces the pre-fault-injection message bus exactly.
 type ReliableTransport struct {
-	q []Message
+	q     []Message
+	stats TransportStats
 }
 
 // NewReliableTransport returns an empty FIFO transport.
 func NewReliableTransport() *ReliableTransport { return &ReliableTransport{} }
 
 // Send implements Transport.
-func (t *ReliableTransport) Send(m Message) { t.q = append(t.q, m) }
+func (t *ReliableTransport) Send(m Message) {
+	t.stats.Sent++
+	t.q = append(t.q, m)
+}
 
 // Recv implements Transport.
 func (t *ReliableTransport) Recv() (Message, bool) {
@@ -39,8 +43,13 @@ func (t *ReliableTransport) Recv() (Message, bool) {
 	}
 	m := t.q[0]
 	t.q = t.q[1:]
+	t.stats.Delivered++
 	return m, true
 }
+
+// Stats returns a copy of the delivery counters (fault counters stay 0 —
+// this transport never misbehaves).
+func (t *ReliableTransport) Stats() TransportStats { return t.stats }
 
 // Advance implements Transport (no-op: nothing is ever held back).
 func (t *ReliableTransport) Advance() {}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promTypes are the metric types the text exposition format admits.
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true,
+}
+
+// ValidateExposition parses r as Prometheus text exposition format
+// (version 0.0.4) and returns an error naming the first malformed line.
+// It checks comment syntax (# HELP / # TYPE with a known type), sample
+// syntax (metric name, optional {label="value",...} set, float value,
+// optional timestamp), and that every sample's base metric carries a TYPE
+// declaration — the contract the CI smoke job holds /metrics to.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	typed := make(map[string]string)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := validateComment(text, typed); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			continue
+		}
+		if err := validateSample(text, typed); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("obs: exposition declared no metrics")
+	}
+	return nil
+}
+
+func validateComment(text string, typed map[string]string) error {
+	fields := strings.Fields(text)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment: allowed, ignored
+	}
+	if len(fields) < 3 {
+		return fmt.Errorf("obs: %s comment without a metric name", fields[1])
+	}
+	name := fields[2]
+	if !validPromName(name) {
+		return fmt.Errorf("obs: %s for invalid metric name %q", fields[1], name)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 || !promTypes[fields[3]] {
+			return fmt.Errorf("obs: TYPE %s has invalid metric type", name)
+		}
+		typed[name] = fields[3]
+	}
+	return nil
+}
+
+func validateSample(text string, typed map[string]string) error {
+	rest := text
+	// Metric name.
+	i := 0
+	for i < len(rest) && isPromNameRune(rest[i], i == 0) {
+		i++
+	}
+	name := rest[:i]
+	if name == "" {
+		return fmt.Errorf("obs: sample with no metric name: %q", text)
+	}
+	rest = rest[i:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("obs: unterminated label set: %q", text)
+		}
+		if err := validateLabels(rest[1:end]); err != nil {
+			return fmt.Errorf("%w in %q", err, text)
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("obs: sample needs a value (and at most a timestamp): %q", text)
+	}
+	if !validPromFloat(fields[0]) {
+		return fmt.Errorf("obs: invalid sample value %q in %q", fields[0], text)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("obs: invalid sample timestamp %q in %q", fields[1], text)
+		}
+	}
+	if base, ok := baseName(name, typed); !ok {
+		return fmt.Errorf("obs: sample %q has no TYPE declaration", name)
+	} else if t := typed[base]; base != name && t != "summary" && t != "histogram" {
+		return fmt.Errorf("obs: sample %q extends %q which is a %s", name, base, t)
+	}
+	return nil
+}
+
+// baseName resolves a sample name to its declared metric: exact match, or
+// the _sum/_count/_bucket child of a declared summary/histogram.
+func baseName(name string, typed map[string]string) (string, bool) {
+	if _, ok := typed[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if _, declared := typed[base]; declared {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+func validateLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, pair := range splitLabels(s) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !validPromName(k) {
+			return fmt.Errorf("obs: invalid label pair %q", pair)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("obs: label %s value not quoted", k)
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		if !isPromNameRune(name[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// isPromNameRune reports whether c may appear in a Prometheus metric or
+// label name (first position excludes digits).
+func isPromNameRune(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validPromFloat(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

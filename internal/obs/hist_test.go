@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	p99 := h.Quantile(0.99)
+	// Log-bucketed estimates: allow the ~6% bucket width plus slack.
+	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 900*time.Microsecond || p99 > 1200*time.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Fatal("quantiles not monotone")
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	want := time.Duration(1000*1001/2) * time.Microsecond
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistBucketsContinuous(t *testing.T) {
+	last := -1
+	for ns := int64(0); ns < 1<<20; ns += 7 {
+		b := histBucket(ns)
+		if b < last {
+			t.Fatalf("bucket regressed at %d ns: %d < %d", ns, b, last)
+		}
+		last = b
+	}
+	if histBucket(1<<63-1) != histBuckets-1 {
+		t.Fatal("max duration not in last bucket")
+	}
+}

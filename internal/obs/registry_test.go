@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("queryplane_queries_total", "total queries")
+	g := reg.Gauge("queryplane_cache_entries", "cached paths")
+	h := reg.Histogram("queryplane_latency_seconds", "query latency")
+	reg.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "ctrlplane_commits_total", Help: "2pc commits", Kind: KindCounter, Value: 7})
+	})
+
+	c.Add(41)
+	c.Inc()
+	g.Set(13)
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE queryplane_queries_total counter",
+		"queryplane_queries_total 42",
+		"# TYPE queryplane_cache_entries gauge",
+		"queryplane_cache_entries 13",
+		"# TYPE ctrlplane_commits_total counter",
+		"ctrlplane_commits_total 7",
+		"# TYPE queryplane_latency_seconds summary",
+		`queryplane_latency_seconds{quantile="0.5"}`,
+		"queryplane_latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The exposition must self-validate.
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition invalid: %v", err)
+	}
+	// Samples must appear sorted by name.
+	iQP := strings.Index(out, "queryplane_cache_entries 13")
+	iCP := strings.Index(out, "ctrlplane_commits_total 7")
+	if iCP > iQP {
+		t.Fatal("samples not sorted by name")
+	}
+}
+
+func TestRegistryJSONView(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("transport_sent_total", "").Add(3)
+	h := reg.Histogram("workload_latency_seconds", "")
+	h.Observe(2 * time.Millisecond)
+	m, err := reg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["transport_sent_total"] != 3 {
+		t.Fatalf("JSON view = %v", m)
+	}
+	if m["workload_latency_seconds_count"] != 1 || m["workload_latency_seconds_p50"] <= 0 {
+		t.Fatalf("JSON histogram view = %v", m)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	for _, ok := range []string{"queryplane_hits_total", "healer_repair_seconds", "a_b"} {
+		if err := CheckName(ok); err != nil {
+			t.Errorf("CheckName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "nounderscore", "Upper_case", "has space_x", "_leading", "trailing_", "double__under", "1_starts_with_digit"} {
+		if err := CheckName(bad); err == nil {
+			t.Errorf("CheckName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate":        func() { reg.Counter("a_total", "") },
+		"invalid":          func() { reg.Gauge("NotValid", "") },
+		"histogram suffix": func() { reg.Histogram("queryplane_latency_ms", "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegistryDuplicateCollectorSample(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	reg.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "x_total", Kind: KindCounter})
+	})
+	if err := reg.WritePrometheus(&strings.Builder{}); err == nil {
+		t.Fatal("duplicate sample not rejected")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("load_ops_total", "")
+	h := reg.Histogram("load_latency_seconds", "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter %d hist %d, want 8000", c.Value(), h.Count())
+	}
+}
+
+func TestValidateExposition(t *testing.T) {
+	good := `# HELP up is up
+# TYPE up gauge
+up 1
+# TYPE http_requests_total counter
+http_requests_total{code="200",method="get"} 1027 1395066363000
+# TYPE rpc_duration_seconds summary
+rpc_duration_seconds{quantile="0.5"} 4.3e-05
+rpc_duration_seconds_sum 1.7560473e+07
+rpc_duration_seconds_count 2693
+`
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	for name, bad := range map[string]string{
+		"no type":      "foo_total 1\n",
+		"bad value":    "# TYPE foo gauge\nfoo xyz\n",
+		"bad type":     "# TYPE foo widget\nfoo 1\n",
+		"bad label":    "# TYPE foo gauge\nfoo{9bad=\"x\"} 1\n",
+		"unquoted":     "# TYPE foo gauge\nfoo{a=b} 1\n",
+		"unterminated": "# TYPE foo gauge\nfoo{a=\"b\" 1\n",
+		"empty":        "\n",
+	} {
+		if err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: invalid exposition accepted:\n%s", name, bad)
+		}
+	}
+}

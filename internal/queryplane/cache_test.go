@@ -2,7 +2,6 @@ package queryplane
 
 import (
 	"testing"
-	"time"
 
 	"brokerset/internal/routing"
 )
@@ -89,41 +88,5 @@ func TestCacheShardRounding(t *testing.T) {
 	c = NewCache(0, 0)
 	if len(c.shards) != 1 || c.shards[0].cap != 1 {
 		t.Fatalf("degenerate cache: %d shards cap %d", len(c.shards), c.shards[0].cap)
-	}
-}
-
-func TestHistQuantiles(t *testing.T) {
-	var h latencyHist
-	if h.quantile(0.5) != 0 {
-		t.Fatal("empty histogram quantile != 0")
-	}
-	for i := 1; i <= 1000; i++ {
-		h.observe(time.Duration(i) * time.Microsecond)
-	}
-	p50 := h.quantile(0.50)
-	p99 := h.quantile(0.99)
-	// Log-bucketed estimates: allow the ~6% bucket width plus slack.
-	if p50 < 400*time.Microsecond || p50 > 650*time.Microsecond {
-		t.Fatalf("p50 = %v", p50)
-	}
-	if p99 < 900*time.Microsecond || p99 > 1200*time.Microsecond {
-		t.Fatalf("p99 = %v", p99)
-	}
-	if h.quantile(0) > h.quantile(1) {
-		t.Fatal("quantiles not monotone")
-	}
-}
-
-func TestHistBucketsContinuous(t *testing.T) {
-	last := -1
-	for ns := int64(0); ns < 1<<20; ns += 7 {
-		b := histBucket(ns)
-		if b < last {
-			t.Fatalf("bucket regressed at %d ns: %d < %d", ns, b, last)
-		}
-		last = b
-	}
-	if histBucket(1<<63-1) != numBuckets-1 {
-		t.Fatal("max duration not in last bucket")
 	}
 }

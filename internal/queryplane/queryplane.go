@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"brokerset/internal/obs"
 	"brokerset/internal/routing"
 )
 
@@ -97,7 +98,7 @@ type QueryPlane struct {
 	errs        atomic.Uint64
 	inflight    atomic.Int64
 	waiting     atomic.Int64
-	hist        latencyHist
+	hist        obs.Histogram
 }
 
 // New builds a QueryPlane, applying defaults for zero Config fields.
@@ -139,17 +140,22 @@ func (q *QueryPlane) Generation() uint64 { return q.cache.Generation() }
 // result was served without any computation on behalf of this caller).
 func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Options) (path *routing.Path, cached bool, err error) {
 	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "queryplane.query")
+	defer span.End()
 	q.queries.Add(1)
 	key := opts.CacheKey(src, dst)
 	gen := q.cache.Generation()
 	if p, ok, stale := q.cache.Lookup(key, gen); ok {
 		q.hits.Add(1)
-		q.hist.observe(time.Since(start))
+		q.hist.Observe(time.Since(start))
+		span.Annotate("cache", "hit")
 		return p, true, nil
 	} else if stale {
 		q.missesStale.Add(1)
+		span.Annotate("cache", "stale")
 	} else {
 		q.missesCold.Add(1)
+		span.Annotate("cache", "cold")
 	}
 	q.misses.Add(1)
 	path, shared, err := q.flights.do(flightKey{key: key, gen: gen}, func() (*routing.Path, error) {
@@ -161,6 +167,8 @@ func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Optio
 		defer q.inflight.Add(-1)
 		cctx, cancel := context.WithTimeout(ctx, q.cfg.Timeout)
 		defer cancel()
+		cctx, cspan := obs.StartSpan(cctx, "queryplane.compute")
+		defer cspan.End()
 		p, err := q.cfg.Compute(cctx, src, dst, opts)
 		if err != nil {
 			return nil, err
@@ -173,10 +181,11 @@ func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Optio
 	})
 	if shared {
 		q.dedup.Add(1)
+		span.Annotate("dedup", "joined")
 	}
 	switch {
 	case err == nil:
-		q.hist.observe(time.Since(start))
+		q.hist.Observe(time.Since(start))
 	case errors.Is(err, ErrShed):
 		q.shed.Add(1)
 	default:
@@ -210,7 +219,7 @@ func (q *QueryPlane) acquireSlot(ctx context.Context) error {
 // pool at the observed p95 compute latency, floored at one second (the
 // HTTP Retry-After header has whole-second resolution).
 func (q *QueryPlane) RetryAfter() time.Duration {
-	p95 := q.hist.quantile(0.95)
+	p95 := q.hist.Quantile(0.95)
 	if p95 <= 0 {
 		p95 = q.cfg.Timeout / 4
 	}
@@ -240,8 +249,39 @@ func (q *QueryPlane) Stats() Stats {
 		Waiting:           q.waiting.Load(),
 		CacheEntries:      q.cache.Len(),
 		Generation:        q.cache.Generation(),
-		P50:               q.hist.quantile(0.50),
-		P95:               q.hist.quantile(0.95),
-		P99:               q.hist.quantile(0.99),
+		P50:               q.hist.Quantile(0.50),
+		P95:               q.hist.Quantile(0.95),
+		P99:               q.hist.Quantile(0.99),
 	}
+}
+
+// RegisterMetrics exposes the plane's counters and latency summary on reg
+// under the queryplane_ namespace. The counters stay plain atomics on the
+// hot path; the collector adapts them to samples at scrape time.
+func (q *QueryPlane) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterHistogram("queryplane_latency_seconds", "served query latency (hits and computed misses)", &q.hist)
+	reg.RegisterCollector(func(emit func(obs.Sample)) {
+		s := q.Stats()
+		for _, m := range []struct {
+			name, help string
+			kind       obs.Kind
+			val        float64
+		}{
+			{"queryplane_queries_total", "path queries received", obs.KindCounter, float64(s.Queries)},
+			{"queryplane_hits_total", "queries served from cache", obs.KindCounter, float64(s.Hits)},
+			{"queryplane_misses_total", "queries that required computation", obs.KindCounter, float64(s.Misses)},
+			{"queryplane_misses_cold_total", "misses with no prior cache entry", obs.KindCounter, float64(s.MissesCold)},
+			{"queryplane_misses_invalidated_total", "misses caused by generation invalidation", obs.KindCounter, float64(s.MissesInvalidated)},
+			{"queryplane_dedup_total", "queries joined to an in-flight computation", obs.KindCounter, float64(s.Dedup)},
+			{"queryplane_shed_total", "queries shed under overload", obs.KindCounter, float64(s.Shed)},
+			{"queryplane_errors_total", "queries that failed", obs.KindCounter, float64(s.Errors)},
+			{"queryplane_evictions_total", "cache entries evicted", obs.KindCounter, float64(s.Evictions)},
+			{"queryplane_inflight", "computations currently running", obs.KindGauge, float64(s.Inflight)},
+			{"queryplane_waiting", "callers queued for a worker slot", obs.KindGauge, float64(s.Waiting)},
+			{"queryplane_cache_entries", "entries currently cached", obs.KindGauge, float64(s.CacheEntries)},
+			{"queryplane_cache_generation", "current cache generation", obs.KindGauge, float64(s.Generation)},
+		} {
+			emit(obs.Sample{Name: m.name, Help: m.help, Kind: m.kind, Value: m.val})
+		}
+	})
 }

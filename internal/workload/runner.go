@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"brokerset/internal/obs"
 	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
 )
@@ -111,9 +112,10 @@ func (r *Report) String() string {
 type pairSource func(worker int) (*PairGen, error)
 
 // Run drives target with cfg.Concurrency closed-loop workers: each worker
-// repeatedly draws a pair, issues the query, and records the latency. The
-// run stops at cfg.Duration (or cfg.Requests) and merges per-worker
-// samples into exact quantiles.
+// repeatedly draws a pair, issues the query, and records the latency into
+// a shared obs.Histogram — the same bucket layout and quantile math
+// brokerd's /metrics summaries use, so client-side and server-side
+// latency numbers are directly comparable.
 func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 8
@@ -123,11 +125,11 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	}
 	type workerStats struct {
 		requests, errors, shed, retries, notFound, hits int
-		latencies                                       []time.Duration
 	}
 	var (
 		wg      sync.WaitGroup
 		stats   = make([]workerStats, cfg.Concurrency)
+		hist    obs.Histogram
 		budget  chan struct{} // request-count budget, nil when duration-bound
 		useBudg = cfg.Requests > 0
 	)
@@ -195,7 +197,7 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 				src, dst := gen.Pair()
 				t0 := time.Now()
 				out, err := target.Query(src, dst)
-				st.latencies = append(st.latencies, time.Since(t0))
+				hist.Observe(time.Since(t0))
 				st.requests++
 				st.retries += out.Retries
 				switch {
@@ -219,7 +221,6 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{Elapsed: elapsed}
-	var all []time.Duration
 	for i := range stats {
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
@@ -227,22 +228,13 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		rep.Retries += stats[i].retries
 		rep.NotFound += stats[i].notFound
 		rep.Hits += stats[i].hits
-		all = append(all, stats[i].latencies...)
 	}
 	if rep.Requests == 0 {
 		return nil, fmt.Errorf("workload: no requests completed")
 	}
 	rep.QPS = float64(rep.Requests) / elapsed.Seconds()
 	rep.HitRate = float64(rep.Hits) / float64(rep.Requests)
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	q := func(p float64) time.Duration {
-		i := int(p * float64(len(all)))
-		if i >= len(all) {
-			i = len(all) - 1
-		}
-		return all[i]
-	}
-	rep.P50, rep.P95, rep.P99 = q(0.50), q(0.95), q(0.99)
+	rep.P50, rep.P95, rep.P99 = hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99)
 
 	if cfg.Churn != nil {
 		rep.ChurnBursts = churnedBurst
@@ -369,7 +361,7 @@ func FetchServerStats(base string, client *http.Client) (queryplane.Stats, error
 		client = http.DefaultClient
 	}
 	var st queryplane.Stats
-	resp, err := client.Get(base + "/metrics")
+	resp, err := client.Get(base + "/metrics?format=json")
 	if err != nil {
 		return st, err
 	}
