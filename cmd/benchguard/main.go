@@ -1,0 +1,140 @@
+// Command benchguard compares `go test -bench` output against a committed
+// baseline and fails on regression. It reads benchmark output from stdin,
+// extracts ns/op per benchmark (taking the best of repeated -count runs to
+// damp scheduler noise), and exits 1 if any benchmark named in the baseline
+// is missing from the output or slower than baseline × max-ratio.
+//
+// CI uses it as a contention smoke test for the lock-free query path:
+//
+//	go test -run '^$' -bench '^BenchmarkQueryUnderChurn$' -count=3 ./cmd/brokerd/ |
+//	    benchguard -baseline cmd/brokerd/testdata/bench_baseline.json -max-ratio 2.0
+//
+// The baseline file maps benchmark names (sub-benchmark path included,
+// GOMAXPROCS suffix stripped) to nanoseconds per operation:
+//
+//	{"BenchmarkQueryUnderChurn": {"ns_per_op": 540}}
+//
+// Ratios compare the same benchmark across commits, so the guard tolerates
+// absolute speed differences between machines as long as the baseline was
+// recorded on hardware within max-ratio of the runner's. A 2x bar is loose
+// enough for runner variance but far below the >100x cliff a reintroduced
+// global lock causes on this benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline entry: nanoseconds per operation recorded at the commit that
+// last touched the benchmarked path.
+type baselineEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Note is free-form provenance (machine, date, commit) and is ignored.
+	Note string `json:"note,omitempty"`
+}
+
+// benchLine matches one result line of go test -bench output, e.g.
+//
+//	BenchmarkQueryUnderChurn-8   2201848   517.7 ns/op
+//	BenchmarkQueryPlaneHit/shards=4-8   5882352   204.8 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+
+// parseBench extracts the best (minimum) ns/op per benchmark name from
+// go test -bench output.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchguard: bad ns/op on %q: %v", sc.Text(), err)
+		}
+		if cur, ok := best[m[1]]; !ok || ns < cur {
+			best[m[1]] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+// check compares measured results against the baseline and returns one
+// human-readable line per baseline benchmark plus the names that failed.
+func check(baseline map[string]baselineEntry, measured map[string]float64, maxRatio float64) (report []string, failed []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline[name].NsPerOp
+		got, ok := measured[name]
+		switch {
+		case base <= 0:
+			report = append(report, fmt.Sprintf("FAIL %s: baseline ns_per_op %v not positive", name, base))
+			failed = append(failed, name)
+		case !ok:
+			report = append(report, fmt.Sprintf("FAIL %s: not found in benchmark output", name))
+			failed = append(failed, name)
+		case got > base*maxRatio:
+			report = append(report, fmt.Sprintf("FAIL %s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx allowed)",
+				name, got, base, got/base, maxRatio))
+			failed = append(failed, name)
+		default:
+			report = append(report, fmt.Sprintf("ok   %s: %.1f ns/op vs baseline %.1f (%.2fx)",
+				name, got, base, got/base))
+		}
+	}
+	return report, failed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "path to baseline JSON (required)")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
+	flag.Parse()
+	if *baselinePath == "" || *maxRatio <= 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required and -max-ratio must be positive")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	var baseline map[string]baselineEntry
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s names no benchmarks\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	measured, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	report, failed := check(baseline, measured, *maxRatio)
+	fmt.Println(strings.Join(report, "\n"))
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d benchmark(s) regressed past %.2fx: %s\n",
+			len(failed), *maxRatio, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"brokerset/internal/churn"
+	"brokerset/internal/queryplane"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// benchServer builds a serving-sized server for contention benchmarks.
+func benchServer(b *testing.B) *server {
+	b.Helper()
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := newServer(top, 50, 0, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// benchPairs samples broker-to-broker query pairs (MaxSG keeps the set
+// connected, so a dominated path exists while the topology is healthy).
+func benchPairs(srv *server, n int) [][2]int {
+	brokers := srv.currentBrokers()
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]int, 0, n)
+	for len(pairs) < n {
+		s := int(brokers[rng.Intn(len(brokers))])
+		d := int(brokers[rng.Intn(len(brokers))])
+		if s != d {
+			pairs = append(pairs, [2]int{s, d})
+		}
+	}
+	return pairs
+}
+
+// benchLinks samples distinct links for the churn storm to flap.
+func benchLinks(srv *server, n int) [][2]int32 {
+	var links [][2]int32
+	srv.top.Graph.Edges(func(u, v int) bool {
+		links = append(links, [2]int32{int32(u), int32(v)})
+		return true
+	})
+	rng := rand.New(rand.NewSource(11))
+	rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+	if len(links) > n {
+		links = links[:n]
+	}
+	return links
+}
+
+// BenchmarkQueryUnderChurn is the mutex-contention benchmark: all cores
+// issue path queries while one goroutine flaps links (with periodic heal
+// passes) and another spins session setup/teardown through the control
+// plane's 2PC. Under the old global state RWMutex every setup and churn
+// burst stalled all queries; with epoch snapshots the query path is
+// lock-free, so ns/op here is the headline number BENCH_pr5.json and the
+// CI contention-smoke step track.
+func BenchmarkQueryUnderChurn(b *testing.B) {
+	srv := benchServer(b)
+	pairs := benchPairs(srv, 256)
+	links := benchLinks(srv, 64)
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var storms sync.WaitGroup
+	storms.Add(2)
+	go func() { // churn storm: flap link batches, heal every 4th burst
+		defer storms.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			typ := churn.LinkFail
+			if i%2 == 1 {
+				typ = churn.LinkRecover
+			}
+			events := make([]churn.Event, 0, 8)
+			for j := 0; j < 8; j++ {
+				l := links[(8*i/2+j)%len(links)]
+				events = append(events, churn.Event{Type: typ, U: l[0], V: l[1]})
+			}
+			if _, _, err := srv.churnAndHeal(ctx, events, i%8 == 7); err != nil {
+				b.Errorf("churn: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // control-plane storm: setup/teardown spins
+		defer storms.Done()
+		rng := rand.New(rand.NewSource(3))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := pairs[rng.Intn(len(pairs))]
+			sess, err := srv.setup(ctx, sessionRequest{Src: p[0], Dst: p[1], Gbps: 0.01})
+			if err != nil {
+				continue // capacity or churn-induced abort: fine
+			}
+			_ = srv.teardown(ctx, sess)
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			p := pairs[rng.Intn(len(pairs))]
+			_, _, err := srv.qp.Query(ctx, p[0], p[1], routing.Options{})
+			if err != nil && !errors.Is(err, queryplane.ErrShed) &&
+				!errors.Is(err, context.DeadlineExceeded) {
+				// "no dominated path" while links are down is expected.
+				continue
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	storms.Wait()
+}
+
+// BenchmarkSetupTeardown tracks the control-plane critical-section cost on
+// its own (no concurrent queries), so contention wins can be told apart
+// from raw 2PC speedups.
+func BenchmarkSetupTeardown(b *testing.B) {
+	srv := benchServer(b)
+	pairs := benchPairs(srv, 64)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		sess, err := srv.setup(ctx, sessionRequest{Src: p[0], Dst: p[1], Gbps: 0.01})
+		if err != nil {
+			b.Fatalf("setup %d->%d: %v", p[0], p[1], err)
+		}
+		if err := srv.teardown(ctx, sess); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

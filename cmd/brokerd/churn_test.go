@@ -227,7 +227,7 @@ func TestChurnSelfHealingUnderLoad(t *testing.T) {
 			t.Fatalf("teardown of session %d: status %d", s.ID, resp.StatusCode)
 		}
 	}
-	m := srv.engine.Metrics()
+	m := srv.metrics
 	srv.top.Graph.Edges(func(u, v int) bool {
 		if got, want := m.Residual(int32(u), int32(v)), m.Capacity(int32(u), int32(v)); got != want {
 			t.Fatalf("leaked reservation on (%d,%d): residual %f, capacity %f", u, v, got, want)

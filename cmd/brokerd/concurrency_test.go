@@ -11,13 +11,12 @@ import (
 )
 
 // minAvailable returns the bottleneck residual capacity of a node path as
-// the serving engine currently sees it.
+// the serving side currently sees it: the current epoch snapshot's view.
 func minAvailable(srv *server, nodes []int32) float64 {
-	srv.stateMu.RLock()
-	defer srv.stateMu.RUnlock()
+	view := srv.pub.Current().View()
 	min := -1.0
 	for i := 0; i+1 < len(nodes); i++ {
-		if a := srv.engine.Metrics().Available(nodes[i], nodes[i+1]); min < 0 || a < min {
+		if a := view.Available(nodes[i], nodes[i+1]); min < 0 || a < min {
 			min = a
 		}
 	}
@@ -29,7 +28,8 @@ func minAvailable(srv *server, nodes []int32) float64 {
 // query's minbw, the (previously cached) path must not be served again.
 func TestPathCacheInvalidatedByReservation(t *testing.T) {
 	srv, ts := testServer(t)
-	src, dst := int(srv.brokers[0]), int(srv.brokers[len(srv.brokers)-1])
+	bs := srv.currentBrokers()
+	src, dst := int(bs[0]), int(bs[len(bs)-1])
 
 	// Prime the cache with the unconstrained best path.
 	var p pathResponse
@@ -84,7 +84,7 @@ func TestPathCacheInvalidatedByReservation(t *testing.T) {
 func TestConcurrentPathAndSessionTraffic(t *testing.T) {
 	srv, ts := testServer(t)
 	n := srv.top.NumNodes()
-	brokers := srv.brokers
+	brokers := srv.currentBrokers()
 
 	var wg sync.WaitGroup
 	const (
@@ -181,7 +181,8 @@ func TestConcurrentPathAndSessionTraffic(t *testing.T) {
 
 func TestMetricsEndpoint(t *testing.T) {
 	srv, ts := testServer(t)
-	src, dst := int(srv.brokers[0]), int(srv.brokers[1])
+	bs := srv.currentBrokers()
+	src, dst := int(bs[0]), int(bs[1])
 	url := fmt.Sprintf("%s/path?src=%d&dst=%d", ts.URL, src, dst)
 
 	// miss, then hit.

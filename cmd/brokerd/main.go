@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -89,10 +90,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
 	}
+	snap := srv.pub.Current()
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
-		top.NumNodes(), len(srv.brokers), 100*srv.connectivityLocked(), *addr)
+		top.NumNodes(), snap.NumBrokers(), 100*snap.Connectivity(), *addr)
 
 	if *pprofOn {
+		// Mutex/block profiling are off until a sampling rate is set; the
+		// contention recipe in EXPERIMENTS.md relies on these endpoints
+		// being populated whenever the profiler is exposed at all.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(100_000) // one sample per 100µs blocked
 		fmt.Println("brokerd: pprof profiling exposed under /debug/pprof/")
 	}
 	httpSrv := &http.Server{

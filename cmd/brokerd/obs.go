@@ -22,9 +22,19 @@ func (s *server) initObs() {
 
 	s.qp.RegisterMetrics(s.reg)
 	// The control plane is not internally synchronized; its collector
-	// snapshots under the same lock that orders control-plane mutations.
-	s.plane.RegisterMetrics(s.reg, s.stateMu.RLocker())
+	// snapshots under the write mutex that orders control-plane mutations.
+	s.plane.RegisterMetrics(s.reg, &s.writeMu)
 	s.healer.Metrics.RegisterMetrics(s.reg)
+	// Epoch gauge, publish counter, and snapshot-age histogram, plus the
+	// per-epoch-cached connectivity as a scrape-time sample.
+	s.pub.RegisterMetrics(s.reg)
+	s.reg.RegisterCollector(func(emit func(obs.Sample)) {
+		emit(obs.Sample{
+			Name: "brokerd_connectivity_ratio",
+			Help: "saturated connectivity of the current snapshot's coalition",
+			Kind: obs.KindGauge, Value: s.pub.Current().Connectivity(),
+		})
+	})
 
 	s.httpReqs = s.reg.Counter("http_requests_total", "HTTP requests served")
 	s.httpHist = s.reg.Histogram("http_request_seconds", "HTTP request latency")

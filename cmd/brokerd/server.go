@@ -13,8 +13,8 @@ import (
 
 	"brokerset/internal/broker"
 	"brokerset/internal/churn"
-	"brokerset/internal/coverage"
 	"brokerset/internal/ctrlplane"
+	"brokerset/internal/epoch"
 	"brokerset/internal/obs"
 	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
@@ -26,20 +26,28 @@ import (
 // bounded worker pool), QoS session setup/teardown through the
 // control-plane two-phase commit, and an admin churn plane that mutates
 // the live topology and self-heals the coalition.
+//
+// Concurrency protocol: readers never lock. Every read path (path queries,
+// /stats connectivity, /brokers, healer selection input) pins the current
+// epoch snapshot from pub and computes against it. All mutations — churn
+// application, healing, and the control plane's 2PC — serialize on writeMu
+// (a plain mutex: there is exactly one logical writer at a time), build
+// the next snapshot copy-on-write, and publish it with one atomic swap
+// before releasing the lock.
 type server struct {
-	top    *topology.Topology
-	engine *routing.Engine
+	top     *topology.Topology
+	metrics *routing.Metrics
 
 	qp       *queryplane.QueryPlane
 	sessions *queryplane.SessionStore
 
-	// stateMu orders concurrent path computations (read lock) against
-	// control-plane and churn mutations of shared link/broker state
-	// (write lock). The engine and metrics are not internally
-	// synchronized. brokers is also guarded by it now that healing can
-	// change the coalition at runtime.
-	stateMu sync.RWMutex
-	brokers []int32
+	// pub owns the atomically-published topology snapshot readers pin.
+	pub *epoch.Publisher
+
+	// writeMu serializes every mutation of shared link/broker state (the
+	// metrics arrays, churn down-marks, coalition membership, and the
+	// control plane's ledgers). Readers do not take it — they use pub.
+	writeMu sync.Mutex
 	plane   *ctrlplane.Plane
 
 	churnState *churn.State
@@ -74,48 +82,59 @@ func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int6
 	if err != nil {
 		return nil, err
 	}
-	// One metrics instance backs both the read-only /path engine and the
-	// control plane's capacity ledgers, so path queries observe the
-	// residual capacity sessions actually reserve.
+	// One metrics instance backs both the epoch snapshots path queries
+	// read and the control plane's capacity ledgers, so path queries
+	// observe the residual capacity sessions actually reserve.
 	metrics := routing.DefaultMetrics(top, nil)
 	s := &server{
 		top:      top,
-		brokers:  brokers,
-		engine:   routing.NewEngine(top, metrics, brokers),
+		metrics:  metrics,
 		sessions: queryplane.NewSessionStore(16),
 		plane:    ctrlplane.New(top, metrics, brokers),
 	}
+	s.churnState = churn.NewState(top, metrics)
+	s.applier = churn.NewApplier(s.churnState)
+	s.gen = churn.NewGenerator(s.churnState, func() []int32 { return s.plane.Brokers() }, churn.GenConfig{Seed: churnSeed})
+	s.pub = epoch.NewPublisher(s.churnState.Snapshot(brokers, metrics.View()))
+
 	s.qp, err = queryplane.New(queryplane.Config{
+		// Cache entries are keyed to the epoch they were computed under:
+		// every snapshot publication stales the whole cache.
+		Generation: s.pub.Epoch,
+		// A stale entry whose path still checks out against the current
+		// snapshot is re-stamped instead of recomputed — an O(hops) walk
+		// replaces a full search for every path the churn didn't touch.
+		Revalidate: func(p *routing.Path, opts routing.Options, gen uint64) bool {
+			snap := s.pub.Current()
+			return snap.ID() == gen && snap.PathValid(p, opts)
+		},
 		Compute: func(ctx context.Context, src, dst int, opts routing.Options) (*routing.Path, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			s.stateMu.RLock()
-			defer s.stateMu.RUnlock()
-			return s.engine.BestPath(src, dst, opts)
+			// Lock-free: pin the current snapshot and search its frozen
+			// view. A concurrent mutation publishes a successor, which
+			// this computation never observes — the result is a
+			// consistent single-epoch answer either way.
+			return s.pub.Current().BestPath(src, dst, opts)
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	s.churnState = churn.NewState(top, metrics)
-	s.applier = churn.NewApplier(s.churnState)
-	s.gen = churn.NewGenerator(s.churnState, func() []int32 { return s.plane.Brokers() }, churn.GenConfig{Seed: churnSeed})
 	if healTarget <= 0 {
 		healTarget = coverageConnectivity(top, brokers)
 	}
 	if healTarget <= 0 || healTarget > 1 {
 		return nil, fmt.Errorf("brokerd: heal target %f outside (0,1]", healTarget)
 	}
-	s.healer, err = churn.NewHealer(s.churnState, s.plane, s.sessions, s.qp, churn.HealerConfig{
+	// No Invalidator and no BrokersChanged hook: publishing the post-heal
+	// snapshot both carries the new membership to readers and stales the
+	// query-plane cache (its generation is the epoch).
+	s.healer, err = churn.NewHealer(s.churnState, s.plane, s.sessions, nil, churn.HealerConfig{
 		Target: healTarget,
-		// The query-plane engine shares metrics with the control plane but
-		// keeps its own broker membership; follow coalition changes.
-		BrokersChanged: func(brokers []int32) {
-			s.engine.SetBrokers(brokers)
-			s.brokers = brokers
-		},
+		Epoch:  s.pub.Epoch,
 	})
 	if err != nil {
 		return nil, err
@@ -124,20 +143,31 @@ func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int6
 	return s, nil
 }
 
+// publishLocked builds the next snapshot from the current state and
+// publishes it. Callers hold writeMu.
+func (s *server) publishLocked(ctx context.Context) {
+	s.pub.Publish(ctx, s.churnState.Snapshot(s.plane.Brokers(), s.metrics.View()))
+}
+
 // churnAndHeal applies a burst of churn events and runs one heal pass, all
-// under the state write lock. Either half may be empty (nil events = heal
+// under the write mutex. Either half may be empty (nil events = heal
 // only). It backs both POST /churn and the -churn background loop.
+// Publication discipline: the damage snapshot is published as soon as the
+// events land (readers must stop routing over failed links before the
+// heal finishes), and a second snapshot is published after a heal that
+// changed anything.
 func (s *server) churnAndHeal(ctx context.Context, events []churn.Event, heal bool) (churn.BlastRadius, *churn.HealReport, error) {
-	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	blast, err := s.applier.ApplyAll(events)
 	if err != nil {
 		return blast, nil, err
 	}
 	s.healer.Metrics.EventsApplied.Add(uint64(len(events)))
-	// Any applied damage stales cached paths even before healing.
+	// Any applied damage becomes visible (and stales cached paths, via the
+	// epoch generation) even before healing.
 	if blast.Size() > 0 || blast.BrokerPlane {
-		s.qp.Invalidate()
+		s.publishLocked(ctx)
 	}
 	if !heal {
 		return blast, nil, nil
@@ -145,7 +175,20 @@ func (s *server) churnAndHeal(ctx context.Context, events []churn.Event, heal bo
 	hctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
 	rep, err := s.healer.Heal(hctx)
+	if rep != nil && healChangedState(rep) {
+		s.publishLocked(ctx)
+	}
 	return blast, rep, err
+}
+
+// healChangedState reports whether a heal pass mutated shared state (so a
+// new snapshot must be published). A no-op maintain pass leaves the
+// current snapshot — and every session staleness stamp keyed to its epoch
+// — valid.
+func healChangedState(rep *churn.HealReport) bool {
+	return len(rep.BrokersAdded) > 0 || len(rep.BrokersRemoved) > 0 ||
+		len(rep.BrokersRecovered) > 0 ||
+		rep.SessionsRepaired > 0 || rep.SessionsAborted > 0
 }
 
 // runChurnLoop drives background churn: every interval it draws a Poisson
@@ -159,9 +202,9 @@ func (s *server) runChurnLoop(ctx context.Context, interval time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-tick.C:
-			s.stateMu.Lock()
+			s.writeMu.Lock()
 			events := s.gen.Tick()
-			s.stateMu.Unlock()
+			s.writeMu.Unlock()
 			if _, _, err := s.churnAndHeal(ctx, events, true); err != nil {
 				fmt.Printf("brokerd: churn loop: %v\n", err)
 			}
@@ -215,18 +258,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.stateMu.RLock()
+	// Membership and connectivity come from the pinned snapshot
+	// (Connectivity is computed once per epoch and cached on it); only
+	// the control-plane counter copy still serializes on writeMu.
+	snap := s.pub.Current()
+	s.writeMu.Lock()
 	st := s.plane.Stats()
-	nBrokers := len(s.brokers)
-	conn := s.connectivityLocked()
-	s.stateMu.RUnlock()
+	s.writeMu.Unlock()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Nodes:        s.top.NumNodes(),
 		ASes:         s.top.NumASes(),
 		IXPs:         s.top.NumIXPs(),
 		Links:        s.top.Graph.NumEdges(),
-		Brokers:      nBrokers,
-		Connectivity: conn,
+		Brokers:      snap.NumBrokers(),
+		Connectivity: snap.Connectivity(),
 		Sessions:     s.sessions.Len(),
 		Commits:      st.Commits,
 		Aborts:       st.Aborts,
@@ -255,9 +300,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Query().Get("format") {
 	case "json":
 		st := s.qp.Stats()
-		s.stateMu.RLock()
+		s.writeMu.Lock()
 		cp := s.plane.Stats()
-		s.stateMu.RUnlock()
+		s.writeMu.Unlock()
 		writeJSON(w, http.StatusOK, metricsResponse{
 			Stats: st,
 			LatencyMs: map[string]float64{
@@ -278,10 +323,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// connectivityLocked recomputes coalition connectivity on the live graph;
-// callers hold stateMu (read suffices).
-func (s *server) connectivityLocked() float64 {
-	return coverage.SaturatedConnectivity(s.churnState.LiveGraph(), s.brokers)
+// currentBrokers returns a copy of the current snapshot's coalition
+// membership. Lock-free.
+func (s *server) currentBrokers() []int32 {
+	return append([]int32(nil), s.pub.Current().Brokers()...)
 }
 
 type brokerInfo struct {
@@ -296,9 +341,7 @@ func (s *server) handleBrokers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.stateMu.RLock()
-	brokers := append([]int32(nil), s.brokers...)
-	s.stateMu.RUnlock()
+	brokers := s.pub.Current().Brokers()
 	out := make([]brokerInfo, 0, len(brokers))
 	for _, b := range brokers {
 		out = append(out, brokerInfo{
@@ -340,9 +383,9 @@ func (s *server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	}
 	events := req.Events
 	if req.Generate > 0 {
-		s.stateMu.Lock()
+		s.writeMu.Lock()
 		gen, err := s.gen.GenerateTrace(req.Generate)
-		s.stateMu.Unlock()
+		s.writeMu.Unlock()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -454,33 +497,69 @@ func sessionJSON(sess *ctrlplane.Session) sessionResponse {
 // sick coalition cannot pin the state write lock indefinitely.
 const opTimeout = 2 * time.Second
 
-// setup runs a session setup under the state write lock, invalidating the
-// path cache when the commit changed residual link capacity. The request
-// context (bounded by opTimeout) caps the 2PC retry budget.
+// setup establishes a session in two phases. Path computation is
+// lock-free: it pins the current epoch snapshot and searches its frozen
+// view, so concurrent /path queries are never blocked behind it. Only the
+// 2PC commit serializes on writeMu. Because the path may be stale by
+// commit time, there are two guards: a commit failure with the epoch
+// moved retries against live state, and a post-commit epoch check runs
+// the session through the existing damage-repair flow (SessionDamaged →
+// Repath) when the topology changed under the in-flight commit.
 func (s *server) setup(ctx context.Context, req sessionRequest) (*ctrlplane.Session, error) {
 	ctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
-	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
+
+	// Phase 1, no locks held: compute the path against a pinned snapshot.
+	snap := s.pub.Current()
+	path, perr := snap.BestPath(req.Src, req.Dst, routing.Options{})
+
+	// Phase 2, serialized: run the 2PC over the precomputed path.
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	before := s.plane.Version()
-	sess, err := s.plane.Setup(ctx, req.Src, req.Dst, req.Gbps, routing.Options{})
+	var (
+		sess *ctrlplane.Session
+		err  error
+	)
+	if perr == nil {
+		sess, err = s.plane.SetupOnPath(ctx, path.Nodes, req.Gbps)
+		// Only an epoch moving between pin and lock acquisition can make
+		// a snapshot-valid path uncommittable (capacity claimed, link
+		// failed, or ownership moved): recompute against live state.
+		if err != nil && s.pub.Epoch() != snap.ID() {
+			sess, err = s.plane.Setup(ctx, req.Src, req.Dst, req.Gbps, routing.Options{})
+		}
+	} else {
+		// The snapshot had no dominated path; the live state (same epoch
+		// or newer) is the authority before reporting failure.
+		sess, err = s.plane.Setup(ctx, req.Src, req.Dst, req.Gbps, routing.Options{})
+	}
+	if err == nil && s.pub.Epoch() != snap.ID() && s.plane.SessionDamaged(sess) {
+		// Post-commit epoch check: churn landed between pin and commit
+		// and broke a hop we just reserved. Reuse the repair flow.
+		if rerr := s.plane.Repath(ctx, sess, routing.Options{}); rerr != nil {
+			_ = s.plane.Teardown(ctx, sess)
+			err = fmt.Errorf("brokerd: setup raced topology change and repath failed: %w", rerr)
+			sess = nil
+		}
+	}
 	if s.plane.Version() != before {
-		s.qp.Invalidate()
+		s.publishLocked(ctx)
 	}
 	return sess, err
 }
 
-// teardown releases a session under the state write lock, invalidating the
-// path cache when capacity was returned.
+// teardown releases a session under the write mutex, publishing a new
+// snapshot when capacity was returned.
 func (s *server) teardown(ctx context.Context, sess *ctrlplane.Session) error {
 	ctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
-	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	before := s.plane.Version()
 	err := s.plane.Teardown(ctx, sess)
 	if s.plane.Version() != before {
-		s.qp.Invalidate()
+		s.publishLocked(ctx)
 	}
 	return err
 }

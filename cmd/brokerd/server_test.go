@@ -54,7 +54,7 @@ func TestHealthAndStats(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
-	if stats.Nodes != srv.top.NumNodes() || stats.Brokers != len(srv.brokers) {
+	if stats.Nodes != srv.top.NumNodes() || stats.Brokers != len(srv.currentBrokers()) {
 		t.Fatalf("stats = %+v", stats)
 	}
 	if stats.Connectivity <= 0 || stats.Connectivity > 1 {
@@ -68,8 +68,8 @@ func TestBrokersEndpoint(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/brokers", &brokers); code != http.StatusOK {
 		t.Fatalf("brokers status %d", code)
 	}
-	if len(brokers) != len(srv.brokers) {
-		t.Fatalf("got %d brokers, want %d", len(brokers), len(srv.brokers))
+	if want := len(srv.currentBrokers()); len(brokers) != want {
+		t.Fatalf("got %d brokers, want %d", len(brokers), want)
 	}
 	if brokers[0].Name == "" || brokers[0].Class == "" {
 		t.Fatalf("broker info incomplete: %+v", brokers[0])
@@ -78,7 +78,8 @@ func TestBrokersEndpoint(t *testing.T) {
 
 func TestPathEndpoint(t *testing.T) {
 	srv, ts := testServer(t)
-	src, dst := int(srv.brokers[0]), int(srv.brokers[len(srv.brokers)-1])
+	bs := srv.currentBrokers()
+	src, dst := int(bs[0]), int(bs[len(bs)-1])
 	var p pathResponse
 	url := fmt.Sprintf("%s/path?src=%d&dst=%d", ts.URL, src, dst)
 	if code := getJSON(t, url, &p); code != http.StatusOK {
@@ -110,7 +111,8 @@ func TestPathEndpoint(t *testing.T) {
 
 func TestSessionLifecycle(t *testing.T) {
 	srv, ts := testServer(t)
-	src, dst := int(srv.brokers[0]), int(srv.brokers[len(srv.brokers)-1])
+	bs := srv.currentBrokers()
+	src, dst := int(bs[0]), int(bs[len(bs)-1])
 
 	body, _ := json.Marshal(sessionRequest{Src: src, Dst: dst, Gbps: 0.5})
 	resp, err := http.Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))

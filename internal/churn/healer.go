@@ -34,6 +34,11 @@ type HealerConfig struct {
 	// query-plane engine shares metrics but not membership with the
 	// control plane).
 	BrokersChanged func(brokers []int32)
+	// Epoch, when non-nil, returns the current topology epoch. The session
+	// sweep then skips sessions already verified at that epoch and stamps
+	// the ones it clears, so repeated heals within one epoch don't re-walk
+	// every session's path.
+	Epoch func() uint64
 }
 
 // HealReport summarizes one heal pass.
@@ -263,9 +268,22 @@ func (h *Healer) Heal(ctx context.Context) (*HealReport, error) {
 	}
 
 	// Sweep sessions: re-path or abort everything the damage touched.
+	// With an epoch source wired, sessions already verified against the
+	// current topology epoch are skipped outright — staleness is keyed to
+	// snapshot publication, not to wall time or heal count.
 	if h.sessions != nil {
+		var cur uint64
+		if h.cfg.Epoch != nil {
+			cur = h.cfg.Epoch()
+		}
 		for _, sess := range h.sessions.List() {
+			if h.cfg.Epoch != nil && h.sessions.CheckedAt(sess.ID) == cur {
+				continue
+			}
 			if !h.plane.SessionDamaged(sess) {
+				if h.cfg.Epoch != nil {
+					h.sessions.Stamp(sess.ID, cur)
+				}
 				continue
 			}
 			rep.SessionsChecked++
@@ -277,6 +295,9 @@ func (h *Healer) Heal(ctx context.Context) (*HealReport, error) {
 			}
 			rep.SessionsRepaired++
 			h.Metrics.SessionsRepaired.Add(1)
+			if h.cfg.Epoch != nil {
+				h.sessions.Stamp(sess.ID, cur)
+			}
 		}
 	}
 

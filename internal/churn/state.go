@@ -1,8 +1,10 @@
 package churn
 
 import (
+	"sort"
 	"sync"
 
+	"brokerset/internal/epoch"
 	"brokerset/internal/graph"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
@@ -34,12 +36,9 @@ type State struct {
 	downLinks int          // count of effectively-down links
 }
 
-func packLink(u, v int32) uint64 {
-	if u > v {
-		u, v = v, u
-	}
-	return uint64(uint32(u))<<32 | uint64(uint32(v))
-}
+// packLink is epoch.PackLink: the down-mark keys here must match the keys
+// snapshots are queried with.
+func packLink(u, v int32) uint64 { return epoch.PackLink(u, v) }
 
 // NewState wraps a topology (and optionally its routing metrics) in a live
 // churn overlay with everything up.
@@ -68,14 +67,17 @@ func (s *State) LinkDown(u, v int32) bool {
 // BrokerDown reports whether the broker process on node b is failed.
 func (s *State) BrokerDown(b int32) bool { return s.brokerDown[b] }
 
-// DownBrokers returns the failed broker nodes in ascending order.
+// DownBrokers returns the failed broker nodes in ascending order. O(k) in
+// the number of down brokers, not O(n) in topology size.
 func (s *State) DownBrokers() []int32 {
-	var out []int32
-	for u := range s.nodeDown {
-		if s.brokerDown[int32(u)] {
-			out = append(out, int32(u))
-		}
+	if len(s.brokerDown) == 0 {
+		return nil
 	}
+	out := make([]int32, 0, len(s.brokerDown))
+	for b := range s.brokerDown {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -127,6 +129,35 @@ func (s *State) mirrorLink(u, v int32) {
 	} else {
 		s.metrics.RestoreLink(u, v)
 	}
+}
+
+// Snapshot freezes the state's down-marks, the given coalition membership,
+// and the given (already frozen) routing view into an unpublished epoch
+// snapshot. Every mark is deep-copied, so subsequent churn events leave
+// the snapshot untouched. Callers hold the writer serialization (the same
+// rule as any other State read during mutation).
+func (s *State) Snapshot(brokers []int32, view *routing.View) *epoch.Snapshot {
+	linkDown := make(map[uint64]bool, len(s.linkDown))
+	for k, v := range s.linkDown {
+		if v {
+			linkDown[k] = true
+		}
+	}
+	brokerDown := make(map[int32]bool, len(s.brokerDown))
+	for b, v := range s.brokerDown {
+		if v {
+			brokerDown[b] = true
+		}
+	}
+	return epoch.NewSnapshot(epoch.SnapshotData{
+		Top:        s.top,
+		Live:       s.LiveGraph(),
+		Brokers:    append([]int32(nil), brokers...),
+		NodeDown:   append([]bool(nil), s.nodeDown...),
+		LinkDown:   linkDown,
+		BrokerDown: brokerDown,
+		View:       view,
+	})
 }
 
 // LiveGraph returns the graph induced by the up links (departed nodes keep

@@ -623,6 +623,36 @@ func (p *Plane) Setup(ctx context.Context, src, dst int, bw float64, opts routin
 	return s, nil
 }
 
+// SetupOnPath runs the 2PC reservation for a path computed elsewhere —
+// brokerd computes it lock-free against a pinned epoch snapshot and only
+// serializes this commit step. The path must be B-dominated under the
+// plane's current membership; a hop without a broker owner (membership
+// moved since the snapshot) aborts cleanly, and the caller falls back to
+// Setup against live state. Same external-serialization rule as Setup.
+func (p *Plane) SetupOnPath(ctx context.Context, nodes []int32, bw float64) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if bw <= 0 {
+		return nil, fmt.Errorf("ctrlplane: bandwidth must be > 0, got %f", bw)
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("ctrlplane: path needs >= 2 nodes, got %d", len(nodes))
+	}
+	ctx, span := obs.StartSpan(ctx, "ctrlplane.setup_on_path")
+	defer span.End()
+	span.Annotatef("route", "%d->%d", nodes[0], nodes[len(nodes)-1])
+	p.tick()
+	p.nextID++
+	s := &Session{ID: p.nextID, Bandwidth: bw}
+	if err := p.establish(ctx, s, append([]int32(nil), nodes...)); err != nil {
+		span.Annotate("outcome", "aborted")
+		return nil, err
+	}
+	span.Annotate("outcome", "committed")
+	return s, nil
+}
+
 // tick advances virtual time by one operation and lazily re-drives the
 // backlog of undelivered decisions.
 func (p *Plane) tick() {

@@ -1,0 +1,196 @@
+// Package epoch implements the repo's read-side concurrency protocol:
+// immutable, atomically-published topology snapshots. A writer (brokerd's
+// single mutation path) builds the next snapshot copy-on-write while
+// holding its own serialization, then publishes it with one atomic pointer
+// swap; readers pin the current snapshot and compute against it without
+// ever taking a lock. Snapshots carry a monotonically increasing epoch
+// number, which downstream layers use as a cache generation and staleness
+// stamp. Reclamation is the Go GC: a replaced snapshot stays valid for as
+// long as any reader still holds it, and is collected when the last
+// reference drops — there is no quiescence protocol to get wrong.
+package epoch
+
+import (
+	"sync"
+	"time"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// PackLink packs an undirected link into a uint64 key (order-insensitive).
+// It is the canonical link key shared by the churn plane's down-marks and
+// snapshot link-state queries.
+func PackLink(u, v int32) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// SnapshotData is everything a writer hands over when building a snapshot.
+// Ownership of every reference transfers to the snapshot: the caller must
+// not mutate any of them afterwards (build them copy-on-write).
+type SnapshotData struct {
+	// Top is the full static topology (shared immutably by all snapshots).
+	Top *topology.Topology
+	// Live is the residual graph with down nodes/links removed.
+	Live *graph.Graph
+	// Brokers is the coalition membership in ascending id order.
+	Brokers []int32
+	// NodeDown marks departed/failed nodes (indexed by node id).
+	NodeDown []bool
+	// LinkDown marks failed links, keyed by PackLink.
+	LinkDown map[uint64]bool
+	// BrokerDown marks crashed coalition members.
+	BrokerDown map[int32]bool
+	// View is the frozen routing metrics (latency/capacity/reservations).
+	View *routing.View
+}
+
+// Snapshot is one immutable, internally consistent observation of the
+// whole broker plane: live graph, down-marks, coalition membership, and
+// the routing metrics view, all captured at the same instant under the
+// writer's serialization. Everything on it is safe for unlimited
+// concurrent readers; nothing on it ever changes after Publish.
+type Snapshot struct {
+	id   uint64
+	born time.Time
+
+	top        *topology.Topology
+	live       *graph.Graph
+	brokers    []int32
+	inB        []bool
+	nodeDown   []bool
+	linkDown   map[uint64]bool
+	brokerDown map[int32]bool
+	view       *routing.View
+
+	connOnce sync.Once
+	conn     float64
+}
+
+// NewSnapshot builds an unpublished snapshot from writer-owned data. The
+// epoch number is assigned by Publisher.Publish; until then ID reports 0.
+func NewSnapshot(d SnapshotData) *Snapshot {
+	inB := make([]bool, d.Top.NumNodes())
+	for _, b := range d.Brokers {
+		inB[b] = true
+	}
+	return &Snapshot{
+		top:        d.Top,
+		live:       d.Live,
+		brokers:    d.Brokers,
+		inB:        inB,
+		nodeDown:   d.NodeDown,
+		linkDown:   d.LinkDown,
+		brokerDown: d.BrokerDown,
+		view:       d.View,
+	}
+}
+
+// ID returns the snapshot's epoch number (monotonic across publishes).
+func (s *Snapshot) ID() uint64 { return s.id }
+
+// Born returns the publish time.
+func (s *Snapshot) Born() time.Time { return s.born }
+
+// Topology returns the full static topology.
+func (s *Snapshot) Topology() *topology.Topology { return s.top }
+
+// LiveGraph returns the residual graph with down nodes and links removed.
+func (s *Snapshot) LiveGraph() *graph.Graph { return s.live }
+
+// View returns the frozen routing metrics view.
+func (s *Snapshot) View() *routing.View { return s.view }
+
+// Brokers returns the coalition membership. Callers must not mutate it.
+func (s *Snapshot) Brokers() []int32 { return s.brokers }
+
+// NumBrokers returns the coalition size.
+func (s *Snapshot) NumBrokers() int { return len(s.brokers) }
+
+// IsBroker reports coalition membership for a node.
+func (s *Snapshot) IsBroker(n int32) bool {
+	return int(n) < len(s.inB) && n >= 0 && s.inB[n]
+}
+
+// LinkDown reports whether the link (u,v) was down at capture time, either
+// via an explicit link failure or either endpoint being down.
+func (s *Snapshot) LinkDown(u, v int32) bool {
+	return s.linkDown[PackLink(u, v)] || s.NodeDown(u) || s.NodeDown(v)
+}
+
+// NodeDown reports whether a node was down at capture time.
+func (s *Snapshot) NodeDown(n int32) bool {
+	return n >= 0 && int(n) < len(s.nodeDown) && s.nodeDown[n]
+}
+
+// BrokerDown reports whether a coalition member was crashed at capture time.
+func (s *Snapshot) BrokerDown(b int32) bool { return s.brokerDown[b] }
+
+// DownBrokers returns the crashed members present in the snapshot, in no
+// particular order.
+func (s *Snapshot) DownBrokers() []int32 {
+	if len(s.brokerDown) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(s.brokerDown))
+	for b := range s.brokerDown {
+		out = append(out, b)
+	}
+	return out
+}
+
+// BestPath computes the minimum-latency B-dominated path against this
+// snapshot's frozen metrics and membership. Lock-free: any number of
+// concurrent callers may share the snapshot.
+func (s *Snapshot) BestPath(src, dst int, opts routing.Options) (*routing.Path, error) {
+	return routing.BestPathOver(s.view, s.inB, src, dst, opts)
+}
+
+// PathValid reports whether a previously computed path is still servable
+// under this snapshot and the given constraints: every hop dominated by
+// the coalition, no hop on a down link, and available capacity meeting
+// the bandwidth floor. O(hops) — this is what lets the query plane
+// revalidate a stale cache entry instead of rerunning the search. A valid
+// path is feasible but not necessarily latency-optimal for this epoch.
+func (s *Snapshot) PathValid(p *routing.Path, opts routing.Options) bool {
+	nodes := p.Nodes
+	if len(nodes) == 0 {
+		return false
+	}
+	if opts.MaxHops > 0 && len(nodes)-1 > opts.MaxHops {
+		return false
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		u, v := nodes[i], nodes[i+1]
+		if !s.inB[u] && !s.inB[v] {
+			return false
+		}
+		if opts.BrokersOnly && i > 0 && !s.inB[u] {
+			return false
+		}
+		if s.LinkDown(u, v) {
+			return false
+		}
+		avail := s.view.Available(u, v)
+		if avail <= 0 || avail < opts.MinBandwidth {
+			return false
+		}
+	}
+	return true
+}
+
+// Connectivity returns the saturated-connectivity fraction of the live
+// graph under this snapshot's coalition. Computed lazily on first call and
+// cached for the snapshot's lifetime — /stats and /metrics scrapes within
+// one epoch pay for it once.
+func (s *Snapshot) Connectivity() float64 {
+	s.connOnce.Do(func() {
+		s.conn = coverage.SaturatedConnectivity(s.live, s.brokers)
+	})
+	return s.conn
+}

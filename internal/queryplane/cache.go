@@ -120,6 +120,58 @@ func (c *Cache) Lookup(k routing.QueryKey, gen uint64) (p *routing.Path, ok, sta
 	return p, true, false
 }
 
+// LookupRefresh is Lookup with stale-entry revalidation: when an entry for
+// k exists under an older generation, check decides whether its path is
+// still servable under gen; if so the entry is re-stamped to gen and
+// returned as a hit, otherwise it is dropped and the miss reads as stale.
+// check runs without the shard lock held (it typically walks the path
+// against an immutable epoch snapshot), so a concurrent writer may replace
+// the entry mid-check; the re-stamp detects that and gives up.
+func (c *Cache) LookupRefresh(k routing.QueryKey, gen uint64, check func(*routing.Path) bool) (p *routing.Path, ok, stale, refreshed bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, found := s.items[k]
+	if !found {
+		s.mu.Unlock()
+		return nil, false, false, false
+	}
+	if e.gen == gen {
+		s.unlink(e)
+		s.pushFront(e)
+		p = e.path
+		s.mu.Unlock()
+		return p, true, false, false
+	}
+	cand, oldGen := e.path, e.gen
+	s.mu.Unlock()
+
+	if check != nil && check(cand) {
+		s.mu.Lock()
+		if e2, still := s.items[k]; still && e2.path == cand && e2.gen == oldGen {
+			e2.gen = gen
+			s.unlink(e2)
+			s.pushFront(e2)
+			s.mu.Unlock()
+			return cand, true, false, true
+		}
+		s.mu.Unlock()
+		// Entry changed under us; treat as a stale miss without dropping
+		// the (newer) replacement.
+		return nil, false, true, false
+	}
+
+	s.mu.Lock()
+	if e2, still := s.items[k]; still && e2.path == cand && e2.gen == oldGen {
+		s.unlink(e2)
+		delete(s.items, k)
+		s.mu.Unlock()
+		c.evictions.Add(1)
+	} else {
+		s.mu.Unlock()
+	}
+	return nil, false, true, false
+}
+
 // Put stores a path computed under gen. If the generation has moved on the
 // entry is inserted anyway (it will read as stale), preserving the
 // invariant that Get never returns a path newer-labelled than its compute.

@@ -90,3 +90,57 @@ func TestCacheShardRounding(t *testing.T) {
 		t.Fatalf("degenerate cache: %d shards cap %d", len(c.shards), c.shards[0].cap)
 	}
 }
+
+func TestCacheLookupRefresh(t *testing.T) {
+	c := NewCache(1, 16)
+	gen := c.Generation()
+	c.Put(key(1, 2), pathFor(1, 2), gen)
+	ng := gen + 1
+
+	// Passing check re-stamps the stale entry: a hit under the new
+	// generation, no eviction, and subsequent plain Gets stay fresh.
+	p, ok, stale, refreshed := c.LookupRefresh(key(1, 2), ng, func(*routing.Path) bool { return true })
+	if !ok || stale || !refreshed || p.Nodes[0] != 1 {
+		t.Fatalf("refresh hit = (%v, %v, %v, %v)", p, ok, stale, refreshed)
+	}
+	if _, ok := c.Get(key(1, 2), ng); !ok {
+		t.Fatal("re-stamped entry not fresh under new generation")
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("refresh counted as eviction: %d", c.Evictions())
+	}
+
+	// A fresh entry short-circuits: check must not run.
+	_, ok, _, refreshed = c.LookupRefresh(key(1, 2), ng, func(*routing.Path) bool {
+		t.Fatal("check ran on a fresh entry")
+		return false
+	})
+	if !ok || refreshed {
+		t.Fatalf("fresh lookup = ok %v refreshed %v", ok, refreshed)
+	}
+
+	// Failing check drops the entry and reads as a stale miss.
+	_, ok, stale, refreshed = c.LookupRefresh(key(1, 2), ng+1, func(*routing.Path) bool { return false })
+	if ok || !stale || refreshed {
+		t.Fatalf("failed refresh = (ok %v, stale %v, refreshed %v)", ok, stale, refreshed)
+	}
+	if c.Evictions() != 1 || c.Len() != 0 {
+		t.Fatalf("dropped entry not evicted: evictions %d len %d", c.Evictions(), c.Len())
+	}
+
+	// A writer replacing the entry while check runs wins: the re-stamp
+	// detects the identity change, reports a stale miss, and the newer
+	// entry survives untouched.
+	c.Put(key(3, 4), pathFor(3, 4), gen)
+	newer := &routing.Path{Nodes: []int32{3, 9, 4}, Latency: 2}
+	_, ok, stale, refreshed = c.LookupRefresh(key(3, 4), ng, func(*routing.Path) bool {
+		c.Put(key(3, 4), newer, ng)
+		return true
+	})
+	if ok || !stale || refreshed {
+		t.Fatalf("raced refresh = (ok %v, stale %v, refreshed %v)", ok, stale, refreshed)
+	}
+	if p, ok := c.Get(key(3, 4), ng); !ok || p != newer {
+		t.Fatal("concurrent replacement lost to a raced re-stamp")
+	}
+}

@@ -47,6 +47,20 @@ type Config struct {
 	Timeout time.Duration
 	// Compute resolves cache misses. Required.
 	Compute ComputeFunc
+	// Generation, when non-nil, is the external cache-generation source —
+	// brokerd wires the topology epoch here, so every snapshot publication
+	// stales the whole cache and entries are keyed to the epoch they were
+	// computed under. When nil the plane falls back to its internal
+	// counter, bumped by Invalidate.
+	Generation func() uint64
+	// Revalidate, when non-nil, is consulted on a stale cache entry before
+	// recomputing: it reports whether the cached path is still servable
+	// under generation gen and the query's constraints (brokerd walks the
+	// path against the current epoch snapshot — O(hops) instead of a full
+	// search). A revalidated path is feasible but not necessarily optimal
+	// for the new generation; callers that need strict per-epoch
+	// optimality leave this nil.
+	Revalidate func(p *routing.Path, opts routing.Options, gen uint64) bool
 }
 
 // Stats is a point-in-time snapshot of the plane's counters.
@@ -57,19 +71,23 @@ type Stats struct {
 	// MissesCold counts misses with no prior entry for the key;
 	// MissesInvalidated counts misses caused by generation invalidation
 	// (a stale entry was present). Cold + Invalidated == Misses.
-	MissesCold        uint64        `json:"misses_cold"`
-	MissesInvalidated uint64        `json:"misses_invalidated"`
-	Dedup             uint64        `json:"dedup"`
-	Shed              uint64        `json:"shed"`
-	Errors            uint64        `json:"errors"`
-	Evictions         uint64        `json:"evictions"`
-	Inflight          int64         `json:"inflight"`
-	Waiting           int64         `json:"waiting"`
-	CacheEntries      int           `json:"cache_entries"`
-	Generation        uint64        `json:"generation"`
-	P50               time.Duration `json:"-"`
-	P95               time.Duration `json:"-"`
-	P99               time.Duration `json:"-"`
+	MissesCold        uint64 `json:"misses_cold"`
+	MissesInvalidated uint64 `json:"misses_invalidated"`
+	// HitsRevalidated counts hits served by re-stamping a stale entry
+	// whose path checked out against the current generation (subset of
+	// Hits; only non-zero with Config.Revalidate wired).
+	HitsRevalidated uint64        `json:"hits_revalidated"`
+	Dedup           uint64        `json:"dedup"`
+	Shed            uint64        `json:"shed"`
+	Errors          uint64        `json:"errors"`
+	Evictions       uint64        `json:"evictions"`
+	Inflight        int64         `json:"inflight"`
+	Waiting         int64         `json:"waiting"`
+	CacheEntries    int           `json:"cache_entries"`
+	Generation      uint64        `json:"generation"`
+	P50             time.Duration `json:"-"`
+	P95             time.Duration `json:"-"`
+	P99             time.Duration `json:"-"`
 }
 
 // HitRate returns Hits / Queries (0 when idle).
@@ -90,6 +108,7 @@ type QueryPlane struct {
 
 	queries     atomic.Uint64
 	hits        atomic.Uint64
+	hitsReval   atomic.Uint64
 	misses      atomic.Uint64
 	missesCold  atomic.Uint64
 	missesStale atomic.Uint64
@@ -129,11 +148,23 @@ func New(cfg Config) (*QueryPlane, error) {
 }
 
 // Invalidate stales every cached path. Call it after any mutation of link
-// residual capacity (session commit/release, link failure).
-func (q *QueryPlane) Invalidate() { q.cache.Invalidate() }
+// residual capacity (session commit/release, link failure). With an
+// external Generation source configured this is a no-op: staleness is
+// keyed entirely to that source (epoch publication).
+func (q *QueryPlane) Invalidate() {
+	if q.cfg.Generation == nil {
+		q.cache.Invalidate()
+	}
+}
 
-// Generation returns the current cache generation.
-func (q *QueryPlane) Generation() uint64 { return q.cache.Generation() }
+// Generation returns the current effective cache generation: the external
+// source when configured, the internal counter otherwise.
+func (q *QueryPlane) Generation() uint64 {
+	if q.cfg.Generation != nil {
+		return q.cfg.Generation()
+	}
+	return q.cache.Generation()
+}
 
 // Query answers a path query: cache hit, joined in-flight computation, or a
 // fresh computation on the worker pool. cached reports a cache hit (the
@@ -144,8 +175,9 @@ func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Optio
 	defer span.End()
 	q.queries.Add(1)
 	key := opts.CacheKey(src, dst)
-	gen := q.cache.Generation()
-	if p, ok, stale := q.cache.Lookup(key, gen); ok {
+	gen := q.Generation()
+	p, ok, stale := q.lookup(key, gen, opts)
+	if ok {
 		q.hits.Add(1)
 		q.hist.Observe(time.Since(start))
 		span.Annotate("cache", "hit")
@@ -194,6 +226,21 @@ func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Optio
 	return path, false, err
 }
 
+// lookup consults the cache, trying stale-entry revalidation when the
+// Config provides a Revalidate hook.
+func (q *QueryPlane) lookup(key routing.QueryKey, gen uint64, opts routing.Options) (*routing.Path, bool, bool) {
+	if q.cfg.Revalidate == nil {
+		return q.cache.Lookup(key, gen)
+	}
+	p, ok, stale, refreshed := q.cache.LookupRefresh(key, gen, func(p *routing.Path) bool {
+		return q.cfg.Revalidate(p, opts, gen)
+	})
+	if refreshed {
+		q.hitsReval.Add(1)
+	}
+	return p, ok, stale
+}
+
 // acquireSlot takes a worker slot, shedding when the wait queue is full.
 func (q *QueryPlane) acquireSlot(ctx context.Context) error {
 	select {
@@ -238,6 +285,7 @@ func (q *QueryPlane) Stats() Stats {
 	return Stats{
 		Queries:           q.queries.Load(),
 		Hits:              q.hits.Load(),
+		HitsRevalidated:   q.hitsReval.Load(),
 		Misses:            q.misses.Load(),
 		MissesCold:        q.missesCold.Load(),
 		MissesInvalidated: q.missesStale.Load(),
@@ -248,7 +296,7 @@ func (q *QueryPlane) Stats() Stats {
 		Inflight:          q.inflight.Load(),
 		Waiting:           q.waiting.Load(),
 		CacheEntries:      q.cache.Len(),
-		Generation:        q.cache.Generation(),
+		Generation:        q.Generation(),
 		P50:               q.hist.Quantile(0.50),
 		P95:               q.hist.Quantile(0.95),
 		P99:               q.hist.Quantile(0.99),
@@ -269,6 +317,7 @@ func (q *QueryPlane) RegisterMetrics(reg *obs.Registry) {
 		}{
 			{"queryplane_queries_total", "path queries received", obs.KindCounter, float64(s.Queries)},
 			{"queryplane_hits_total", "queries served from cache", obs.KindCounter, float64(s.Hits)},
+			{"queryplane_hits_revalidated_total", "stale entries re-served after snapshot revalidation", obs.KindCounter, float64(s.HitsRevalidated)},
 			{"queryplane_misses_total", "queries that required computation", obs.KindCounter, float64(s.Misses)},
 			{"queryplane_misses_cold_total", "misses with no prior cache entry", obs.KindCounter, float64(s.MissesCold)},
 			{"queryplane_misses_invalidated_total", "misses caused by generation invalidation", obs.KindCounter, float64(s.MissesInvalidated)},

@@ -350,3 +350,71 @@ func TestMissSplitColdVsInvalidated(t *testing.T) {
 		t.Fatalf("warm query: %v cached=%v", err, cached)
 	}
 }
+
+func TestExternalGenerationRevalidation(t *testing.T) {
+	cc := &countingCompute{}
+	var gen, revalCalls atomic.Uint64
+	var allow atomic.Bool
+	gen.Store(1)
+	allow.Store(true)
+	qp := newPlane(t, cc, func(cfg *Config) {
+		cfg.Generation = gen.Load
+		cfg.Revalidate = func(p *routing.Path, opts routing.Options, g uint64) bool {
+			revalCalls.Add(1)
+			if g != gen.Load() {
+				t.Errorf("revalidate saw generation %d, want %d", g, gen.Load())
+			}
+			return allow.Load()
+		}
+	})
+	ctx := context.Background()
+
+	if _, cached, err := qp.Query(ctx, 1, 2, routing.Options{}); err != nil || cached {
+		t.Fatalf("first query: %v cached=%v", err, cached)
+	}
+
+	// Epoch moves; the revalidator approves, so the stale entry is served
+	// as a hit with no recompute.
+	gen.Add(1)
+	_, cached, err := qp.Query(ctx, 1, 2, routing.Options{})
+	if err != nil || !cached {
+		t.Fatalf("revalidated query: %v cached=%v", err, cached)
+	}
+	if got := cc.calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	if got := revalCalls.Load(); got != 1 {
+		t.Fatalf("revalidate ran %d times, want 1", got)
+	}
+	if st := qp.Stats(); st.HitsRevalidated != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Same generation again: a plain hit, no revalidation.
+	if _, cached, _ := qp.Query(ctx, 1, 2, routing.Options{}); !cached {
+		t.Fatal("re-stamped entry not a plain hit")
+	}
+	if got := revalCalls.Load(); got != 1 {
+		t.Fatalf("revalidate ran on a fresh entry (%d calls)", got)
+	}
+
+	// Epoch moves and the revalidator rejects: recompute, counted as an
+	// invalidation miss.
+	gen.Add(1)
+	allow.Store(false)
+	if _, cached, err := qp.Query(ctx, 1, 2, routing.Options{}); err != nil || cached {
+		t.Fatalf("rejected revalidation: %v cached=%v", err, cached)
+	}
+	if got := cc.calls.Load(); got != 2 {
+		t.Fatalf("compute ran %d times, want 2", got)
+	}
+	if st := qp.Stats(); st.MissesInvalidated != 1 || st.HitsRevalidated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Invalidate is a no-op under an external generation source.
+	qp.Invalidate()
+	if got := qp.Generation(); got != gen.Load() {
+		t.Fatalf("generation = %d, want external %d", got, gen.Load())
+	}
+}

@@ -19,6 +19,9 @@ type SessionStore struct {
 type sessionShard struct {
 	mu sync.RWMutex
 	m  map[int]*ctrlplane.Session
+	// at stamps the topology epoch a session was last verified healthy
+	// against, so healer sweeps skip sessions already checked this epoch.
+	at map[int]uint64
 }
 
 // NewSessionStore builds a store with the given shard count (rounded up to
@@ -31,6 +34,7 @@ func NewSessionStore(shards int) *SessionStore {
 	s := &SessionStore{shards: make([]sessionShard, n), mask: n - 1}
 	for i := range s.shards {
 		s.shards[i].m = make(map[int]*ctrlplane.Session)
+		s.shards[i].at = make(map[int]uint64)
 	}
 	return s
 }
@@ -65,9 +69,31 @@ func (s *SessionStore) Delete(id int) (*ctrlplane.Session, bool) {
 	sess, ok := sh.m[id]
 	if ok {
 		delete(sh.m, id)
+		delete(sh.at, id)
 	}
 	sh.mu.Unlock()
 	return sess, ok
+}
+
+// Stamp records that the session was verified healthy against the given
+// topology epoch. Stamps for unknown ids are dropped.
+func (s *SessionStore) Stamp(id int, epoch uint64) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if _, ok := sh.m[id]; ok {
+		sh.at[id] = epoch
+	}
+	sh.mu.Unlock()
+}
+
+// CheckedAt returns the epoch the session was last verified against
+// (0 = never stamped).
+func (s *SessionStore) CheckedAt(id int) uint64 {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e := sh.at[id]
+	sh.mu.RUnlock()
+	return e
 }
 
 // Len returns the number of stored sessions.

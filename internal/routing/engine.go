@@ -1,7 +1,6 @@
 package routing
 
 import (
-	"container/heap"
 	"fmt"
 
 	"brokerset/internal/topology"
@@ -94,19 +93,12 @@ func (e *Engine) Brokers() []int32 {
 // Topology exposes the engine's topology.
 func (e *Engine) Topology() *topology.Topology { return e.top }
 
-// usableArc reports whether the directed arc (u → v) with index `arc` can
-// appear on a dominated QoS path.
-func (e *Engine) usableArc(u, v int32, arc int, opts Options) bool {
-	if !e.inB[u] && !e.inB[v] {
-		return false // not dominated
-	}
-	if e.metrics.failed[arc] {
-		return false
-	}
-	if opts.MinBandwidth > 0 && e.metrics.availArc(arc) < opts.MinBandwidth {
-		return false
-	}
-	return true
+// search builds the search core over the engine's live metric state. The
+// pathSearch shares the metrics' slice headers (no copying), so it inherits
+// the engine's external-serialization rule; lock-free callers go through
+// BestPathOver with an immutable View instead.
+func (e *Engine) search() *pathSearch {
+	return &pathSearch{top: e.top, arcs: e.metrics.arcState, inB: e.inB, penalty: e.penalty}
 }
 
 // BestPath returns the minimum-latency B-dominated path from src to dst
@@ -114,157 +106,12 @@ func (e *Engine) usableArc(u, v int32, arc int, opts Options) bool {
 // minimizes latency over paths within the hop bound (lexicographic search
 // on (hops, latency) layers).
 func (e *Engine) BestPath(src, dst int, opts Options) (*Path, error) {
-	n := e.top.NumNodes()
-	if src < 0 || src >= n || dst < 0 || dst >= n {
-		return nil, fmt.Errorf("routing: endpoints (%d,%d) outside [0,%d)", src, dst, n)
-	}
-	if src == dst {
-		return &Path{Nodes: []int32{int32(src)}}, nil
-	}
-	if opts.MaxHops <= 0 {
-		return e.bestPathUnbounded(src, dst, opts)
-	}
-	maxHops := opts.MaxHops
-	// Dijkstra over (node, hops) with latency cost; hop dimension only
-	// matters when a hop bound is set, so collapse it otherwise.
-	dist := make(map[hopState]float64)
-	parent := make(map[hopState]hopState)
-	pq := &pathHeap{}
-	start := hopState{node: int32(src), hops: 0}
-	dist[start] = 0
-	heap.Push(pq, pathItem{st: start, cost: 0})
-	var goal *hopState
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pathItem)
-		if d, ok := dist[it.st]; !ok || it.cost > d {
-			continue
-		}
-		if int(it.st.node) == dst {
-			goal = &it.st
-			break
-		}
-		if it.st.hops == maxHops {
-			continue
-		}
-		u := it.st.node
-		off := e.top.Graph.ArcOffset(int(u))
-		for i, v := range e.top.Graph.Neighbors(int(u)) {
-			arc := off + i
-			if !e.usableArc(u, v, arc, opts) {
-				continue
-			}
-			if opts.BrokersOnly && int(v) != dst && !e.inB[v] {
-				continue
-			}
-			hops := it.st.hops + 1
-			ns := hopState{node: v, hops: hops}
-			w := e.metrics.latency[arc] * e.penaltyFactor(u, v)
-			nd := it.cost + w
-			if d, ok := dist[ns]; !ok || nd < d {
-				dist[ns] = nd
-				parent[ns] = it.st
-				heap.Push(pq, pathItem{st: ns, cost: nd})
-			}
-		}
-	}
-	if goal == nil {
-		return nil, fmt.Errorf("routing: no dominated path %d -> %d within constraints", src, dst)
-	}
-	// Rebuild node sequence.
-	var rev []int32
-	for st := *goal; ; st = parent[st] {
-		rev = append(rev, st.node)
-		if st == start {
-			break
-		}
-	}
-	nodes := make([]int32, len(rev))
-	for i := range rev {
-		nodes[i] = rev[len(rev)-1-i]
-	}
-	return e.describe(nodes), nil
-}
-
-// bestPathUnbounded is the hop-unbounded Dijkstra over slice state — the
-// hot path for simulation workloads.
-func (e *Engine) bestPathUnbounded(src, dst int, opts Options) (*Path, error) {
-	n := e.top.NumNodes()
-	dist := make([]float64, n)
-	parent := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-		parent[i] = -1
-	}
-	dist[src] = 0
-	parent[src] = int32(src)
-	pq := newFlatHeap(64)
-	pq.push(int32(src), 0)
-	for pq.len() > 0 {
-		u, cost := pq.pop()
-		if cost > dist[u] {
-			continue
-		}
-		if int(u) == dst {
-			break
-		}
-		off := e.top.Graph.ArcOffset(int(u))
-		for i, v := range e.top.Graph.Neighbors(int(u)) {
-			arc := off + i
-			if !e.usableArc(u, v, arc, opts) {
-				continue
-			}
-			if opts.BrokersOnly && int(v) != dst && !e.inB[v] {
-				continue
-			}
-			nd := cost + e.metrics.latency[arc]*e.penaltyFactor(u, v)
-			if dist[v] < 0 || nd < dist[v] {
-				dist[v] = nd
-				parent[v] = u
-				pq.push(v, nd)
-			}
-		}
-	}
-	if parent[dst] == -1 {
-		return nil, fmt.Errorf("routing: no dominated path %d -> %d within constraints", src, dst)
-	}
-	var rev []int32
-	for u := int32(dst); ; u = parent[u] {
-		rev = append(rev, u)
-		if int(u) == src {
-			break
-		}
-	}
-	nodes := make([]int32, len(rev))
-	for i := range rev {
-		nodes[i] = rev[len(rev)-1-i]
-	}
-	return e.describe(nodes), nil
+	return e.search().bestPath(src, dst, opts)
 }
 
 // describe computes latency and bottleneck for a node sequence.
 func (e *Engine) describe(nodes []int32) *Path {
-	p := &Path{Nodes: nodes, Bottleneck: -1}
-	for i := 0; i+1 < len(nodes); i++ {
-		u, v := nodes[i], nodes[i+1]
-		p.Latency += e.metrics.Latency(u, v)
-		if avail := e.metrics.Available(u, v); p.Bottleneck < 0 || avail < p.Bottleneck {
-			p.Bottleneck = avail
-		}
-	}
-	if p.Bottleneck < 0 {
-		p.Bottleneck = 0
-	}
-	return p
-}
-
-func (e *Engine) penaltyFactor(u, v int32) float64 {
-	if len(e.penalty) == 0 {
-		return 1 // hot path: no map lookup outside KAlternatives
-	}
-	if f, ok := e.penalty[edgeKey(u, v)]; ok {
-		return f
-	}
-	return 1
+	return e.search().describe(nodes)
 }
 
 // KAlternatives returns up to k latency-diverse dominated paths from src to

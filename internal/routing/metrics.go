@@ -15,16 +15,51 @@ import (
 	"brokerset/internal/topology"
 )
 
-// Metrics annotates topology edges with latency and capacity, and tracks
-// bandwidth reservations. State is stored per directed arc, aligned with
-// the graph's adjacency arrays, so path searches do no map lookups. Not
-// safe for concurrent use.
-type Metrics struct {
-	top      *topology.Topology
+// arcState is the per-directed-arc metric state, aligned with the graph's
+// adjacency arrays so path searches do no map lookups. It is the substrate
+// both the mutable Metrics and the immutable View are built on; pathSearch
+// runs against it directly, which is what lets one search core serve both.
+type arcState struct {
 	latency  []float64 // milliseconds, per arc
 	capacity []float64 // Gbps, per arc
 	used     []float64 // reserved Gbps, per arc
 	failed   []bool
+}
+
+// availArc returns unreserved capacity of an arc; 0 when failed.
+func (s *arcState) availArc(a int) float64 {
+	if s.failed[a] {
+		return 0
+	}
+	avail := s.capacity[a] - s.used[a]
+	if avail < 0 {
+		return 0
+	}
+	return avail
+}
+
+// freeze captures an immutable copy of the arc state for snapshot
+// publication. Only the hot mutable halves (reservations, failure flags)
+// are copied; latency and capacity arrays are shared, which is safe
+// because their setters are copy-on-write (SetLatency/SetCapacity swap in
+// a fresh array instead of mutating the shared one). Publication is on
+// every setup/teardown, so this asymmetry is what keeps the writer cheap.
+func (s *arcState) freeze() arcState {
+	return arcState{
+		latency:  s.latency,
+		capacity: s.capacity,
+		used:     append([]float64(nil), s.used...),
+		failed:   append([]bool(nil), s.failed...),
+	}
+}
+
+// Metrics annotates topology edges with latency and capacity, and tracks
+// bandwidth reservations. Not safe for concurrent use: callers serialize
+// mutations externally (brokerd's write path), and concurrent readers work
+// from an immutable View captured under that same serialization.
+type Metrics struct {
+	top *topology.Topology
+	arcState
 }
 
 // edgeKey packs an undirected edge (used by the k-alternatives penalty map).
@@ -35,15 +70,19 @@ func edgeKey(u, v int32) uint64 {
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
-// arcOf returns the arc index of u → v, or -1 when not adjacent.
-func (m *Metrics) arcOf(u, v int32) int {
-	ns := m.top.Graph.Neighbors(int(u))
+// arcIndex returns the arc index of u → v in top's adjacency arrays, or -1
+// when not adjacent.
+func arcIndex(top *topology.Topology, u, v int32) int {
+	ns := top.Graph.Neighbors(int(u))
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
 	if i == len(ns) || ns[i] != v {
 		return -1
 	}
-	return m.top.Graph.ArcOffset(int(u)) + i
+	return top.Graph.ArcOffset(int(u)) + i
 }
+
+// arcOf returns the arc index of u → v, or -1 when not adjacent.
+func (m *Metrics) arcOf(u, v int32) int { return arcIndex(m.top, u, v) }
 
 // bothArcs returns the arc indexes of (u→v, v→u); (-1,-1) for a non-edge.
 func (m *Metrics) bothArcs(u, v int32) (int, int) {
@@ -64,11 +103,13 @@ func DefaultMetrics(top *topology.Topology, rng *rand.Rand) *Metrics {
 	}
 	nArcs := top.Graph.NumArcs()
 	m := &Metrics{
-		top:      top,
-		latency:  make([]float64, nArcs),
-		capacity: make([]float64, nArcs),
-		used:     make([]float64, nArcs),
-		failed:   make([]bool, nArcs),
+		top: top,
+		arcState: arcState{
+			latency:  make([]float64, nArcs),
+			capacity: make([]float64, nArcs),
+			used:     make([]float64, nArcs),
+			failed:   make([]bool, nArcs),
+		},
 	}
 	top.Graph.Edges(func(u, v int) bool {
 		var lat, cap float64
@@ -110,18 +151,6 @@ func (m *Metrics) Capacity(u, v int32) float64 {
 		return m.capacity[a]
 	}
 	return 0
-}
-
-// availArc returns unreserved capacity of an arc; 0 when failed.
-func (m *Metrics) availArc(a int) float64 {
-	if m.failed[a] {
-		return 0
-	}
-	avail := m.capacity[a] - m.used[a]
-	if avail < 0 {
-		return 0
-	}
-	return avail
 }
 
 // Available returns the unreserved capacity of a link; 0 when failed or
@@ -200,18 +229,22 @@ func (m *Metrics) Failed(u, v int32) bool {
 }
 
 // SetLatency overrides a link's latency (both directions). Non-edges are
-// ignored. Useful for calibrated scenarios and tests.
+// ignored. Useful for calibrated scenarios and tests. Copy-on-write: the
+// latency array is shared with published views (see freeze), so mutate a
+// fresh copy and swap it in.
 func (m *Metrics) SetLatency(u, v int32, ms float64) {
 	if a, b := m.bothArcs(u, v); a >= 0 {
+		m.latency = append([]float64(nil), m.latency...)
 		m.latency[a] = ms
 		m.latency[b] = ms
 	}
 }
 
 // SetCapacity overrides a link's capacity (both directions). Non-edges are
-// ignored.
+// ignored. Copy-on-write, like SetLatency.
 func (m *Metrics) SetCapacity(u, v int32, gbps float64) {
 	if a, b := m.bothArcs(u, v); a >= 0 {
+		m.capacity = append([]float64(nil), m.capacity...)
 		m.capacity[a] = gbps
 		m.capacity[b] = gbps
 	}

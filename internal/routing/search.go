@@ -1,0 +1,196 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+
+	"brokerset/internal/topology"
+)
+
+// pathSearch is the engine's search core, factored so it can run against
+// either substrate: the Engine's live (externally serialized) Metrics, or
+// an immutable View pinned by an epoch snapshot. It holds only slice
+// headers and masks — building one is allocation-free — and never mutates
+// its inputs, so any number of searches may share one View concurrently.
+type pathSearch struct {
+	top  *topology.Topology
+	arcs arcState
+	inB  []bool
+	// penalty supports k-alternative computation (nil outside Engine use).
+	penalty map[uint64]float64
+}
+
+// usableArc reports whether the directed arc (u → v) with index `arc` can
+// appear on a dominated QoS path.
+func (s *pathSearch) usableArc(u, v int32, arc int, opts Options) bool {
+	if !s.inB[u] && !s.inB[v] {
+		return false // not dominated
+	}
+	if s.arcs.failed[arc] {
+		return false
+	}
+	if opts.MinBandwidth > 0 && s.arcs.availArc(arc) < opts.MinBandwidth {
+		return false
+	}
+	return true
+}
+
+// bestPath returns the minimum-latency B-dominated path from src to dst
+// satisfying opts, or an error when none exists. With opts.MaxHops set it
+// minimizes latency over paths within the hop bound (lexicographic search
+// on (hops, latency) layers).
+func (s *pathSearch) bestPath(src, dst int, opts Options) (*Path, error) {
+	n := s.top.NumNodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("routing: endpoints (%d,%d) outside [0,%d)", src, dst, n)
+	}
+	if src == dst {
+		return &Path{Nodes: []int32{int32(src)}}, nil
+	}
+	if opts.MaxHops <= 0 {
+		return s.bestPathUnbounded(src, dst, opts)
+	}
+	maxHops := opts.MaxHops
+	// Dijkstra over (node, hops) with latency cost; hop dimension only
+	// matters when a hop bound is set, so collapse it otherwise.
+	dist := make(map[hopState]float64)
+	parent := make(map[hopState]hopState)
+	pq := &pathHeap{}
+	start := hopState{node: int32(src), hops: 0}
+	dist[start] = 0
+	heap.Push(pq, pathItem{st: start, cost: 0})
+	var goal *hopState
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pathItem)
+		if d, ok := dist[it.st]; !ok || it.cost > d {
+			continue
+		}
+		if int(it.st.node) == dst {
+			goal = &it.st
+			break
+		}
+		if it.st.hops == maxHops {
+			continue
+		}
+		u := it.st.node
+		off := s.top.Graph.ArcOffset(int(u))
+		for i, v := range s.top.Graph.Neighbors(int(u)) {
+			arc := off + i
+			if !s.usableArc(u, v, arc, opts) {
+				continue
+			}
+			if opts.BrokersOnly && int(v) != dst && !s.inB[v] {
+				continue
+			}
+			hops := it.st.hops + 1
+			ns := hopState{node: v, hops: hops}
+			w := s.arcs.latency[arc] * s.penaltyFactor(u, v)
+			nd := it.cost + w
+			if d, ok := dist[ns]; !ok || nd < d {
+				dist[ns] = nd
+				parent[ns] = it.st
+				heap.Push(pq, pathItem{st: ns, cost: nd})
+			}
+		}
+	}
+	if goal == nil {
+		return nil, fmt.Errorf("routing: no dominated path %d -> %d within constraints", src, dst)
+	}
+	// Rebuild node sequence.
+	var rev []int32
+	for st := *goal; ; st = parent[st] {
+		rev = append(rev, st.node)
+		if st == start {
+			break
+		}
+	}
+	nodes := make([]int32, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return s.describe(nodes), nil
+}
+
+// bestPathUnbounded is the hop-unbounded Dijkstra over slice state — the
+// hot path for serving and simulation workloads.
+func (s *pathSearch) bestPathUnbounded(src, dst int, opts Options) (*Path, error) {
+	n := s.top.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	dist[src] = 0
+	parent[src] = int32(src)
+	pq := newFlatHeap(64)
+	pq.push(int32(src), 0)
+	for pq.len() > 0 {
+		u, cost := pq.pop()
+		if cost > dist[u] {
+			continue
+		}
+		if int(u) == dst {
+			break
+		}
+		off := s.top.Graph.ArcOffset(int(u))
+		for i, v := range s.top.Graph.Neighbors(int(u)) {
+			arc := off + i
+			if !s.usableArc(u, v, arc, opts) {
+				continue
+			}
+			if opts.BrokersOnly && int(v) != dst && !s.inB[v] {
+				continue
+			}
+			nd := cost + s.arcs.latency[arc]*s.penaltyFactor(u, v)
+			if dist[v] < 0 || nd < dist[v] {
+				dist[v] = nd
+				parent[v] = u
+				pq.push(v, nd)
+			}
+		}
+	}
+	if parent[dst] == -1 {
+		return nil, fmt.Errorf("routing: no dominated path %d -> %d within constraints", src, dst)
+	}
+	var rev []int32
+	for u := int32(dst); ; u = parent[u] {
+		rev = append(rev, u)
+		if int(u) == src {
+			break
+		}
+	}
+	nodes := make([]int32, len(rev))
+	for i := range rev {
+		nodes[i] = rev[len(rev)-1-i]
+	}
+	return s.describe(nodes), nil
+}
+
+// describe computes latency and bottleneck for a node sequence.
+func (s *pathSearch) describe(nodes []int32) *Path {
+	p := &Path{Nodes: nodes, Bottleneck: -1}
+	for i := 0; i+1 < len(nodes); i++ {
+		u, v := nodes[i], nodes[i+1]
+		if a := arcIndex(s.top, u, v); a >= 0 {
+			p.Latency += s.arcs.latency[a]
+			if avail := s.arcs.availArc(a); p.Bottleneck < 0 || avail < p.Bottleneck {
+				p.Bottleneck = avail
+			}
+		}
+	}
+	if p.Bottleneck < 0 {
+		p.Bottleneck = 0
+	}
+	return p
+}
+
+func (s *pathSearch) penaltyFactor(u, v int32) float64 {
+	if len(s.penalty) == 0 {
+		return 1 // hot path: no map lookup outside KAlternatives
+	}
+	if f, ok := s.penalty[edgeKey(u, v)]; ok {
+		return f
+	}
+	return 1
+}
