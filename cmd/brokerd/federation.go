@@ -1,0 +1,351 @@
+// Federation support: with -regions N, brokerd partitions its topology
+// into N broker regions, boots the full in-process federation fabric
+// next to the flat coalition, and exposes it under /federation/*:
+//
+//	GET    /federation/regions
+//	GET    /federation/path?src=A&dst=B[&maxhops=N][&minbw=G]
+//	GET    /federation/sessions
+//	POST   /federation/sessions          {"src":A,"dst":B,"gbps":G}
+//	GET    /federation/sessions/{id}
+//	DELETE /federation/sessions/{id}
+//	GET    /federation/stats
+//
+// A shed stitched query returns 429 with Retry-After and X-Shed-Region
+// naming the region whose query plane refused, so clients can report
+// per-region pushback. A background loop ticks the fabric's lease
+// clocks, gossips border-broker liveness, and runs the healer.
+//
+// Multi-process federation — one brokerd per region joined with -region
+// and -peers — is future work: the flags are reserved and rejected until
+// the inter-region bus speaks HTTP. Today -regions N serves every region
+// from one process.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"brokerset/internal/federation"
+	"brokerset/internal/routing"
+)
+
+// fedState owns the federation fabric and the lock ordering every touch
+// of it: stitched queries and stats take the read side (the fabric's
+// query planes are internally synchronized and everything else they
+// touch is read-only), while setup/teardown/tick/gossip/heal — which
+// mutate ledgers, WALs, and snapshots — take the write side.
+type fedState struct {
+	mu       sync.RWMutex
+	fabric   *federation.Fabric
+	sessions map[int]*federation.Session
+}
+
+// enableFederation partitions the server's topology into regions and
+// boots the fabric. It shares the server's metrics assignment so a
+// stitched segment quotes the same link latencies /path does, and
+// registers the federation_* counters on the server's registry.
+func (s *server) enableFederation(regions, budget int, crossing float64, seed int64) error {
+	fabric, err := federation.New(s.top, federation.Config{
+		Regions:        regions,
+		BrokerBudget:   budget,
+		CrossingCostMs: crossing,
+		Seed:           seed,
+		Metrics:        s.metrics,
+	})
+	if err != nil {
+		return err
+	}
+	s.fed = &fedState{fabric: fabric, sessions: make(map[int]*federation.Session)}
+	fabric.SetFlightRecorder(s.flight)
+	fabric.RegisterMetrics(s.reg, s.fed.mu.RLocker())
+	return nil
+}
+
+// runFederationLoop drives the fabric clock while the server runs: every
+// interval the lease clocks tick, every 5th tick the regions gossip
+// digests and border liveness, and every 20th the healer re-stitches
+// sessions damaged since the last pass.
+func (s *server) runFederationLoop(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			n++
+			s.fed.mu.Lock()
+			s.fed.fabric.Tick()
+			if n%5 == 0 {
+				s.fed.fabric.GossipTick()
+			}
+			if n%20 == 0 {
+				s.fed.fabric.Heal(ctx)
+			}
+			s.fed.mu.Unlock()
+		}
+	}
+}
+
+type fedRegionInfo struct {
+	ID         int     `json:"id"`
+	Up         bool    `json:"up"`
+	Members    int     `json:"members"`
+	Brokers    int     `json:"brokers"`
+	BorderIXPs []int32 `json:"border_ixps"`
+	Epoch      uint64  `json:"epoch"`
+}
+
+func (s *server) handleFedRegions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.fed.mu.RLock()
+	fabric := s.fed.fabric
+	out := make([]fedRegionInfo, fabric.NumRegions())
+	for i := range out {
+		reg := fabric.Region(i)
+		borders := make([]int32, 0, len(reg.BorderIXPs()))
+		for _, b := range reg.BorderIXPs() {
+			borders = append(borders, reg.Global(b))
+		}
+		out[i] = fedRegionInfo{
+			ID:         i,
+			Up:         !fabric.RegionCrashed(i),
+			Members:    len(fabric.Partition().Members(i)),
+			Brokers:    len(reg.Brokers),
+			BorderIXPs: borders,
+			Epoch:      reg.Pub.Epoch(),
+		}
+	}
+	s.fed.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+type fedSegmentJSON struct {
+	Region    int     `json:"region"`
+	Nodes     []int32 `json:"nodes"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+type fedPathResponse struct {
+	Nodes     []int32          `json:"nodes"`
+	Hops      int              `json:"hops"`
+	LatencyMs float64          `json:"latency_ms"`
+	Crossings int              `json:"crossings"`
+	Segments  []fedSegmentJSON `json:"segments"`
+}
+
+func fedPathJSON(sp *federation.StitchedPath) fedPathResponse {
+	segs := make([]fedSegmentJSON, 0, len(sp.Segments))
+	for _, seg := range sp.Segments {
+		segs = append(segs, fedSegmentJSON{Region: seg.Region, Nodes: seg.Nodes, LatencyMs: seg.LatencyMs})
+	}
+	return fedPathResponse{
+		Nodes: sp.Nodes, Hops: len(sp.Nodes) - 1, LatencyMs: sp.LatencyMs,
+		Crossings: sp.Crossings, Segments: segs,
+	}
+}
+
+func (s *server) handleFedPath(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	src, err1 := strconv.Atoi(r.URL.Query().Get("src"))
+	dst, err2 := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err1 != nil || err2 != nil {
+		writeError(w, http.StatusBadRequest, "src and dst must be integer node ids")
+		return
+	}
+	if src < 0 || src >= s.top.NumNodes() || dst < 0 || dst >= s.top.NumNodes() {
+		writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
+		return
+	}
+	opts := routing.Options{}
+	if v := r.URL.Query().Get("maxhops"); v != "" {
+		mh, err := strconv.Atoi(v)
+		if err != nil || mh < 1 {
+			writeError(w, http.StatusBadRequest, "maxhops must be a positive integer")
+			return
+		}
+		opts.MaxHops = mh
+	}
+	if v := r.URL.Query().Get("minbw"); v != "" {
+		bw, err := strconv.ParseFloat(v, 64)
+		if err != nil || bw < 0 {
+			writeError(w, http.StatusBadRequest, "minbw must be a non-negative number")
+			return
+		}
+		opts.MinBandwidth = bw
+	}
+	s.fed.mu.RLock()
+	sp, err := s.fed.fabric.StitchPath(r.Context(), int32(src), int32(dst), opts)
+	s.fed.mu.RUnlock()
+	if err != nil {
+		var shed *federation.ShedError
+		switch {
+		case errors.As(err, &shed):
+			w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds())))
+			w.Header().Set("X-Shed-Region", strconv.Itoa(shed.Region))
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, federation.ErrNoRoute):
+			writeError(w, http.StatusNotFound, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, fedPathJSON(sp))
+}
+
+type fedSessionResponse struct {
+	ID        int     `json:"id"`
+	Src       int32   `json:"src"`
+	Dst       int32   `json:"dst"`
+	Bandwidth float64 `json:"gbps"`
+	State     string  `json:"state"`
+	Epoch     uint32  `json:"epoch"`
+	Crossings int     `json:"crossings"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+func fedSessionJSON(sess *federation.Session) fedSessionResponse {
+	out := fedSessionResponse{
+		ID: sess.ID, Src: sess.Src, Dst: sess.Dst, Bandwidth: sess.Bandwidth,
+		State: sess.State.String(), Epoch: sess.Epoch,
+	}
+	if sess.Stitched != nil {
+		out.Crossings = sess.Stitched.Crossings
+		out.LatencyMs = sess.Stitched.LatencyMs
+	}
+	return out
+}
+
+func (s *server) handleFedSessions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.fed.mu.RLock()
+		out := make([]fedSessionResponse, 0, len(s.fed.sessions))
+		for _, sess := range s.fed.sessions {
+			out = append(out, fedSessionJSON(sess))
+		}
+		s.fed.mu.RUnlock()
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		writeJSON(w, http.StatusOK, out)
+	case http.MethodPost:
+		var req sessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+		if req.Src < 0 || req.Src >= s.top.NumNodes() || req.Dst < 0 || req.Dst >= s.top.NumNodes() {
+			writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), opTimeout)
+		defer cancel()
+		s.fed.mu.Lock()
+		sess, err := s.fed.fabric.Setup(ctx, int32(req.Src), int32(req.Dst), req.Gbps, routing.Options{})
+		if err == nil {
+			s.fed.sessions[sess.ID] = sess
+		}
+		s.fed.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, fedSessionJSON(sess))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST")
+	}
+}
+
+func (s *server) handleFedSessionByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/federation/sessions/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad session id %q", idStr)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.fed.mu.RLock()
+		sess, ok := s.fed.sessions[id]
+		s.fed.mu.RUnlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no federated session %d", id)
+			return
+		}
+		writeJSON(w, http.StatusOK, fedSessionJSON(sess))
+	case http.MethodDelete:
+		ctx, cancel := context.WithTimeout(r.Context(), opTimeout)
+		defer cancel()
+		s.fed.mu.Lock()
+		sess, ok := s.fed.sessions[id]
+		if ok {
+			delete(s.fed.sessions, id)
+			err = s.fed.fabric.Teardown(ctx, sess)
+		}
+		s.fed.mu.Unlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no federated session %d", id)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or DELETE")
+	}
+}
+
+type fedStatsResponse struct {
+	Regions []fedRegionInfo  `json:"regions"`
+	Stats   federation.Stats `json:"stats"`
+}
+
+func (s *server) handleFedStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.fed.mu.RLock()
+	fabric := s.fed.fabric
+	out := fedStatsResponse{Stats: fabric.Stats()}
+	for i := 0; i < fabric.NumRegions(); i++ {
+		reg := fabric.Region(i)
+		out.Regions = append(out.Regions, fedRegionInfo{
+			ID:      i,
+			Up:      !fabric.RegionCrashed(i),
+			Members: len(fabric.Partition().Members(i)),
+			Brokers: len(reg.Brokers),
+			Epoch:   reg.Pub.Epoch(),
+		})
+	}
+	s.fed.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// fedBanner summarizes the booted federation for the startup log.
+func (s *server) fedBanner() string {
+	fabric := s.fed.fabric
+	parts := make([]string, fabric.NumRegions())
+	for i := range parts {
+		reg := fabric.Region(i)
+		parts[i] = fmt.Sprintf("r%d:%dn/%db", i, len(fabric.Partition().Members(i)), len(reg.Brokers))
+	}
+	return strings.Join(parts, " ")
+}

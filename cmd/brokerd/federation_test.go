@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"brokerset/internal/topology"
+)
+
+func testFedServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(top, 40, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.enableFederation(3, 40, 2.0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler(false))
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestFederationRegionsEndpoint(t *testing.T) {
+	srv, ts := testFedServer(t)
+	var regions []fedRegionInfo
+	if code := getJSON(t, ts.URL+"/federation/regions", &regions); code != http.StatusOK {
+		t.Fatalf("regions status %d", code)
+	}
+	if len(regions) != 3 {
+		t.Fatalf("got %d regions, want 3", len(regions))
+	}
+	members := 0
+	for i, reg := range regions {
+		if reg.ID != i || !reg.Up {
+			t.Fatalf("region %d = %+v", i, reg)
+		}
+		if reg.Brokers == 0 || len(reg.BorderIXPs) == 0 {
+			t.Fatalf("region %d has no brokers/borders: %+v", i, reg)
+		}
+		members += reg.Members
+	}
+	if members != srv.top.NumNodes() {
+		t.Fatalf("region members sum to %d, want %d nodes", members, srv.top.NumNodes())
+	}
+}
+
+// TestFederationPathEndpoint finds a cross-region pair and asserts the
+// stitched response is coherent: segment latencies plus crossing costs
+// sum to the total, and every region appears at most once.
+func TestFederationPathEndpoint(t *testing.T) {
+	srv, ts := testFedServer(t)
+	part := srv.fed.fabric.Partition()
+	src := part.Members(0)[0]
+	dst := part.Members(2)[0]
+	var pr fedPathResponse
+	code := getJSON(t, fmt.Sprintf("%s/federation/path?src=%d&dst=%d", ts.URL, src, dst), &pr)
+	if code != http.StatusOK {
+		t.Fatalf("federation/path status %d", code)
+	}
+	if len(pr.Segments) < 2 || pr.Crossings != len(pr.Segments)-1 {
+		t.Fatalf("stitched response = %+v", pr)
+	}
+	sum := 0.0
+	for _, seg := range pr.Segments {
+		sum += seg.LatencyMs
+	}
+	sum += float64(pr.Crossings) * 2.0
+	if diff := pr.LatencyMs - sum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("latency %f != segment sum %f", pr.LatencyMs, sum)
+	}
+	if pr.Nodes[0] != src || pr.Nodes[len(pr.Nodes)-1] != dst {
+		t.Fatalf("endpoints %d..%d, want %d..%d", pr.Nodes[0], pr.Nodes[len(pr.Nodes)-1], src, dst)
+	}
+
+	if code := getJSON(t, ts.URL+"/federation/path?src=0&dst=nope", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad dst accepted: %d", code)
+	}
+}
+
+func TestFederationSessionLifecycle(t *testing.T) {
+	srv, ts := testFedServer(t)
+	part := srv.fed.fabric.Partition()
+	body, _ := json.Marshal(sessionRequest{
+		Src: int(part.Members(0)[0]), Dst: int(part.Members(2)[0]), Gbps: 1,
+	})
+	resp, err := http.Post(ts.URL+"/federation/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess fedSessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("setup status %d: %+v", resp.StatusCode, sess)
+	}
+	if sess.State != "committed" || sess.Crossings == 0 {
+		t.Fatalf("session = %+v", sess)
+	}
+
+	var list []fedSessionResponse
+	if code := getJSON(t, ts.URL+"/federation/sessions", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("list status %d, %d sessions", code, len(list))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/federation/sessions/%d", ts.URL, sess.ID), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("teardown status %d", dresp.StatusCode)
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/federation/sessions/%d", ts.URL, sess.ID), nil); code != http.StatusNotFound {
+		t.Fatalf("released session still served: %d", code)
+	}
+
+	var st fedStatsResponse
+	if code := getJSON(t, ts.URL+"/federation/stats", &st); code != http.StatusOK {
+		t.Fatalf("federation/stats status %d", code)
+	}
+	if st.Stats.Commits != 1 || st.Stats.Teardowns != 1 {
+		t.Fatalf("stats = %+v", st.Stats)
+	}
+
+	// The fabric must be conserved after the full lifecycle.
+	srv.fed.mu.Lock()
+	defer srv.fed.mu.Unlock()
+	if err := srv.fed.fabric.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFederationMetricsExposed checks the federation_* counters land in
+// the Prometheus exposition once the fabric is enabled.
+func TestFederationMetricsExposed(t *testing.T) {
+	_, ts := testFedServer(t)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"federation_setups_total", "federation_region0_up", "federation_backlogged"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("metrics missing %s:\n%s", want, buf.String())
+		}
+	}
+}

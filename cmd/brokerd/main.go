@@ -25,6 +25,9 @@
 // churn from the seeded generator at that interval, applies them, and
 // self-heals the coalition (broker re-selection, session re-pathing, cache
 // invalidation).
+//
+// With -regions N set, the topology is additionally partitioned into N
+// federated broker regions served under /federation/* (see federation.go).
 package main
 
 import (
@@ -62,8 +65,17 @@ func main() {
 		churnSeed  = flag.Int64("churn-seed", 42, "churn generator seed")
 		healTarget = flag.Float64("heal-target", 0, "connectivity the healer restores (0 = initial coalition's)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		regions  = flag.Int("regions", 0, "serve an in-process federation of N broker regions under /federation/* (0 = off)")
+		region   = flag.Int("region", -1, "reserved: this brokerd's region id in a multi-process federation")
+		peers    = flag.String("peers", "", "reserved: comma-separated peer brokerd URLs for a multi-process federation")
+		crossing = flag.Float64("crossing-cost", 2.0, "federation IXP crossing cost (ms)")
 	)
 	flag.Parse()
+	if *region >= 0 || *peers != "" {
+		fmt.Fprintln(os.Stderr, "brokerd: -region/-peers (multi-process federation) is future work; use -regions N for the in-process fleet")
+		os.Exit(1)
+	}
 
 	var (
 		top *topology.Topology
@@ -89,6 +101,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
+	}
+	if *regions > 0 {
+		if err := srv.enableFederation(*regions, *k, *crossing, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "brokerd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("brokerd: federation of %d regions (%s), crossing cost %.1fms\n",
+			*regions, srv.fedBanner(), *crossing)
 	}
 	snap := srv.pub.Current()
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
@@ -117,6 +137,9 @@ func main() {
 	if *churnEvery > 0 {
 		fmt.Printf("brokerd: background churn every %v (seed %d)\n", *churnEvery, *churnSeed)
 		go srv.runChurnLoop(ctx, *churnEvery)
+	}
+	if srv.fed != nil {
+		go srv.runFederationLoop(ctx, 100*time.Millisecond)
 	}
 	done := make(chan error, 1)
 	go func() {

@@ -55,6 +55,10 @@ type server struct {
 	gen        *churn.Generator
 	healer     *churn.Healer
 
+	// fed is the in-process federation fabric (nil unless -regions is
+	// set); see federation.go for the lock protocol and endpoints.
+	fed *fedState
+
 	// Unified observability (see initObs): metrics registry, request
 	// tracer, control-plane flight recorder, HTTP front-door instruments.
 	reg      *obs.Registry
@@ -224,6 +228,13 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/churn", s.handleChurn)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
+	if s.fed != nil {
+		mux.HandleFunc("/federation/regions", s.handleFedRegions)
+		mux.HandleFunc("/federation/path", s.handleFedPath)
+		mux.HandleFunc("/federation/sessions", s.handleFedSessions)
+		mux.HandleFunc("/federation/sessions/", s.handleFedSessionByID)
+		mux.HandleFunc("/federation/stats", s.handleFedStats)
+	}
 	return mux
 }
 

@@ -64,6 +64,14 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		churnEvery  = fs.Duration("churn-every", 0, "in-process churn injection interval (0 = off)")
 		churnEvents = fs.Int("churn-events", 4, "events per churn burst")
 		churnSeed   = fs.Int64("churn-seed", 42, "churn generator seed")
+
+		regions   = fs.Int("regions", 0, "in-process federation: broker regions (0 = off)")
+		fedLoss   = fs.Float64("fed-loss", 0, "federation inter-region bus drop rate")
+		fedDup    = fs.Float64("fed-dup", 0, "federation inter-region bus duplicate rate")
+		fedCrash  = fs.Bool("fed-crash", false, "crash a transit region at T/3, recover at 2T/3")
+		fedEvery  = fs.Duration("fed-every", 20*time.Millisecond, "federation driver tick interval")
+		crossing  = fs.Float64("crossing-cost", 2.0, "federation IXP crossing cost (ms)")
+		fedRemote = fs.Bool("federation", false, "HTTP mode: query /federation/path instead of /path")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return nil, err
@@ -82,9 +90,11 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		target workload.Target
 		top    *topology.Topology
 		stack  *churnStack
+		fed    *fedStack
 		err    error
 	)
-	if *addr != "" {
+	switch {
+	case *addr != "":
 		if *churnEvery > 0 {
 			return nil, fmt.Errorf("-churn-every is in-process only (use brokerd -churn against a live server)")
 		}
@@ -94,8 +104,13 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		path := ""
+		if *fedRemote {
+			path = "/federation/path"
+		}
 		target = &workload.HTTPTarget{
 			Base:         *addr,
+			Path:         path,
 			Opts:         opts,
 			Client:       &http.Client{Timeout: *timeout},
 			MaxRetries:   *retries,
@@ -103,7 +118,19 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		}
 		fmt.Fprintf(out, "loadgen: %d workers -> %s (zipf %.2f over %d nodes)\n",
 			cfg.Concurrency, *addr, *zipf, top.NumNodes())
-	} else {
+	case *regions > 0:
+		if *churnEvery > 0 {
+			return nil, fmt.Errorf("-churn-every and -regions are mutually exclusive (-fed-crash injects federation failures)")
+		}
+		fed, err = newFedStack(*scale, *seed, *regions, *k, *crossing, *fedLoss, *fedDup)
+		if err != nil {
+			return nil, err
+		}
+		top = fed.top
+		target = &fedTarget{stack: fed, opts: opts, maxRetries: *retries, maxWait: *retryWt}
+		fmt.Fprintf(out, "loadgen: in-process federation, %d regions over %d nodes, %d workers (loss %.1f%%, dup %.1f%%, crash %v)\n",
+			*regions, top.NumNodes(), cfg.Concurrency, 100**fedLoss, 100**fedDup, *fedCrash)
+	default:
 		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
 		if err != nil {
 			return nil, err
@@ -145,11 +172,31 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 	newGen := func(w int) (*workload.PairGen, error) {
 		return workload.NewPairGen(top, cfg.Zipf, cfg.Seed+int64(w)*7919)
 	}
+	var (
+		fedStop chan struct{}
+		fedDone chan struct{}
+	)
+	if fed != nil {
+		fedStop, fedDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(fedDone)
+			fed.drive(fedStop, *dur, *fedEvery, *fedCrash, *seed)
+		}()
+	}
 	rep, err := workload.Run(target, newGen, cfg)
+	if fed != nil {
+		close(fedStop)
+		<-fedDone
+	}
 	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintln(out, rep)
+	if fed != nil {
+		if err := fed.finish(out); err != nil {
+			return rep, err
+		}
+	}
 
 	// Churn mode: show what the healing traffic cost the control plane —
 	// 2PC retries, breaker activity, and WAL recoveries.

@@ -35,6 +35,21 @@ import (
 // message bus (agents are addressed by their broker node id).
 const Coordinator int32 = -1
 
+// PeerAddr returns the bus address of region r's coordinator on a
+// federation peer transport. Region coordinators share the address space
+// with agents and the local coordinator but occupy -2 and below, so one
+// FaultTransport can partition or rate-limit them like any broker.
+func PeerAddr(region int) int32 { return -2 - int32(region) }
+
+// PeerRegion inverts PeerAddr (ok=false for agent or Coordinator
+// addresses).
+func PeerRegion(addr int32) (int, bool) {
+	if addr > -2 {
+		return 0, false
+	}
+	return int(-2 - addr), true
+}
+
 // MsgType enumerates protocol messages.
 type MsgType uint8
 
@@ -51,18 +66,47 @@ const (
 	MsgCommitAck
 	MsgAbortAck
 	MsgReleaseAck
+	// Cross-region sub-coordinator RPCs: a home-region coordinator drives a
+	// transit region's coordinator through the same prepare/commit/abort/
+	// release shape, one level up from the broker agents. XCommitNack is the
+	// one asymmetry: a transit region whose prepared sub-transaction lease
+	// already expired must refuse a late commit rather than ack it.
+	MsgXPrepare
+	MsgXPrepareAck
+	MsgXPrepareNack
+	MsgXCommit
+	MsgXCommitAck
+	MsgXCommitNack
+	MsgXAbort
+	MsgXAbortAck
+	MsgXRelease
+	MsgXReleaseAck
+	// MsgGossip carries one region's digest to a peer: region epoch, one
+	// border broker's liveness, and connectivity. Fire-and-forget.
+	MsgGossip
 )
 
 var msgNames = [...]string{
-	MsgPrepare:     "PREPARE",
-	MsgPrepareAck:  "PREPARE-ACK",
-	MsgPrepareNack: "PREPARE-NACK",
-	MsgCommit:      "COMMIT",
-	MsgAbort:       "ABORT",
-	MsgRelease:     "RELEASE",
-	MsgCommitAck:   "COMMIT-ACK",
-	MsgAbortAck:    "ABORT-ACK",
-	MsgReleaseAck:  "RELEASE-ACK",
+	MsgPrepare:      "PREPARE",
+	MsgPrepareAck:   "PREPARE-ACK",
+	MsgPrepareNack:  "PREPARE-NACK",
+	MsgCommit:       "COMMIT",
+	MsgAbort:        "ABORT",
+	MsgRelease:      "RELEASE",
+	MsgCommitAck:    "COMMIT-ACK",
+	MsgAbortAck:     "ABORT-ACK",
+	MsgReleaseAck:   "RELEASE-ACK",
+	MsgXPrepare:     "X-PREPARE",
+	MsgXPrepareAck:  "X-PREPARE-ACK",
+	MsgXPrepareNack: "X-PREPARE-NACK",
+	MsgXCommit:      "X-COMMIT",
+	MsgXCommitAck:   "X-COMMIT-ACK",
+	MsgXCommitNack:  "X-COMMIT-NACK",
+	MsgXAbort:       "X-ABORT",
+	MsgXAbortAck:    "X-ABORT-ACK",
+	MsgXRelease:     "X-RELEASE",
+	MsgXReleaseAck:  "X-RELEASE-ACK",
+	MsgGossip:       "GOSSIP",
 }
 
 // String returns the wire name of the message type.
@@ -85,6 +129,14 @@ func ackFor(t MsgType) (MsgType, bool) {
 		return MsgAbortAck, true
 	case MsgRelease:
 		return MsgReleaseAck, true
+	case MsgXPrepare:
+		return MsgXPrepareAck, true
+	case MsgXCommit:
+		return MsgXCommitAck, true
+	case MsgXAbort:
+		return MsgXAbortAck, true
+	case MsgXRelease:
+		return MsgXReleaseAck, true
 	}
 	return 0, false
 }
@@ -104,6 +156,9 @@ type Message struct {
 	AckFor    uint64
 	Hop       [2]int32
 	Bandwidth float64
+	// Lease is the hold's time-to-live in virtual clock ticks, granted with
+	// a PREPARE (0 = no lease; the hold waits for a decision forever).
+	Lease uint32
 }
 
 // Stats counts control-plane activity.
@@ -136,6 +191,10 @@ type Stats struct {
 	// Backlogged is the current count of decided-but-undelivered messages
 	// still being re-driven toward unreachable agents.
 	Backlogged int `json:"backlogged"`
+	// LeaseExpiries counts prepared-but-undecided hold sets presumed-aborted
+	// by lease expiry (sessions abandoned mid-setup self-cleaning without
+	// teardown traffic).
+	LeaseExpiries int `json:"lease_expiries"`
 }
 
 // SessionState is the lifecycle state of a setup.
@@ -146,7 +205,26 @@ const (
 	StateCommitted SessionState = iota + 1
 	StateAborted
 	StateReleased
+	// StatePrepared marks a split-phase setup whose holds are placed but
+	// whose decision is not yet durably recorded (see PrepareOnPath).
+	StatePrepared
 )
+
+// String names the state for logs and API payloads.
+func (s SessionState) String() string {
+	switch s {
+	case StateCommitted:
+		return "committed"
+	case StateAborted:
+		return "aborted"
+	case StateReleased:
+		return "released"
+	case StatePrepared:
+		return "prepared"
+	default:
+		return fmt.Sprintf("SessionState(%d)", uint8(s))
+	}
+}
 
 // Session is an end-to-end QoS session set up through the control plane.
 type Session struct {
@@ -187,6 +265,9 @@ func newAgent(b int32) *agent {
 type hold struct {
 	hop [2]int32
 	bw  float64
+	// expires is the virtual clock tick after which the hold's lease has
+	// lapsed (0 = no lease).
+	expires int
 }
 
 // RetryConfig tunes the coordinator's delivery machinery. The zero value
@@ -210,6 +291,13 @@ type RetryConfig struct {
 	// virtual clock ticks it stays open (default 64).
 	BreakerThreshold int
 	BreakerCooldown  int
+	// LeaseTTL, when > 0, leases every PREPARE hold for that many virtual
+	// clock ticks: a hold whose lease lapses with no decision recorded is
+	// presumed-aborted by the next tick's sweep, so a setup abandoned by a
+	// crashed coordinator self-cleans without teardown traffic. Set it well
+	// above MaxAttempts (each retry round is one tick) or in-flight setups
+	// expire themselves. 0 disables leasing.
+	LeaseTTL int
 }
 
 func (rc RetryConfig) withDefaults() RetryConfig {
@@ -653,11 +741,66 @@ func (p *Plane) SetupOnPath(ctx context.Context, nodes []int32, bw float64) (*Se
 	return s, nil
 }
 
-// tick advances virtual time by one operation and lazily re-drives the
-// backlog of undelivered decisions.
+// tick advances virtual time by one operation, sweeps lapsed leases, and
+// lazily re-drives the backlog of undelivered decisions.
 func (p *Plane) tick() {
 	p.clock++
+	if p.retry.LeaseTTL > 0 {
+		p.ExpireLeases()
+	}
 	p.flushBacklog()
+}
+
+// Tick advances virtual time one step without running an operation: lapsed
+// leases are swept and the backlog re-driven. The federation fabric calls it
+// on every member plane each fabric tick so lease expiry keeps pace even in
+// regions with no local traffic (a crashed home coordinator must not freeze
+// a transit region's clock).
+func (p *Plane) Tick() { p.tick() }
+
+// ExpireLeases sweeps every live agent for prepared-but-undecided hold sets
+// whose leases have all lapsed and presumed-aborts them locally — the
+// self-cleaning path for setups abandoned mid-stitch by a crashed remote
+// coordinator, with no teardown traffic. The presumed-abort decision is
+// recorded durably before any hold is credited back, so a late
+// CommitPrepared for the same attempt refuses instead of committing over a
+// swept hold. Hold sets whose decision is already COMMIT are never swept
+// (the backlogged COMMIT will land); unleased holds (lease 0) never expire.
+// Returns the number of hold sets swept.
+func (p *Plane) ExpireLeases() int {
+	n := 0
+	for _, b := range p.Brokers() {
+		if p.crashed[b] {
+			continue
+		}
+		a := p.agents[b]
+		for _, key := range inDoubt(a.holds) {
+			if dec, decided := p.decided[key]; decided && dec {
+				continue
+			}
+			lapsed := len(a.holds[key]) > 0
+			for _, h := range a.holds[key] {
+				if h.expires == 0 || h.expires > p.clock {
+					lapsed = false
+					break
+				}
+			}
+			if !lapsed {
+				continue
+			}
+			p.decided[key] = false
+			p.walOf(b).append(walRecord{Op: walAbort, Session: key})
+			for _, h := range a.holds[key] {
+				a.avail[h.hop] += h.bw
+			}
+			delete(a.holds, key)
+			a.done[key] = walAbort
+			p.stats.LeaseExpiries++
+			p.flight.Recordf("ctrlplane", "lease_expire", int64(p.clock), "session %d.%d swept at broker %d", key.ID, key.Epoch, b)
+			n++
+		}
+	}
+	return n
 }
 
 // establish runs the two-phase commit for session s over the node sequence
@@ -667,8 +810,24 @@ func (p *Plane) tick() {
 func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error {
 	ctx, span := obs.StartSpan(ctx, "ctrlplane.establish")
 	defer span.End()
-	s.Epoch++
+	err := p.preparePhase(ctx, s, nodes)
 	span.Annotatef("session", "%d.%d", s.ID, s.Epoch)
+	if err != nil {
+		return err
+	}
+	p.commitPoint(ctx, s)
+	return nil
+}
+
+// preparePhase runs phase 1 of the 2PC: it opens a fresh epoch, resolves
+// hop owners, fast-fails through open breakers, and PREPAREs every hop.
+// On success the session is StatePrepared with every hop held (leased when
+// RetryConfig.LeaseTTL is set); on any failure the attempt is durably
+// abort-decided, every hold released or abort-fenced, and the session left
+// StateAborted. It runs on the caller's span (the broadcast nesting is part
+// of the trace contract).
+func (p *Plane) preparePhase(ctx context.Context, s *Session, nodes []int32) error {
+	s.Epoch++
 	s.Path = nodes
 	s.owners = s.owners[:0]
 	for i := 0; i+1 < len(nodes); i++ {
@@ -703,6 +862,7 @@ func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error 
 			From: Coordinator, To: owner, Type: MsgPrepare,
 			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
 			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: s.Bandwidth,
+			Lease: uint32(p.retry.LeaseTTL),
 		})
 	}
 	out := p.broadcast(ctx, msgs)
@@ -723,11 +883,16 @@ func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error 
 		}
 		return fmt.Errorf("ctrlplane: setup %d aborted: %d owner(s) unresponsive", s.ID, len(out.pending))
 	}
+	s.State = StatePrepared
+	return nil
+}
 
-	// Phase 2: decision is COMMIT. The commit point is durably recorded
-	// first; from here the session is committed regardless of which agents
-	// are reachable — undelivered COMMITs go to the backlog and crashed
-	// owners resolve via their WAL.
+// commitPoint durably records the COMMIT decision for a prepared session
+// and drives phase 2: from the moment the decision is recorded the session
+// is committed regardless of which agents are reachable — undelivered
+// COMMITs go to the backlog and crashed owners resolve via their WAL.
+func (p *Plane) commitPoint(ctx context.Context, s *Session) {
+	key := sessKey{s.ID, s.Epoch}
 	p.decided[key] = true
 	p.flight.Recordf("ctrlplane", "decide", int64(p.clock), "session %d.%d COMMIT", key.ID, key.Epoch)
 	owners := uniqueOwners(s.owners)
@@ -751,7 +916,113 @@ func (p *Plane) establish(ctx context.Context, s *Session, nodes []int32) error 
 	p.version++
 	p.stats.Commits++
 	s.State = StateCommitted
+}
+
+// Prepared is a split-phase setup: phase 1 succeeded (every hop held at its
+// owner, session StatePrepared) but no decision is recorded yet. It is the
+// sub-transaction primitive of the federation's two-level commit — a transit
+// region prepares its segment, and the home region's coordinator later
+// drives CommitPrepared or AbortPrepared.
+type Prepared struct {
+	// S is the underlying session; callers must not mutate it.
+	S *Session
+}
+
+// PrepareOnPath runs only phase 1 of the 2PC over an externally computed
+// path: every hop's capacity is held at its owner but no decision is
+// recorded. The caller must follow with CommitPrepared or AbortPrepared;
+// when RetryConfig.LeaseTTL is set an abandoned Prepared self-cleans by
+// lease expiry. Same path and serialization rules as SetupOnPath.
+func (p *Plane) PrepareOnPath(ctx context.Context, nodes []int32, bw float64) (*Prepared, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if bw <= 0 {
+		return nil, fmt.Errorf("ctrlplane: bandwidth must be > 0, got %f", bw)
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("ctrlplane: path needs >= 2 nodes, got %d", len(nodes))
+	}
+	ctx, span := obs.StartSpan(ctx, "ctrlplane.prepare_on_path")
+	defer span.End()
+	span.Annotatef("route", "%d->%d", nodes[0], nodes[len(nodes)-1])
+	p.tick()
+	p.nextID++
+	s := &Session{ID: p.nextID, Bandwidth: bw}
+	if err := p.preparePhase(ctx, s, append([]int32(nil), nodes...)); err != nil {
+		span.Annotate("outcome", "aborted")
+		return nil, err
+	}
+	span.Annotate("outcome", "prepared")
+	return &Prepared{S: s}, nil
+}
+
+// CommitPrepared drives a prepared setup to its commit point. When the
+// prepare's lease already lapsed and the tick sweep presumed-aborted it,
+// the commit is refused, the session is left StateAborted, and an error is
+// returned — the caller must treat the attempt as failed (the federation
+// layer answers a refused sub-commit with X-COMMIT-NACK so the home region
+// rolls the stitched session back).
+func (p *Plane) CommitPrepared(ctx context.Context, pr *Prepared) (*Session, error) {
+	if pr == nil || pr.S == nil || pr.S.State != StatePrepared {
+		return nil, fmt.Errorf("ctrlplane: commit of non-prepared session")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.tick()
+	s := pr.S
+	key := sessKey{s.ID, s.Epoch}
+	if dec, ok := p.decided[key]; ok && !dec {
+		s.State = StateAborted
+		return nil, fmt.Errorf("ctrlplane: session %d.%d lease expired before commit — presumed aborted", s.ID, s.Epoch)
+	}
+	p.commitPoint(ctx, s)
+	return s, nil
+}
+
+// AbortPrepared durably abort-decides a prepared setup and releases every
+// hold. Aborting an attempt the lease sweep already presumed-aborted is a
+// harmless no-op at the agents (abort fencing re-acks).
+func (p *Plane) AbortPrepared(ctx context.Context, pr *Prepared) error {
+	if pr == nil || pr.S == nil || pr.S.State != StatePrepared {
+		return fmt.Errorf("ctrlplane: abort of non-prepared session")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.tick()
+	s := pr.S
+	key := sessKey{s.ID, s.Epoch}
+	p.decided[key] = false
+	p.flight.Recordf("ctrlplane", "decide", int64(p.clock), "session %d.%d ABORT (prepared handle)", key.ID, key.Epoch)
+	p.abortAll(ctx, s)
+	p.stats.Aborts++
+	s.State = StateAborted
 	return nil
+}
+
+// ResumePrepared reconstructs a Prepared handle for a split-phase setup
+// known only from a durable record (id, epoch, path, bandwidth) after the
+// caller lost its volatile handle — a federation sub-coordinator recovering
+// from a region crash. The plane's own agent and WAL state is untouched;
+// the handle re-derives hop ownership so CommitPrepared or AbortPrepared
+// can finish the attempt. A hop that lost its broker owner since the
+// prepare fails the resume (the caller falls back to presumed abort).
+func (p *Plane) ResumePrepared(id int, epoch uint32, nodes []int32, bw float64) (*Prepared, error) {
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("ctrlplane: path needs >= 2 nodes, got %d", len(nodes))
+	}
+	s := &Session{ID: id, Epoch: epoch, Bandwidth: bw, State: StatePrepared,
+		Path: append([]int32(nil), nodes...)}
+	for i := 0; i+1 < len(s.Path); i++ {
+		owner, ok := p.ownerOf(s.Path[i], s.Path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("ctrlplane: hop (%d,%d) has no broker owner — cannot resume", s.Path[i], s.Path[i+1])
+		}
+		s.owners = append(s.owners, owner)
+	}
+	return &Prepared{S: s}, nil
 }
 
 // abortAll delivers the abort decision to every owner of s's current
@@ -1172,10 +1443,14 @@ func (p *Plane) deliver(a *agent, m Message) {
 			return
 		}
 		if a.avail[m.Hop] >= m.Bandwidth {
-			w.append(walRecord{Op: walHold, MsgID: m.MsgID, Session: key, Hop: m.Hop, BW: m.Bandwidth})
+			exp := 0
+			if m.Lease > 0 {
+				exp = p.clock + int(m.Lease)
+			}
+			w.append(walRecord{Op: walHold, MsgID: m.MsgID, Session: key, Hop: m.Hop, BW: m.Bandwidth, Expires: exp})
 			a.markSeen(m.MsgID)
 			a.avail[m.Hop] -= m.Bandwidth // place hold
-			a.holds[key] = append(a.holds[key], hold{hop: m.Hop, bw: m.Bandwidth})
+			a.holds[key] = append(a.holds[key], hold{hop: m.Hop, bw: m.Bandwidth, expires: exp})
 			p.reply(a, m, MsgPrepareAck)
 		} else {
 			// Nacks are not dedup-remembered: a retransmit re-evaluates

@@ -59,9 +59,31 @@ func (p *Plane) CheckInvariants(committed []*Session) error {
 	for _, b := range p.Brokers() {
 		a := p.agents[b]
 		if n := len(a.holds); n > 0 {
+			// Distinguish true leaks from leased-but-expired capacity still
+			// awaiting its sweep: the latter is not lost, just one Tick away
+			// from being credited back.
 			keys := inDoubt(a.holds)
-			return fmt.Errorf("ctrlplane: broker %d leaked %d unfinalized hold set(s), first: session %d epoch %d",
-				b, n, keys[0].ID, keys[0].Epoch)
+			expired, expiredBW := 0, 0.0
+			for _, key := range keys {
+				lapsed := true
+				for _, h := range a.holds[key] {
+					if h.expires == 0 || h.expires > p.clock {
+						lapsed = false
+					}
+				}
+				if lapsed {
+					expired++
+					for _, h := range a.holds[key] {
+						expiredBW += h.bw
+					}
+				}
+			}
+			if expired == n {
+				return fmt.Errorf("ctrlplane: broker %d holds %d leased-but-expired set(s) (%.3f Gbps) awaiting lease sweep — run Tick",
+					b, n, expiredBW)
+			}
+			return fmt.Errorf("ctrlplane: broker %d leaked %d unfinalized hold set(s) (%d expired-lease), first: session %d epoch %d",
+				b, n, expired, keys[0].ID, keys[0].Epoch)
 		}
 		hops := make([][2]int32, 0, len(a.avail))
 		for hop := range a.avail {

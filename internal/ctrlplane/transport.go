@@ -229,7 +229,7 @@ func (t *FaultTransport) Advance() {
 }
 
 // msgWireSize is the fixed encoded size of a Message.
-const msgWireSize = 4 + 4 + 1 + 8 + 4 + 8 + 8 + 4 + 4 + 8
+const msgWireSize = 4 + 4 + 1 + 8 + 4 + 8 + 8 + 4 + 4 + 8 + 4
 
 // Encode appends the fixed-size little-endian wire form of m to dst.
 func (m Message) Encode(dst []byte) []byte {
@@ -244,6 +244,7 @@ func (m Message) Encode(dst []byte) []byte {
 	binary.LittleEndian.PutUint32(b[37:], uint32(m.Hop[0]))
 	binary.LittleEndian.PutUint32(b[41:], uint32(m.Hop[1]))
 	binary.LittleEndian.PutUint64(b[45:], math.Float64bits(m.Bandwidth))
+	binary.LittleEndian.PutUint32(b[53:], m.Lease)
 	return append(dst, b[:]...)
 }
 
@@ -267,8 +268,9 @@ func DecodeMessage(b []byte) (Message, error) {
 			int32(binary.LittleEndian.Uint32(b[41:])),
 		},
 		Bandwidth: math.Float64frombits(binary.LittleEndian.Uint64(b[45:])),
+		Lease:     binary.LittleEndian.Uint32(b[53:]),
 	}
-	if m.Type < MsgPrepare || m.Type > MsgReleaseAck {
+	if m.Type < MsgPrepare || m.Type > MsgGossip {
 		return Message{}, fmt.Errorf("ctrlplane: unknown message type %d", uint8(m.Type))
 	}
 	if math.IsNaN(m.Bandwidth) || math.IsInf(m.Bandwidth, 0) {

@@ -44,6 +44,9 @@ type walRecord struct {
 	Session sessKey
 	Hop     [2]int32
 	BW      float64
+	// Expires is the hold's lease deadline in virtual clock ticks
+	// (Op == walHold only; 0 = unleased).
+	Expires int
 
 	// Snapshot payload (Op == walSnapshot only).
 	SnapAvail map[[2]int32]float64
@@ -119,7 +122,7 @@ func (w *wal) replay() (avail map[[2]int32]float64, holds map[sessKey][]hold, do
 			}
 		case walHold:
 			avail[r.Hop] -= r.BW
-			holds[r.Session] = append(holds[r.Session], hold{hop: r.Hop, bw: r.BW})
+			holds[r.Session] = append(holds[r.Session], hold{hop: r.Hop, bw: r.BW, expires: r.Expires})
 		case walCommit:
 			// Holds become durable allocations: availability stays
 			// deducted, the hold records are retired.

@@ -48,6 +48,12 @@ type SnapshotData struct {
 	BrokerDown map[int32]bool
 	// View is the frozen routing metrics (latency/capacity/reservations).
 	View *routing.View
+	// Region scopes the snapshot to one federation region (-1 or 0 with a
+	// nil Orig means the global, unpartitioned plane).
+	Region int
+	// Orig maps the snapshot topology's local node ids back to global ids
+	// when Top is a region subtopology; nil means identity (global plane).
+	Orig []int32
 }
 
 // Snapshot is one immutable, internally consistent observation of the
@@ -67,6 +73,8 @@ type Snapshot struct {
 	linkDown   map[uint64]bool
 	brokerDown map[int32]bool
 	view       *routing.View
+	region     int
+	orig       []int32
 
 	connOnce sync.Once
 	conn     float64
@@ -88,7 +96,26 @@ func NewSnapshot(d SnapshotData) *Snapshot {
 		linkDown:   d.LinkDown,
 		brokerDown: d.BrokerDown,
 		view:       d.View,
+		region:     d.Region,
+		orig:       d.Orig,
 	}
+}
+
+// Region returns the federation region this snapshot is scoped to (meaningful
+// only when Origin is non-nil; the global plane reports its zero value).
+func (s *Snapshot) Region() int { return s.region }
+
+// Origin returns the local→global node id mapping for a region-scoped
+// snapshot, or nil for the global plane. Callers must not mutate it.
+func (s *Snapshot) Origin() []int32 { return s.orig }
+
+// GlobalID translates a snapshot-local node id to the global topology's id
+// (identity for global snapshots).
+func (s *Snapshot) GlobalID(local int32) int32 {
+	if s.orig == nil {
+		return local
+	}
+	return s.orig[local]
 }
 
 // ID returns the snapshot's epoch number (monotonic across publishes).

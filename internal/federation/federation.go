@@ -1,0 +1,464 @@
+// Package federation turns the single-process broker plane into a
+// multi-region one, the model of "Stitching Inter-Domain Paths over IXPs":
+// the topology is partitioned into regions anchored at high-degree IXPs,
+// each region runs its own broker coalition (epoch-snapshot publisher,
+// query plane, 2PC control plane) over its subtopology, and regions share
+// only their border IXPs. Cross-region paths are answered by stitching
+// per-region B-dominated segments at those shared border brokers, and
+// cross-region sessions are set up with a two-level commit: the home
+// region's coordinator drives each transit region's sub-coordinator through
+// X-PREPARE / X-COMMIT / X-ABORT RPCs over the same fault-injecting
+// transport the intra-region protocol uses, presumed abort end to end.
+//
+// The Fabric is the in-process federation harness: it owns every region,
+// the peer message bus, the per-peer-region circuit breakers, and the
+// durable sub-transaction records each region's sub-coordinator would keep
+// on disk. Like ctrlplane.Plane it is not safe for concurrent use — callers
+// serialize operations externally (brokerd guards it with one RWMutex).
+package federation
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/obs"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+)
+
+// Config parameterizes a Fabric.
+type Config struct {
+	// Regions is the region count (anchored at the Regions highest-degree
+	// IXPs). Required, >= 1.
+	Regions int
+	// BrokerBudget bounds each region's broker set (MaxSG greedy budget);
+	// 0 runs MaxSG to completion. Border IXPs are always forced into the
+	// sets of every region they touch — they are the stitch points.
+	BrokerBudget int
+	// CrossingCostMs is the latency charged for handing a path over at a
+	// border IXP (switch-fabric crossing between the two regions' ports).
+	// Default 2 ms.
+	CrossingCostMs float64
+	// MaxBorderCandidates bounds the border IXPs tried per region crossing
+	// during stitching (highest-degree first). Default 3.
+	MaxBorderCandidates int
+	// Seed fixes the fabric's deterministic randomness.
+	Seed int64
+	// Metrics, when non-nil, is the global per-link metric assignment every
+	// region mirrors onto its subtopology; nil synthesizes
+	// routing.DefaultMetrics(top, seeded rng). Calibrated tests inject
+	// handcrafted latencies here.
+	Metrics *routing.Metrics
+	// Retry tunes every region plane's 2PC delivery machinery and the
+	// fabric's own cross-region RPC retries. Set Retry.LeaseTTL so
+	// sub-transactions abandoned by a crashed home region self-clean.
+	Retry ctrlplane.RetryConfig
+	// PeerFaults, when non-nil, subjects the inter-region bus to seeded
+	// loss/duplication/delay/reorder/partitions; nil uses a lossless FIFO.
+	PeerFaults *ctrlplane.FaultConfig
+}
+
+// fedKey identifies one establish attempt of a federated session (Heal
+// re-stitches under a new epoch, fencing stragglers exactly like the
+// intra-region protocol).
+type fedKey struct {
+	ID    int
+	Epoch uint32
+}
+
+// subState is the durable lifecycle of one region's sub-transaction.
+type subState uint8
+
+const (
+	subPrepared subState = iota + 1
+	subCommitted
+	subAborted
+	subReleased
+)
+
+// subRecord is a region sub-coordinator's durable record of one
+// sub-transaction: enough to resume (commit, abort, or release) the
+// region-local session after the sub-coordinator's volatile state is lost
+// to a crash.
+type subRecord struct {
+	State      subState
+	LocalID    int     // region-local ctrlplane session id
+	LocalEpoch uint32  // region-local session epoch
+	Path       []int32 // region-local node ids
+	BW         float64
+}
+
+// volRegion is a region sub-coordinator's volatile state, wiped by
+// CrashRegion: live session handles and the gossip-fed view of peers.
+type volRegion struct {
+	prepared  map[fedKey]*ctrlplane.Prepared
+	committed map[fedKey]*ctrlplane.Session
+	peers     map[int]*regionDigest
+}
+
+func newVolRegion() *volRegion {
+	return &volRegion{
+		prepared:  make(map[fedKey]*ctrlplane.Prepared),
+		committed: make(map[fedKey]*ctrlplane.Session),
+		peers:     make(map[int]*regionDigest),
+	}
+}
+
+// Stats counts federation activity.
+type Stats struct {
+	Setups    int `json:"setups"`
+	Commits   int `json:"commits"`
+	Aborts    int `json:"aborts"`
+	Teardowns int `json:"teardowns"`
+	// PeerMessages counts messages placed on the inter-region bus;
+	// PeerRetries counts re-sends (including backlog re-drives).
+	PeerMessages int `json:"peer_messages"`
+	PeerRetries  int `json:"peer_retries"`
+	// CommitNacks counts transit regions refusing a late X-COMMIT (lease
+	// expired); each one rolls the whole stitched session back.
+	CommitNacks int `json:"commit_nacks"`
+	// Rollbacks counts committed stitched sessions conserved-aborted after
+	// a commit refusal.
+	Rollbacks int `json:"rollbacks"`
+	// Breaker activity per peer region.
+	BreakerTrips     int `json:"breaker_trips"`
+	BreakerFastFails int `json:"breaker_fast_fails"`
+	// Gossip volume.
+	GossipSent    int `json:"gossip_sent"`
+	GossipApplied int `json:"gossip_applied"`
+	// Healer activity.
+	Restitched  int `json:"restitched"`
+	HealAborted int `json:"heal_aborted"`
+	// Region failure injections.
+	RegionCrashes    int `json:"region_crashes"`
+	RegionRecoveries int `json:"region_recoveries"`
+	// Backlogged is the current count of decided-but-undelivered
+	// cross-region messages.
+	Backlogged int `json:"backlogged"`
+}
+
+// Fabric is the in-process multi-region broker plane.
+type Fabric struct {
+	cfg     Config
+	top     *topology.Topology
+	part    *topology.RegionPartition
+	regions []*Region
+
+	peer   ctrlplane.Transport
+	peerFT *ctrlplane.FaultTransport
+	rng    *rand.Rand
+	clock  int
+
+	maxAttempts int
+	breakers    []*fedBreaker
+	crashed     []bool
+
+	// Durable per-fabric state (survives region crashes): the home
+	// coordinators' decision record, each region's sub-transaction WAL,
+	// and the backlog of decided-but-undelivered peer messages.
+	decided map[fedKey]bool
+	subWAL  []map[fedKey]*subRecord
+	backlog map[uint64]ctrlplane.Message
+
+	// Volatile per-region state.
+	vol []*volRegion
+
+	sessions map[int]*Session
+	stats    Stats
+	nextID   int
+	nextMsg  uint64
+	flight   *obs.FlightRecorder
+}
+
+// fedBreaker is one peer region's circuit-breaker state.
+type fedBreaker struct {
+	fails     int
+	openUntil int
+}
+
+// New partitions the topology into cfg.Regions regions and boots one
+// broker coalition per region.
+func New(top *topology.Topology, cfg Config) (*Fabric, error) {
+	if cfg.Regions < 1 {
+		return nil, fmt.Errorf("federation: Regions must be >= 1, got %d", cfg.Regions)
+	}
+	if cfg.CrossingCostMs <= 0 {
+		cfg.CrossingCostMs = 2.0
+	}
+	if cfg.MaxBorderCandidates <= 0 {
+		cfg.MaxBorderCandidates = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	part, err := topology.PartitionRegions(top, cfg.Regions)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		cfg:         cfg,
+		top:         top,
+		part:        part,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		maxAttempts: cfg.Retry.MaxAttempts,
+		decided:     make(map[fedKey]bool),
+		backlog:     make(map[uint64]ctrlplane.Message),
+		sessions:    make(map[int]*Session),
+	}
+	if f.maxAttempts <= 0 {
+		f.maxAttempts = 6
+	}
+	if cfg.PeerFaults != nil {
+		f.peerFT = ctrlplane.NewFaultTransport(*cfg.PeerFaults)
+		f.peer = f.peerFT
+	} else {
+		f.peer = ctrlplane.NewReliableTransport()
+	}
+	global := cfg.Metrics
+	if global == nil {
+		global = routing.DefaultMetrics(top, rand.New(rand.NewSource(cfg.Seed)))
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		reg, err := buildRegion(top, part, r, global, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("federation: region %d: %w", r, err)
+		}
+		f.regions = append(f.regions, reg)
+		f.breakers = append(f.breakers, &fedBreaker{})
+		f.subWAL = append(f.subWAL, make(map[fedKey]*subRecord))
+		f.vol = append(f.vol, newVolRegion())
+	}
+	f.crashed = make([]bool, cfg.Regions)
+	return f, nil
+}
+
+// NumRegions returns the region count.
+func (f *Fabric) NumRegions() int { return len(f.regions) }
+
+// Region returns region r's coalition.
+func (f *Fabric) Region(r int) *Region { return f.regions[r] }
+
+// Partition returns the underlying region partition.
+func (f *Fabric) Partition() *topology.RegionPartition { return f.part }
+
+// PeerTransport returns the fault transport of the inter-region bus (nil
+// when the fabric runs on the lossless default). Chaos harnesses use it to
+// partition peer regions and observe deliveries.
+func (f *Fabric) PeerTransport() *ctrlplane.FaultTransport { return f.peerFT }
+
+// Stats returns a copy of the federation counters.
+func (f *Fabric) Stats() Stats {
+	st := f.stats
+	st.Backlogged = len(f.backlog)
+	return st
+}
+
+// RegionCrashed reports whether region r's sub-coordinator is down.
+func (f *Fabric) RegionCrashed(r int) bool { return f.crashed[r] }
+
+// CrashRegion fails region r's whole stack: the sub-coordinator's volatile
+// state (live session handles, gossip view) is lost, and while crashed the
+// region neither receives peer messages nor ticks its plane clock. The
+// durable side — the sub-transaction WAL and the region plane's agent WALs
+// — survives for RecoverRegion.
+func (f *Fabric) CrashRegion(r int) {
+	if f.crashed[r] {
+		return
+	}
+	f.flight.Recordf("federation", "region_crash", int64(f.clock), "region %d", r)
+	f.crashed[r] = true
+	f.vol[r] = newVolRegion()
+	f.stats.RegionCrashes++
+}
+
+// RecoverRegion restarts a crashed region. Live handles stay lost: in-doubt
+// sub-transactions are resumed on demand from the durable sub-WAL when the
+// home region re-drives its decision (see the X-COMMIT handler), exactly
+// the presumed-abort recovery shape of the intra-region protocol.
+func (f *Fabric) RecoverRegion(r int) {
+	if !f.crashed[r] {
+		return
+	}
+	f.crashed[r] = false
+	f.stats.RegionRecoveries++
+	f.flight.Recordf("federation", "region_recover", int64(f.clock), "region %d: %d sub-txn records", r, len(f.subWAL[r]))
+}
+
+// tick advances fabric time: live region planes tick (sweeping lapsed
+// leases), and the peer backlog is re-driven. A crashed region's clock
+// stays frozen — its leases age only while the region is actually up.
+func (f *Fabric) tick() {
+	f.clock++
+	for r, reg := range f.regions {
+		if !f.crashed[r] {
+			reg.Plane.Tick()
+		}
+	}
+	f.flushBacklog()
+}
+
+// Tick advances fabric time one step without an operation (loadgen's
+// session driver and tests pace the fabric with it).
+func (f *Fabric) Tick() { f.tick() }
+
+// Clock returns the fabric's virtual time.
+func (f *Fabric) Clock() int { return f.clock }
+
+func (f *Fabric) msgID() uint64 {
+	f.nextMsg++
+	return f.nextMsg
+}
+
+// sendPeer pushes a message onto the inter-region bus.
+func (f *Fabric) sendPeer(m ctrlplane.Message) {
+	f.stats.PeerMessages++
+	f.flight.Recordf("federation", "send", int64(f.clock), "%s region %d->%d session %d.%d msg %d",
+		m.Type, mustRegion(m.From), mustRegion(m.To), m.SessionID, m.Epoch, m.MsgID)
+	f.peer.Send(m)
+}
+
+func mustRegion(addr int32) int {
+	r, _ := ctrlplane.PeerRegion(addr)
+	return r
+}
+
+// enqueueBacklog records decided-but-undelivered peer messages for lazy
+// redelivery.
+func (f *Fabric) enqueueBacklog(pending map[uint64]ctrlplane.Message) {
+	for id, m := range pending {
+		f.flight.Recordf("federation", "backlog", int64(f.clock), "%s to region %d session %d.%d msg %d",
+			m.Type, mustRegion(m.To), m.SessionID, m.Epoch, id)
+		f.backlog[id] = m
+	}
+}
+
+// flushBacklog re-sends every backlogged peer message whose target region
+// is up and pumps the replies.
+func (f *Fabric) flushBacklog() {
+	if len(f.backlog) == 0 {
+		return
+	}
+	ids := make([]uint64, 0, len(f.backlog))
+	for id := range f.backlog {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := f.backlog[id]
+		if r := mustRegion(m.To); f.crashed[r] {
+			continue // redelivered after RecoverRegion
+		}
+		f.stats.PeerRetries++
+		f.sendPeer(m)
+	}
+	f.pumpPeers(nil)
+	f.peer.Advance()
+}
+
+// Reconcile drives the peer backlog (and every region plane's backlog) to
+// empty, the quiescent state CheckInvariants expects. All regions must be
+// recovered first.
+func (f *Fabric) Reconcile(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for r := range f.regions {
+		if f.crashed[r] {
+			return fmt.Errorf("federation: reconcile requires every region up: region %d crashed", r)
+		}
+	}
+	for attempt := 0; len(f.backlog) > 0; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt >= 4*f.maxAttempts {
+			return fmt.Errorf("federation: %d peer backlog message(s) undeliverable after %d rounds", len(f.backlog), attempt)
+		}
+		f.tick()
+	}
+	for r, reg := range f.regions {
+		if err := reg.Plane.Reconcile(ctx); err != nil {
+			return fmt.Errorf("federation: region %d: %w", r, err)
+		}
+		reg.maybePublish(ctx)
+	}
+	return nil
+}
+
+// CheckInvariants verifies every region's conservation laws at quiescence:
+// each region's committed sub-transactions are reconstructed from its
+// durable sub-WAL and handed to the region plane's own checker, so a
+// stitched session must be exactly accounted in every region it crosses —
+// fully committed everywhere or conserved-aborted everywhere.
+func (f *Fabric) CheckInvariants() error {
+	for r := range f.regions {
+		if f.crashed[r] {
+			return fmt.Errorf("federation: invariant check requires every region up: region %d crashed", r)
+		}
+	}
+	if len(f.backlog) > 0 {
+		return fmt.Errorf("federation: invariant check requires quiescence: %d peer backlog message(s) (run Reconcile)", len(f.backlog))
+	}
+	for r, reg := range f.regions {
+		var committed []*ctrlplane.Session
+		for _, fk := range sortedFedKeys(f.subWAL[r]) {
+			rec := f.subWAL[r][fk]
+			if rec.State != subCommitted {
+				continue
+			}
+			committed = append(committed, &ctrlplane.Session{
+				ID: rec.LocalID, Epoch: rec.LocalEpoch, Path: rec.Path,
+				Bandwidth: rec.BW, State: ctrlplane.StateCommitted,
+			})
+		}
+		if err := reg.Plane.CheckInvariants(committed); err != nil {
+			return fmt.Errorf("federation: region %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+func sortedFedKeys(m map[fedKey]*subRecord) []fedKey {
+	keys := make([]fedKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ID != keys[j].ID {
+			return keys[i].ID < keys[j].ID
+		}
+		return keys[i].Epoch < keys[j].Epoch
+	})
+	return keys
+}
+
+// breakerOpen reports whether peer region q's circuit is open.
+func (f *Fabric) breakerOpen(q int) bool {
+	br := f.breakers[q]
+	return f.clock < br.openUntil
+}
+
+// breakerFail records one timed-out cross-region RPC against q.
+func (f *Fabric) breakerFail(q int) {
+	br := f.breakers[q]
+	br.fails++
+	threshold := f.cfg.Retry.BreakerThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	cooldown := f.cfg.Retry.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 64
+	}
+	if br.fails >= threshold && f.clock >= br.openUntil {
+		br.openUntil = f.clock + cooldown
+		f.stats.BreakerTrips++
+		f.flight.Recordf("federation", "breaker_trip", int64(f.clock), "peer region %d open until tick %d", q, br.openUntil)
+	}
+}
+
+// breakerOK resets q's failure streak after a successful round-trip.
+func (f *Fabric) breakerOK(q int) { f.breakers[q].fails = 0 }

@@ -1,0 +1,89 @@
+package federation
+
+import (
+	"brokerset/internal/ctrlplane"
+)
+
+// regionDigest is what one region knows about a peer region via gossip:
+// the peer's snapshot epoch, its saturated connectivity, which of its
+// border brokers are down, and when the last digest arrived.
+type regionDigest struct {
+	Epoch      uint32
+	Conn       float64
+	borderDown map[int32]bool
+	LastSeen   int
+}
+
+// GossipTick floods one round of region digests: every live region tells
+// every adjacent live region, per shared border broker, whether that broker
+// is up on its side, stamped with its snapshot epoch. Fire and forget — no
+// acks, no retries; loss is repaired by the next round, and stale digests
+// are fenced by the epoch stamp.
+func (f *Fabric) GossipTick() {
+	for r, reg := range f.regions {
+		if f.crashed[r] {
+			continue
+		}
+		ep := uint32(reg.Pub.Epoch())
+		conn := reg.Pub.Current().Connectivity()
+		for q := range f.regions {
+			if q == r || f.crashed[q] || !f.part.Adjacent(r, q) {
+				continue
+			}
+			for _, l := range reg.borderLocal {
+				up := int32(1)
+				if reg.Plane.Crashed(l) {
+					up = 0
+				}
+				f.stats.GossipSent++
+				f.sendPeer(ctrlplane.Message{
+					From: ctrlplane.PeerAddr(r), To: ctrlplane.PeerAddr(q),
+					Type: ctrlplane.MsgGossip, SessionID: r, Epoch: ep,
+					MsgID: f.msgID(), Hop: [2]int32{reg.Global(l), up},
+					Bandwidth: conn,
+				})
+			}
+		}
+	}
+	f.peer.Advance()
+	f.pumpPeers(nil)
+}
+
+// handleGossip folds one digest fragment into region q's view of the
+// source region, keeping only fragments at least as fresh as what it has.
+func (f *Fabric) handleGossip(q int, m ctrlplane.Message) {
+	src := m.SessionID
+	if src < 0 || src >= len(f.regions) || src == q {
+		return
+	}
+	d := f.vol[q].peers[src]
+	if d == nil {
+		d = &regionDigest{borderDown: make(map[int32]bool)}
+		f.vol[q].peers[src] = d
+	}
+	if m.Epoch < d.Epoch {
+		return // stale fragment from a reordered round
+	}
+	d.Epoch = m.Epoch
+	d.Conn = m.Bandwidth
+	d.LastSeen = f.clock
+	d.borderDown[m.Hop[0]] = m.Hop[1] == 0
+	f.stats.GossipApplied++
+}
+
+// PeerDigest returns region r's gossip-fed view of peer region q (nil when
+// no digest has arrived yet). Tests and /federation/stats introspection.
+func (f *Fabric) PeerDigest(r, q int) (epoch uint32, conn float64, lastSeen int, ok bool) {
+	d := f.vol[r].peers[q]
+	if d == nil {
+		return 0, 0, 0, false
+	}
+	return d.Epoch, d.Conn, d.LastSeen, true
+}
+
+// PeerBorderDown reports whether region r has heard (via gossip) that
+// border broker b is down in peer region q.
+func (f *Fabric) PeerBorderDown(r, q int, b int32) bool {
+	d := f.vol[r].peers[q]
+	return d != nil && d.borderDown[b]
+}

@@ -1,0 +1,134 @@
+package federation
+
+import (
+	"context"
+	"sort"
+
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/obs"
+	"brokerset/internal/routing"
+)
+
+// HealReport summarizes one healer pass.
+type HealReport struct {
+	// Checked counts committed sessions examined.
+	Checked int `json:"checked"`
+	// Restitched counts damaged sessions moved onto a fresh stitched path.
+	Restitched int `json:"restitched"`
+	// Aborted counts damaged sessions conserved-aborted because no stitched
+	// path (or capacity) survived.
+	Aborted int `json:"aborted"`
+}
+
+// Heal walks every committed federated session and re-stitches the ones
+// damaged by a border-broker crash or a peer-region failure:
+// break-before-make, the damaged segments are released everywhere they can
+// be (releases toward crashed regions ride the backlog), then the session
+// is re-established over a fresh stitched path under a bumped epoch.
+// Sessions whose home region is down are skipped — only their home
+// coordinator may decide for them.
+func (f *Fabric) Heal(ctx context.Context) HealReport {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, span := obs.StartSpan(ctx, "federation.heal")
+	defer span.End()
+	f.tick()
+	var rep HealReport
+	ids := make([]int, 0, len(f.sessions))
+	for id := range f.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := f.sessions[id]
+		if s.State != ctrlplane.StateCommitted {
+			continue
+		}
+		home := f.part.RegionOf(s.Src)
+		if f.crashed[home] {
+			continue
+		}
+		rep.Checked++
+		if !f.sessionDamaged(s) {
+			continue
+		}
+		f.flight.Recordf("federation", "heal", int64(f.clock), "session %d.%d damaged", s.ID, s.Epoch)
+		f.releaseSegments(ctx, s, home)
+		s.Epoch++
+		sp, err := f.StitchPath(ctx, s.Src, s.Dst, routing.Options{MinBandwidth: s.Bandwidth})
+		if err == nil {
+			err = f.establishStitched(ctx, s, sp)
+		}
+		if err != nil {
+			f.flight.Recordf("federation", "heal_abort", int64(f.clock), "session %d.%d: %v", s.ID, s.Epoch, err)
+			s.State = ctrlplane.StateAborted
+			delete(f.sessions, id)
+			rep.Aborted++
+			f.stats.HealAborted++
+			continue
+		}
+		rep.Restitched++
+		f.stats.Restitched++
+	}
+	span.Annotatef("healed", "%d checked, %d restitched, %d aborted", rep.Checked, rep.Restitched, rep.Aborted)
+	return rep
+}
+
+// sessionDamaged reports whether a committed stitched session can no longer
+// be served as established: a segment's region is down, a stitch-point
+// border broker is down on either side, or a region's own plane reports the
+// segment damaged (link failure, ownership moved, agent crashed).
+func (f *Fabric) sessionDamaged(s *Session) bool {
+	fk := fedKey{ID: s.ID, Epoch: s.Epoch}
+	for i, seg := range s.Stitched.Segments {
+		r := seg.Region
+		if f.crashed[r] {
+			return true
+		}
+		// The joint into the next region must be live on both sides.
+		if i+1 < len(s.Stitched.Segments) {
+			next := s.Stitched.Segments[i+1]
+			var joint int32
+			if len(next.Nodes) > 0 {
+				joint = next.Nodes[0]
+			} else if len(seg.Nodes) > 0 {
+				joint = seg.Nodes[len(seg.Nodes)-1]
+			}
+			if f.borderDown(r, joint) || f.borderDown(next.Region, joint) {
+				return true
+			}
+		}
+		if h := f.vol[r].committed[fk]; h != nil && f.regions[r].Plane.SessionDamaged(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseSegments releases every committed segment of s's current attempt:
+// the home segment directly, live remote segments synchronously, segments
+// in crashed regions via the backlog (delivered at recovery).
+func (f *Fabric) releaseSegments(ctx context.Context, s *Session, home int) {
+	fk := fedKey{ID: s.ID, Epoch: s.Epoch}
+	var msgs []ctrlplane.Message
+	for r := range f.regions {
+		rec := f.subWAL[r][fk]
+		if rec == nil || rec.State != subCommitted || r == home {
+			continue
+		}
+		m := ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(r),
+			Type: ctrlplane.MsgXRelease, SessionID: s.ID, Epoch: s.Epoch,
+			MsgID: f.msgID(),
+		}
+		if f.crashed[r] {
+			f.backlog[m.MsgID] = m
+			continue
+		}
+		msgs = append(msgs, m)
+	}
+	out := f.broadcastPeer(ctx, msgs)
+	f.enqueueBacklog(out.pending)
+	f.releaseHomeSub(ctx, home, fk)
+}

@@ -1,0 +1,633 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/obs"
+	"brokerset/internal/routing"
+)
+
+// Session is one federated (possibly cross-region) reservation: a stitched
+// path whose per-region segments are each an ordinary ctrlplane session in
+// the owning region, bound together by the two-level commit.
+type Session struct {
+	ID        int
+	Src, Dst  int32 // global node ids
+	Bandwidth float64
+	Stitched  *StitchedPath
+	State     ctrlplane.SessionState
+	// Epoch counts establish attempts: Setup is epoch 1, every Heal
+	// re-stitch bumps it. Cross-region messages are scoped by (ID, Epoch),
+	// fencing stragglers from superseded attempts.
+	Epoch uint32
+}
+
+// Setup reserves bandwidth on a stitched cross-region path end to end with
+// a two-level commit: the home region (src's region) prepares its own
+// segment directly and drives every transit region's sub-coordinator
+// through X-PREPARE, then — once every segment holds — commits everywhere.
+// Presumed abort end to end: any nack, timeout, or mid-commit refusal
+// leaves every region with nothing reserved.
+func (f *Fabric) Setup(ctx context.Context, src, dst int32, bw float64, opts routing.Options) (*Session, error) {
+	if bw <= 0 {
+		return nil, fmt.Errorf("federation: bandwidth must be positive, got %f", bw)
+	}
+	ctx, span := obs.StartSpan(ctx, "federation.setup")
+	defer span.End()
+	f.tick()
+	f.stats.Setups++
+	home := f.part.RegionOf(src)
+	if f.crashed[home] {
+		return nil, fmt.Errorf("federation: home region %d crashed", home)
+	}
+	if opts.MinBandwidth < bw {
+		opts.MinBandwidth = bw
+	}
+	sp, err := f.StitchPath(ctx, src, dst, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Fast-fail when a transit region's circuit is open: don't burn a
+	// prepare round against a peer that has been timing out.
+	for _, seg := range sp.Segments[1:] {
+		if f.breakerOpen(seg.Region) {
+			f.stats.BreakerFastFails++
+			f.stats.Aborts++
+			return nil, fmt.Errorf("federation: circuit open toward region %d", seg.Region)
+		}
+	}
+	f.nextID++
+	s := &Session{ID: f.nextID, Epoch: 1, Src: src, Dst: dst, Bandwidth: bw}
+	span.Annotatef("session", "%d.%d", s.ID, s.Epoch)
+	if err := f.establishStitched(ctx, s, sp); err != nil {
+		return nil, err
+	}
+	f.sessions[s.ID] = s
+	return s, nil
+}
+
+// localPath maps a global-id path into region-local ids; every node must be
+// inside the region subtopology.
+func localPath(reg *Region, nodes []int32) ([]int32, bool) {
+	out := make([]int32, len(nodes))
+	for i, g := range nodes {
+		l, ok := reg.Local(g)
+		if !ok {
+			return nil, false
+		}
+		out[i] = l
+	}
+	return out, true
+}
+
+// establishStitched runs the two-level commit for one (session, epoch)
+// attempt over an already stitched path. Shared by Setup and the healer
+// (which re-runs it under a bumped epoch).
+func (f *Fabric) establishStitched(ctx context.Context, s *Session, sp *StitchedPath) error {
+	s.Stitched = sp
+	fk := fedKey{ID: s.ID, Epoch: s.Epoch}
+	home := sp.Segments[0].Region
+	hreg := f.regions[home]
+
+	// Phase 1a: hold the home segment directly on the home plane.
+	var homePr *ctrlplane.Prepared
+	if seg := sp.Segments[0]; len(seg.Nodes) >= 2 {
+		local, ok := localPath(hreg, seg.Nodes)
+		if !ok {
+			f.stats.Aborts++
+			s.State = ctrlplane.StateAborted
+			return fmt.Errorf("federation: home segment leaves region %d", home)
+		}
+		pr, err := hreg.Plane.PrepareOnPath(ctx, local, s.Bandwidth)
+		if err != nil {
+			f.stats.Aborts++
+			s.State = ctrlplane.StateAborted
+			return fmt.Errorf("federation: home prepare: %w", err)
+		}
+		homePr = pr
+		f.subWAL[home][fk] = &subRecord{State: subPrepared, LocalID: pr.S.ID,
+			LocalEpoch: pr.S.Epoch, Path: local, BW: s.Bandwidth}
+		f.vol[home].prepared[fk] = pr
+	}
+
+	// Phase 1b: X-PREPARE every transit region's segment (the remote
+	// sub-coordinator recomputes the concrete path between the border
+	// endpoints against its own snapshot and holds it under our lease).
+	var msgs []ctrlplane.Message
+	var remotes []int
+	for _, seg := range sp.Segments[1:] {
+		if len(seg.Nodes) < 2 {
+			continue // zero-length handover, nothing to reserve
+		}
+		remotes = append(remotes, seg.Region)
+		msgs = append(msgs, ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(seg.Region),
+			Type: ctrlplane.MsgXPrepare, SessionID: s.ID, Epoch: s.Epoch,
+			MsgID: f.msgID(), Hop: [2]int32{seg.Nodes[0], seg.Nodes[len(seg.Nodes)-1]},
+			Bandwidth: s.Bandwidth, Lease: uint32(f.cfg.Retry.LeaseTTL),
+		})
+	}
+	out := f.broadcastPeer(ctx, msgs)
+	if f.crashed[home] {
+		// The home coordinator died mid-setup. No cleanup from here: the
+		// home's own holds resolve by WAL recovery, and every remote hold
+		// self-cleans when its lease lapses.
+		return fmt.Errorf("federation: home region %d crashed mid-setup", home)
+	}
+	if len(out.nacked) > 0 || len(out.pending) > 0 {
+		f.decided[fk] = false
+		f.flight.Recordf("federation", "decide", int64(f.clock), "session %d.%d ABORT (%d nack, %d unreachable)",
+			s.ID, s.Epoch, len(out.nacked), len(out.pending))
+		f.abortPrepares(ctx, fk, home, homePr, remotes)
+		f.stats.Aborts++
+		s.State = ctrlplane.StateAborted
+		return fmt.Errorf("federation: session %d.%d aborted: %d region(s) nacked, %d unreachable",
+			s.ID, s.Epoch, len(out.nacked), len(out.pending))
+	}
+
+	// Commit point: every segment holds. The decision is durable before any
+	// COMMIT leaves the home region.
+	f.decided[fk] = true
+	f.flight.Recordf("federation", "decide", int64(f.clock), "session %d.%d COMMIT (%d transit region(s))",
+		s.ID, s.Epoch, len(remotes))
+	if homePr != nil {
+		sess, err := hreg.Plane.CommitPrepared(ctx, homePr)
+		if err != nil {
+			// Home's own lease lapsed before the decision (pathological —
+			// the coordinator outwaited its own TTL). Conserved abort.
+			f.decided[fk] = false
+			f.subWAL[home][fk].State = subAborted
+			delete(f.vol[home].prepared, fk)
+			f.abortPrepares(ctx, fk, home, nil, remotes)
+			f.stats.Aborts++
+			s.State = ctrlplane.StateAborted
+			return fmt.Errorf("federation: home commit refused: %w", err)
+		}
+		f.subWAL[home][fk].State = subCommitted
+		delete(f.vol[home].prepared, fk)
+		f.vol[home].committed[fk] = sess
+	}
+
+	// Phase 2: X-COMMIT to every transit region.
+	var cmsgs []ctrlplane.Message
+	for _, q := range remotes {
+		cmsgs = append(cmsgs, ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(q),
+			Type: ctrlplane.MsgXCommit, SessionID: s.ID, Epoch: s.Epoch,
+			MsgID: f.msgID(),
+		})
+	}
+	cout := f.broadcastPeer(ctx, cmsgs)
+	if len(cout.nacked) > 0 {
+		// A transit region's lease expired before our COMMIT arrived and it
+		// already presumed abort. Unwind the committed remainder so the
+		// session is conserved-aborted everywhere.
+		f.rollbackAfterCommit(ctx, s, fk, home, cout)
+		return fmt.Errorf("federation: session %d.%d rolled back: %d region(s) refused late commit",
+			s.ID, s.Epoch, len(cout.nacked))
+	}
+	// Unreachable COMMITs are backlogged: the decision is durable, delivery
+	// is lazy (redriven by ticks, surviving region crash + recovery).
+	f.enqueueBacklog(cout.pending)
+
+	s.State = ctrlplane.StateCommitted
+	f.stats.Commits++
+	hreg.maybePublish(ctx)
+	return nil
+}
+
+// abortPrepares unwinds phase 1: the home hold is aborted directly and
+// every remote segment region gets X-ABORT — including regions whose
+// X-PREPARE was never acked, because "never acked" can mean "delivered,
+// ack lost". Undeliverable aborts are backlogged (presumed abort makes
+// late delivery converge to the same state).
+func (f *Fabric) abortPrepares(ctx context.Context, fk fedKey, home int, homePr *ctrlplane.Prepared, remotes []int) {
+	if homePr != nil {
+		_ = f.regions[home].Plane.AbortPrepared(ctx, homePr)
+		f.subWAL[home][fk].State = subAborted
+		delete(f.vol[home].prepared, fk)
+	}
+	var msgs []ctrlplane.Message
+	for _, q := range remotes {
+		msgs = append(msgs, ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(q),
+			Type: ctrlplane.MsgXAbort, SessionID: fk.ID, Epoch: fk.Epoch,
+			MsgID: f.msgID(),
+		})
+	}
+	out := f.broadcastPeer(ctx, msgs)
+	f.enqueueBacklog(out.pending)
+}
+
+// rollbackAfterCommit conserved-aborts a session that reached the commit
+// point but had a transit region refuse the late COMMIT: committed regions
+// are released, still-backlogged COMMITs are swapped for ABORTs, and the
+// home segment is torn down.
+func (f *Fabric) rollbackAfterCommit(ctx context.Context, s *Session, fk fedKey, home int, cout *peerOutcome) {
+	f.stats.CommitNacks += len(cout.nacked)
+	f.stats.Rollbacks++
+	f.decided[fk] = false
+	f.flight.Recordf("federation", "rollback", int64(f.clock), "session %d.%d: late-commit refusal", s.ID, s.Epoch)
+
+	// Regions that did commit: release.
+	var msgs []ctrlplane.Message
+	for _, q := range sortedRegions(cout.acked) {
+		msgs = append(msgs, ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(q),
+			Type: ctrlplane.MsgXRelease, SessionID: s.ID, Epoch: s.Epoch,
+			MsgID: f.msgID(),
+		})
+	}
+	// COMMITs still undelivered become ABORTs (the handler releases fully
+	// if the COMMIT actually landed with the ack lost).
+	for _, m := range cout.pending {
+		m.Type = ctrlplane.MsgXAbort
+		m.MsgID = f.msgID()
+		msgs = append(msgs, m)
+	}
+	out := f.broadcastPeer(ctx, msgs)
+	f.enqueueBacklog(out.pending)
+
+	f.releaseHomeSub(ctx, home, fk)
+	f.stats.Aborts++
+	s.State = ctrlplane.StateAborted
+}
+
+// releaseHomeSub tears down the home region's committed segment of fk.
+func (f *Fabric) releaseHomeSub(ctx context.Context, home int, fk fedKey) {
+	rec := f.subWAL[home][fk]
+	if rec == nil || rec.State != subCommitted {
+		return
+	}
+	sess := f.vol[home].committed[fk]
+	if sess == nil {
+		sess = &ctrlplane.Session{ID: rec.LocalID, Epoch: rec.LocalEpoch,
+			Path: rec.Path, Bandwidth: rec.BW, State: ctrlplane.StateCommitted}
+	}
+	_ = f.regions[home].Plane.Teardown(ctx, sess)
+	rec.State = subReleased
+	delete(f.vol[home].committed, fk)
+	f.regions[home].maybePublish(ctx)
+}
+
+// rollbackSession conserved-aborts a committed session after a backlogged
+// COMMIT was refused during reconciliation (the transit region's lease
+// expired while it — or the bus — was down). Called from inside the
+// message pump, so it only mutates state and enqueues: the surrounding
+// tick loop drives the releases out.
+func (f *Fabric) rollbackSession(fk fedKey) {
+	s := f.sessions[fk.ID]
+	if s == nil || s.Epoch != fk.Epoch || s.State != ctrlplane.StateCommitted {
+		return
+	}
+	f.stats.Rollbacks++
+	f.decided[fk] = false
+	f.flight.Recordf("federation", "rollback", int64(f.clock), "session %d.%d: backlogged commit refused", s.ID, s.Epoch)
+	home := f.part.RegionOf(s.Src)
+
+	// Swap this session's still-backlogged COMMITs for ABORTs.
+	var swap []uint64
+	for id, m := range f.backlog {
+		if m.SessionID == fk.ID && m.Epoch == fk.Epoch && m.Type == ctrlplane.MsgXCommit {
+			swap = append(swap, id)
+		}
+	}
+	for _, id := range swap {
+		m := f.backlog[id]
+		delete(f.backlog, id)
+		m.Type = ctrlplane.MsgXAbort
+		m.MsgID = f.msgID()
+		f.backlog[m.MsgID] = m
+	}
+	// Release every region that committed; remote releases ride the backlog.
+	for r := range f.regions {
+		rec := f.subWAL[r][fk]
+		if rec == nil || rec.State != subCommitted {
+			continue
+		}
+		if r == home {
+			f.releaseHomeSub(context.Background(), home, fk)
+			continue
+		}
+		m := ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(r),
+			Type: ctrlplane.MsgXRelease, SessionID: fk.ID, Epoch: fk.Epoch,
+			MsgID: f.msgID(),
+		}
+		f.backlog[m.MsgID] = m
+	}
+	s.State = ctrlplane.StateAborted
+	f.stats.Aborts++
+}
+
+// Teardown releases a committed federated session in every region it
+// crosses. Releases toward crashed regions are backlogged.
+func (f *Fabric) Teardown(ctx context.Context, s *Session) error {
+	if s == nil || s.State != ctrlplane.StateCommitted {
+		return fmt.Errorf("federation: teardown of non-committed session")
+	}
+	ctx, span := obs.StartSpan(ctx, "federation.teardown")
+	defer span.End()
+	span.Annotatef("session", "%d.%d", s.ID, s.Epoch)
+	f.tick()
+	fk := fedKey{ID: s.ID, Epoch: s.Epoch}
+	home := f.part.RegionOf(s.Src)
+	if f.crashed[home] {
+		return fmt.Errorf("federation: home region %d crashed", home)
+	}
+	var msgs []ctrlplane.Message
+	for r := range f.regions {
+		rec := f.subWAL[r][fk]
+		if rec == nil || rec.State != subCommitted || r == home {
+			continue
+		}
+		msgs = append(msgs, ctrlplane.Message{
+			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(r),
+			Type: ctrlplane.MsgXRelease, SessionID: s.ID, Epoch: s.Epoch,
+			MsgID: f.msgID(),
+		})
+	}
+	// Releases toward crashed or unreachable regions end up in out.pending
+	// (counting against their breaker) and are backlogged below.
+	out := f.broadcastPeer(ctx, msgs)
+	f.enqueueBacklog(out.pending)
+	f.releaseHomeSub(ctx, home, fk)
+	s.State = ctrlplane.StateReleased
+	f.stats.Teardowns++
+	delete(f.sessions, s.ID)
+	return nil
+}
+
+// peerOutcome is one cross-region broadcast's result, keyed by peer region.
+type peerOutcome struct {
+	acked   map[int]bool
+	nacked  map[int]bool
+	pending map[uint64]ctrlplane.Message
+}
+
+func sortedRegions(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// broadcastPeer sends one request per peer region and pumps the bus until
+// every request is settled or attempts are exhausted; survivors trip the
+// target's circuit breaker and stay in out.pending for the caller to
+// backlog or unwind.
+func (f *Fabric) broadcastPeer(ctx context.Context, msgs []ctrlplane.Message) *peerOutcome {
+	out := &peerOutcome{
+		acked:   make(map[int]bool),
+		nacked:  make(map[int]bool),
+		pending: make(map[uint64]ctrlplane.Message),
+	}
+	if len(msgs) == 0 {
+		return out
+	}
+	for _, m := range msgs {
+		out.pending[m.MsgID] = m
+		if !f.crashed[mustRegion(m.To)] {
+			f.sendPeer(m)
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		f.peer.Advance()
+		f.pumpPeers(out)
+		if len(out.pending) == 0 || attempt >= f.maxAttempts-1 || ctx.Err() != nil {
+			break
+		}
+		f.clock++
+		ids := make([]uint64, 0, len(out.pending))
+		for id := range out.pending {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			m := out.pending[id]
+			if f.crashed[mustRegion(m.To)] {
+				continue
+			}
+			f.stats.PeerRetries++
+			f.sendPeer(m)
+		}
+	}
+	for _, m := range out.pending {
+		f.breakerFail(mustRegion(m.To))
+	}
+	return out
+}
+
+// pumpPeers drains the inter-region bus, dispatching each message to its
+// target region: requests to that region's sub-coordinator, replies to the
+// in-flight broadcast (or the backlog), gossip to the digest store.
+// Messages addressed to a crashed region are dropped on the floor.
+func (f *Fabric) pumpPeers(out *peerOutcome) {
+	for {
+		m, ok := f.peer.Recv()
+		if !ok {
+			return
+		}
+		q, ok := ctrlplane.PeerRegion(m.To)
+		if !ok || q < 0 || q >= len(f.regions) {
+			continue
+		}
+		if f.crashed[q] {
+			f.flight.Recordf("federation", "drop", int64(f.clock), "%s to crashed region %d session %d.%d",
+				m.Type, q, m.SessionID, m.Epoch)
+			continue
+		}
+		switch m.Type {
+		case ctrlplane.MsgXPrepare, ctrlplane.MsgXCommit, ctrlplane.MsgXAbort, ctrlplane.MsgXRelease:
+			f.handlePeerRequest(q, m)
+		case ctrlplane.MsgXPrepareAck, ctrlplane.MsgXPrepareNack, ctrlplane.MsgXCommitAck,
+			ctrlplane.MsgXCommitNack, ctrlplane.MsgXAbortAck, ctrlplane.MsgXReleaseAck:
+			f.handlePeerReply(out, m)
+		case ctrlplane.MsgGossip:
+			f.handleGossip(q, m)
+		}
+	}
+}
+
+// handlePeerReply settles a sub-coordinator's reply against the in-flight
+// broadcast or the backlog. A backlogged COMMIT coming back nacked means
+// the transit region presumed abort while we were apart — the whole
+// session rolls back.
+func (f *Fabric) handlePeerReply(out *peerOutcome, m ctrlplane.Message) {
+	src := mustRegion(m.From)
+	f.breakerOK(src)
+	nack := m.Type == ctrlplane.MsgXPrepareNack || m.Type == ctrlplane.MsgXCommitNack
+	if out != nil {
+		if _, ok := out.pending[m.AckFor]; ok {
+			delete(out.pending, m.AckFor)
+			if nack {
+				out.nacked[src] = true
+			} else {
+				out.acked[src] = true
+			}
+			return
+		}
+	}
+	if orig, ok := f.backlog[m.AckFor]; ok {
+		delete(f.backlog, m.AckFor)
+		f.flight.Recordf("federation", "backlog_settled", int64(f.clock), "%s for session %d.%d %s",
+			orig.Type, orig.SessionID, orig.Epoch, m.Type)
+		if m.Type == ctrlplane.MsgXCommitNack {
+			f.rollbackSession(fedKey{ID: orig.SessionID, Epoch: orig.Epoch})
+		}
+	}
+}
+
+// handlePeerRequest is region q's sub-coordinator: it executes one
+// idempotent step of the two-level commit against its durable sub-WAL.
+// Every branch replies — the home coordinator's retries are tamed by
+// re-acking, not by remembering message ids.
+func (f *Fabric) handlePeerRequest(q int, m ctrlplane.Message) {
+	fk := fedKey{ID: m.SessionID, Epoch: m.Epoch}
+	reg := f.regions[q]
+	rec := f.subWAL[q][fk]
+	ctx := context.Background()
+
+	switch m.Type {
+	case ctrlplane.MsgXPrepare:
+		if rec != nil {
+			switch rec.State {
+			case subPrepared, subCommitted:
+				f.replyPeer(q, m, ctrlplane.MsgXPrepareAck)
+			default: // aborted/released: this attempt is already dead
+				f.replyPeer(q, m, ctrlplane.MsgXPrepareNack)
+			}
+			return
+		}
+		entry, okE := reg.Local(m.Hop[0])
+		exit, okX := reg.Local(m.Hop[1])
+		if !okE || !okX {
+			f.replyPeer(q, m, ctrlplane.MsgXPrepareNack)
+			return
+		}
+		// Recompute the segment against our own snapshot: the home region
+		// only named the border endpoints, the concrete hops are ours to
+		// choose (and to re-choose if our topology moved since its quote).
+		p, err := reg.Pub.Current().BestPath(int(entry), int(exit),
+			routing.Options{MinBandwidth: m.Bandwidth})
+		if err != nil {
+			f.replyPeer(q, m, ctrlplane.MsgXPrepareNack)
+			return
+		}
+		pr, err := reg.Plane.PrepareOnPath(ctx, p.Nodes, m.Bandwidth)
+		if err != nil {
+			// No durable record on a refused prepare: a retransmit
+			// re-evaluates, exactly like an agent nacking a PREPARE.
+			f.replyPeer(q, m, ctrlplane.MsgXPrepareNack)
+			return
+		}
+		f.subWAL[q][fk] = &subRecord{State: subPrepared, LocalID: pr.S.ID,
+			LocalEpoch: pr.S.Epoch, Path: append([]int32(nil), pr.S.Path...), BW: m.Bandwidth}
+		f.vol[q].prepared[fk] = pr
+		f.replyPeer(q, m, ctrlplane.MsgXPrepareAck)
+
+	case ctrlplane.MsgXCommit:
+		if rec == nil {
+			// Presumed abort: no record means any hold already lease-expired
+			// (or the prepare never happened). Refuse.
+			f.replyPeer(q, m, ctrlplane.MsgXCommitNack)
+			return
+		}
+		switch rec.State {
+		case subCommitted:
+			f.replyPeer(q, m, ctrlplane.MsgXCommitAck)
+		case subAborted, subReleased:
+			f.replyPeer(q, m, ctrlplane.MsgXCommitNack)
+		case subPrepared:
+			pr, err := f.subHandle(q, fk, rec)
+			if err != nil {
+				rec.State = subAborted
+				f.replyPeer(q, m, ctrlplane.MsgXCommitNack)
+				return
+			}
+			sess, err := reg.Plane.CommitPrepared(ctx, pr)
+			if err != nil {
+				// Our lease expired and the sweep presumed abort.
+				rec.State = subAborted
+				delete(f.vol[q].prepared, fk)
+				f.replyPeer(q, m, ctrlplane.MsgXCommitNack)
+				return
+			}
+			rec.State = subCommitted
+			delete(f.vol[q].prepared, fk)
+			f.vol[q].committed[fk] = sess
+			reg.maybePublish(ctx)
+			f.replyPeer(q, m, ctrlplane.MsgXCommitAck)
+		}
+
+	case ctrlplane.MsgXAbort:
+		if rec == nil {
+			f.replyPeer(q, m, ctrlplane.MsgXAbortAck) // presumed abort: nothing held
+			return
+		}
+		switch rec.State {
+		case subPrepared:
+			if pr, err := f.subHandle(q, fk, rec); err == nil {
+				_ = reg.Plane.AbortPrepared(ctx, pr)
+			}
+			rec.State = subAborted
+			delete(f.vol[q].prepared, fk)
+		case subCommitted:
+			// The COMMIT landed but its ack was lost, and the home rolled
+			// back presuming it hadn't: release fully, not just un-hold.
+			f.releaseSub(ctx, q, fk, rec)
+		}
+		f.replyPeer(q, m, ctrlplane.MsgXAbortAck)
+
+	case ctrlplane.MsgXRelease:
+		if rec != nil {
+			switch rec.State {
+			case subCommitted:
+				f.releaseSub(ctx, q, fk, rec)
+			case subPrepared:
+				if pr, err := f.subHandle(q, fk, rec); err == nil {
+					_ = reg.Plane.AbortPrepared(ctx, pr)
+				}
+				rec.State = subAborted
+				delete(f.vol[q].prepared, fk)
+			}
+		}
+		f.replyPeer(q, m, ctrlplane.MsgXReleaseAck)
+	}
+}
+
+// subHandle returns region q's live Prepared handle for fk, resuming it
+// from the durable sub-record when the volatile one was lost to a crash.
+func (f *Fabric) subHandle(q int, fk fedKey, rec *subRecord) (*ctrlplane.Prepared, error) {
+	if pr := f.vol[q].prepared[fk]; pr != nil {
+		return pr, nil
+	}
+	return f.regions[q].Plane.ResumePrepared(rec.LocalID, rec.LocalEpoch, rec.Path, rec.BW)
+}
+
+// releaseSub tears down region q's committed segment of fk.
+func (f *Fabric) releaseSub(ctx context.Context, q int, fk fedKey, rec *subRecord) {
+	sess := f.vol[q].committed[fk]
+	if sess == nil {
+		sess = &ctrlplane.Session{ID: rec.LocalID, Epoch: rec.LocalEpoch,
+			Path: rec.Path, Bandwidth: rec.BW, State: ctrlplane.StateCommitted}
+	}
+	_ = f.regions[q].Plane.Teardown(ctx, sess)
+	rec.State = subReleased
+	delete(f.vol[q].committed, fk)
+	f.regions[q].maybePublish(ctx)
+}
+
+// replyPeer sends region q's reply to a peer request.
+func (f *Fabric) replyPeer(q int, req ctrlplane.Message, typ ctrlplane.MsgType) {
+	f.sendPeer(ctrlplane.Message{
+		From: ctrlplane.PeerAddr(q), To: req.From, Type: typ,
+		SessionID: req.SessionID, Epoch: req.Epoch,
+		MsgID: f.msgID(), AckFor: req.MsgID,
+	})
+}

@@ -137,6 +137,32 @@ func DefaultMetrics(top *topology.Topology, rng *rand.Rand) *Metrics {
 	return m
 }
 
+// NewMetricsFunc builds metrics for top by evaluating f once per undirected
+// edge (both directions get the returned latency/capacity). It is the bulk
+// constructor region planes use to copy a global metric assignment into a
+// subtopology: per-edge SetLatency/SetCapacity would copy the whole array
+// per call (copy-on-write), turning an O(E) copy into O(E²).
+func NewMetricsFunc(top *topology.Topology, f func(u, v int32) (latencyMs, capacityGbps float64)) *Metrics {
+	nArcs := top.Graph.NumArcs()
+	m := &Metrics{
+		top: top,
+		arcState: arcState{
+			latency:  make([]float64, nArcs),
+			capacity: make([]float64, nArcs),
+			used:     make([]float64, nArcs),
+			failed:   make([]bool, nArcs),
+		},
+	}
+	top.Graph.Edges(func(u, v int) bool {
+		lat, cap := f(int32(u), int32(v))
+		a, b := m.bothArcs(int32(u), int32(v))
+		m.latency[a], m.latency[b] = lat, lat
+		m.capacity[a], m.capacity[b] = cap, cap
+		return true
+	})
+	return m
+}
+
 // Latency returns the link latency in milliseconds (0 for a non-edge).
 func (m *Metrics) Latency(u, v int32) float64 {
 	if a := m.arcOf(u, v); a >= 0 {

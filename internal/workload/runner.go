@@ -31,6 +31,9 @@ type Outcome struct {
 	// Retries counts 429-triggered re-issues of this query (each after
 	// honoring the server's Retry-After, bounded by the target's cap).
 	Retries int
+	// ShedRegion names the federation region whose query plane shed the
+	// request; -1 means local/unknown. Only meaningful when Shed is true.
+	ShedRegion int
 }
 
 // Target answers one path query. Implementations must be safe for
@@ -64,18 +67,21 @@ type Config struct {
 
 // Report summarizes a closed-loop run.
 type Report struct {
-	Requests int           `json:"requests"`
-	Errors   int           `json:"errors"`
-	Shed     int           `json:"shed"`
-	Retries  int           `json:"retries"`
-	NotFound int           `json:"not_found"`
-	Hits     int           `json:"cache_hits"`
-	Elapsed  time.Duration `json:"elapsed_ns"`
-	QPS      float64       `json:"qps"`
-	HitRate  float64       `json:"hit_rate"`
-	P50      time.Duration `json:"p50_ns"`
-	P95      time.Duration `json:"p95_ns"`
-	P99      time.Duration `json:"p99_ns"`
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Shed     int `json:"shed"`
+	// ShedByRegion breaks Shed down by the federation region that refused
+	// (key -1 collects local/unknown sheds); empty on non-federated runs.
+	ShedByRegion map[int]int   `json:"shed_by_region,omitempty"`
+	Retries      int           `json:"retries"`
+	NotFound     int           `json:"not_found"`
+	Hits         int           `json:"cache_hits"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	QPS          float64       `json:"qps"`
+	HitRate      float64       `json:"hit_rate"`
+	P50          time.Duration `json:"p50_ns"`
+	P95          time.Duration `json:"p95_ns"`
+	P99          time.Duration `json:"p99_ns"`
 
 	// Churn-under-load fields (zero unless Config.Churn was set).
 	// ChurnBursts counts churn injections; Availability is the fraction of
@@ -99,6 +105,24 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "hit rate: %.1f%%\n", 100*r.HitRate)
 	fmt.Fprintf(&b, "latency:  p50 %v  p95 %v  p99 %v",
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if len(r.ShedByRegion) > 0 {
+		regions := make([]int, 0, len(r.ShedByRegion))
+		for reg := range r.ShedByRegion {
+			regions = append(regions, reg)
+		}
+		sort.Ints(regions)
+		b.WriteString("\nshed by:  ")
+		for i, reg := range regions {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if reg < 0 {
+				fmt.Fprintf(&b, "local=%d", r.ShedByRegion[reg])
+			} else {
+				fmt.Fprintf(&b, "region%d=%d", reg, r.ShedByRegion[reg])
+			}
+		}
+	}
 	if r.ChurnBursts > 0 {
 		fmt.Fprintf(&b, "\nchurn:    %d bursts, availability %.2f%%, repair p50 %v p95 %v",
 			r.ChurnBursts, 100*r.Availability,
@@ -125,6 +149,7 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	}
 	type workerStats struct {
 		requests, errors, shed, retries, notFound, hits int
+		shedBy                                          map[int]int
 	}
 	var (
 		wg      sync.WaitGroup
@@ -205,6 +230,10 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 					st.errors++
 				case out.Shed:
 					st.shed++
+					if st.shedBy == nil {
+						st.shedBy = make(map[int]int)
+					}
+					st.shedBy[out.ShedRegion]++
 				case !out.Found:
 					st.notFound++
 				case out.Cached:
@@ -221,6 +250,8 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{Elapsed: elapsed}
+	shedBy := make(map[int]int)
+	federated := false
 	for i := range stats {
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
@@ -228,6 +259,17 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		rep.Retries += stats[i].retries
 		rep.NotFound += stats[i].notFound
 		rep.Hits += stats[i].hits
+		for reg, n := range stats[i].shedBy {
+			shedBy[reg] += n
+			if reg >= 0 {
+				federated = true
+			}
+		}
+	}
+	// The per-region breakdown only appears when some shed actually named a
+	// region — non-federated runs keep the old flat report shape.
+	if federated {
+		rep.ShedByRegion = shedBy
 	}
 	if rep.Requests == 0 {
 		return nil, fmt.Errorf("workload: no requests completed")
@@ -266,7 +308,7 @@ func (t *PlaneTarget) Query(src, dst int32) (Outcome, error) {
 	if err != nil {
 		switch {
 		case errors.Is(err, queryplane.ErrShed):
-			return Outcome{Shed: true}, nil
+			return Outcome{Shed: true, ShedRegion: -1}, nil
 		// A clean routing miss is a valid outcome, not a target failure.
 		case strings.Contains(err.Error(), "no dominated path"):
 			return Outcome{}, nil
@@ -283,6 +325,9 @@ func (t *PlaneTarget) Query(src, dst int32) (Outcome, error) {
 type HTTPTarget struct {
 	// Base is the server root, e.g. "http://localhost:8080".
 	Base string
+	// Path overrides the query endpoint (default "/path"; federated runs
+	// point it at "/federation/path").
+	Path string
 	// Opts adds maxhops/minbw constraints to every query.
 	Opts routing.Options
 	// Client overrides http.DefaultClient (e.g. for timeouts).
@@ -325,7 +370,11 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	u := t.Base + "/path?" + q.Encode()
+	path := t.Path
+	if path == "" {
+		path = "/path"
+	}
+	u := t.Base + path + "?" + q.Encode()
 	retries := 0
 	for {
 		resp, err := client.Get(u)
@@ -335,6 +384,14 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 		status := resp.StatusCode
 		retryAfter := resp.Header.Get("Retry-After")
 		cached := resp.Header.Get("X-Cache") == "hit"
+		// A federated 429 names the region that refused via X-Shed-Region;
+		// a local shed (or a plain brokerd) leaves it unset.
+		shedRegion := -1
+		if v := resp.Header.Get("X-Shed-Region"); v != "" {
+			if reg, err := strconv.Atoi(v); err == nil {
+				shedRegion = reg
+			}
+		}
 		_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
 		resp.Body.Close()
 		switch status {
@@ -344,12 +401,12 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 			return Outcome{Retries: retries}, nil
 		case http.StatusTooManyRequests:
 			if retries >= t.MaxRetries {
-				return Outcome{Shed: true, Retries: retries}, nil
+				return Outcome{Shed: true, Retries: retries, ShedRegion: shedRegion}, nil
 			}
 			retries++
 			time.Sleep(t.retryWait(retryAfter))
 		default:
-			return Outcome{Retries: retries}, fmt.Errorf("workload: /path status %d", status)
+			return Outcome{Retries: retries}, fmt.Errorf("workload: %s status %d", path, status)
 		}
 	}
 }
