@@ -20,6 +20,7 @@ import (
 	"brokerset/internal/ctrlplane"
 	"brokerset/internal/econ"
 	"brokerset/internal/experiments"
+	"brokerset/internal/market"
 	"brokerset/internal/measure"
 	"brokerset/internal/pagerank"
 	"brokerset/internal/policy"
@@ -488,6 +489,42 @@ func BenchmarkQueryPlaneHit(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPricedAdmission is the economics-plane overhead benchmark: the
+// same warm-cache hit loop as BenchmarkQueryPlaneHit, but with the market
+// admission gate installed and every query carrying a bid. The benchguard
+// budget is <5% over the unpriced hit path (the gate is two atomic loads
+// and a branch before the cache lookup).
+func BenchmarkPricedAdmission(b *testing.B) {
+	qpSetup(b)
+	ctrl, err := market.NewController(market.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adm := market.NewAdmission(ctrl)
+	qp, err := queryplane.New(queryplane.Config{
+		Shards:    16,
+		Capacity:  1 << 15,
+		Workers:   16,
+		Admission: adm,
+		Compute: func(_ context.Context, src, dst int, opts routing.Options) (*routing.Path, error) {
+			return qpEngine.BestPath(src, dst, opts)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qpWarm(b, qp)
+	ctx := context.Background()
+	bid := ctrl.Price()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := qpPairs[i%len(qpPairs)]
+		if _, _, err := qp.QueryBid(ctx, p[0], p[1], routing.Options{}, bid); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

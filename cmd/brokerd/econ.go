@@ -1,0 +1,290 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"brokerset/internal/market"
+	"brokerset/internal/obs"
+)
+
+// econState is brokerd's live economics plane (nil unless -econ is set): a
+// market controller repricing from sampled query-plane load, the priced
+// admission gate the query plane consults, and the settlement engine that
+// splits accrued revenue across the brokers that carried the traffic.
+type econState struct {
+	ctrl *market.Controller
+	adm  *market.Admission
+	set  *market.Settlement
+
+	// every is the controller sampling period; windowTicks is the
+	// settlement window length in controller ticks.
+	every       time.Duration
+	windowTicks int
+
+	// lastQueries remembers the query counter at the previous sample so
+	// each tick feeds the controller a demand delta, not a lifetime total.
+	lastQueries uint64
+}
+
+// econConfig carries the -econ* flags into enableEcon.
+type econConfig struct {
+	Every       time.Duration
+	WindowTicks int
+	Seed        int64
+	Threshold   float64
+}
+
+// enableEcon wires the economics plane onto a built server. Must be called
+// before the server starts taking traffic (the admission hook reads s.econ
+// atomically, so enabling is safe, but pricing should see the whole run).
+func (s *server) enableEcon(cfg econConfig) error {
+	if cfg.Every <= 0 {
+		cfg.Every = 250 * time.Millisecond
+	}
+	if cfg.WindowTicks <= 0 {
+		cfg.WindowTicks = 40
+	}
+	ctrl, err := market.NewController(market.Config{
+		CongestionThreshold: cfg.Threshold,
+	})
+	if err != nil {
+		return err
+	}
+	e := &econState{
+		ctrl:        ctrl,
+		adm:         market.NewAdmission(ctrl),
+		set:         market.NewSettlement(market.SettlementConfig{Seed: cfg.Seed}),
+		every:       cfg.Every,
+		windowTicks: cfg.WindowTicks,
+	}
+	market.RegisterMetrics(s.reg, e.ctrl, e.adm, e.set)
+	s.econ.Store(e)
+	return nil
+}
+
+// runEconLoop is the market controller loop: every period it samples the
+// query plane (pool occupancy as utilization, query delta as demand, live
+// sessions as adoption signal) and reprices; every windowTicks samples it
+// drains accrued revenue and settles the window into the ledger.
+func (s *server) runEconLoop(ctx context.Context) {
+	e := s.econ.Load()
+	if e == nil {
+		return
+	}
+	tick := time.NewTicker(e.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			st := s.qp.Stats()
+			demand := float64(st.Queries - e.lastQueries)
+			e.lastQueries = st.Queries
+			q, err := e.ctrl.Reprice(market.Sample{
+				Utilization: s.qp.Occupancy(),
+				Demand:      demand,
+				Sessions:    s.sessions.Len(),
+			})
+			if err != nil {
+				continue
+			}
+			if q.Tick%uint64(e.windowTicks) == 0 {
+				e.set.Settle(e.adm.DrainRevenue(), q.Tick)
+			}
+		}
+	}
+}
+
+// Admit implements queryplane.Admission by delegating to the live econ
+// state; with the plane disabled every bid is admitted at quote 0, so the
+// hook costs one atomic load on the hot path.
+func (s *server) Admit(bid float64) (bool, float64) {
+	e := s.econ.Load()
+	if e == nil {
+		return true, 0
+	}
+	return e.adm.Admit(bid)
+}
+
+// recordCarriers credits the settlement accumulator with the brokers that
+// carried units of traffic along path nodes (the coalition members on the
+// path, per the current snapshot). No-op while econ is disabled.
+func (s *server) recordCarriers(nodes []int32, units float64) {
+	e := s.econ.Load()
+	if e == nil {
+		return
+	}
+	snap := s.pub.Current()
+	var carriers []int32
+	for _, n := range nodes {
+		if snap.IsBroker(n) {
+			carriers = append(carriers, n)
+		}
+	}
+	if len(carriers) > 0 {
+		e.set.Record(carriers, units)
+	}
+}
+
+// econPriceError maps a queryplane price refusal onto the HTTP contract:
+// 429 with the posted price in X-Econ-Price, a Retry-After hinting the
+// next controller tick, and the quote in the JSON body.
+func (s *server) writePriceRejection(w http.ResponseWriter, quote float64) {
+	e := s.econ.Load()
+	retry := 1
+	if e != nil && e.every >= time.Second {
+		retry = int(e.every.Seconds())
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("X-Econ-Price", strconv.FormatFloat(quote, 'g', -1, 64))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error": "bid below current price",
+		"price": quote,
+	})
+}
+
+// parseBid extracts the request's bid from the bid query parameter or the
+// X-Econ-Bid header (parameter wins). Absent or malformed bids are zero —
+// the free-rider tier, admitted whenever the plane is uncongested.
+func parseBid(r *http.Request) float64 {
+	v := r.URL.Query().Get("bid")
+	if v == "" {
+		v = r.Header.Get("X-Econ-Bid")
+	}
+	if v == "" {
+		return 0
+	}
+	bid, err := strconv.ParseFloat(v, 64)
+	if err != nil || bid < 0 {
+		return 0
+	}
+	return bid
+}
+
+// handleEconPrice serves GET /econ/price: the current posted price.
+func (s *server) handleEconPrice(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.requireEcon(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"price":     e.ctrl.Price(),
+		"congested": e.ctrl.Congested(),
+		"tick":      e.ctrl.Ticks(),
+	})
+}
+
+// handleEconQuote serves GET /econ/quote: the full repricing breakdown
+// (base equilibrium price, congestion multiplier, utilization, adoption).
+func (s *server) handleEconQuote(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.requireEcon(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, e.ctrl.Quote())
+}
+
+// handleEconSettlement serves GET /econ/settlement: the settlement ledger,
+// newest-last. ?last=N bounds the window count; ?format=jsonl streams the
+// append-only ledger form.
+func (s *server) handleEconSettlement(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.requireEcon(w, r)
+	if !ok {
+		return
+	}
+	if r.Method == http.MethodPost {
+		// Force a window close (test/CI hook): settle whatever revenue and
+		// traffic accrued since the last close.
+		rec := e.set.Settle(e.adm.DrainRevenue(), e.ctrl.Ticks())
+		writeJSON(w, http.StatusOK, rec)
+		return
+	}
+	records := e.set.Records()
+	if v := r.URL.Query().Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "last must be a non-negative integer")
+			return
+		}
+		if n < len(records) {
+			records = records[len(records)-n:]
+		}
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		for i := range records {
+			rec := records[i]
+			writeJSONLLine(w, &rec)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, records)
+}
+
+// handleEconStats serves GET /econ/stats: admission counters, settlement
+// progress, and the controller's tick count in one snapshot.
+func (s *server) handleEconStats(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.requireEcon(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"admission":     e.adm.Stats(),
+		"price":         e.ctrl.Price(),
+		"congested":     e.ctrl.Congested(),
+		"ticks":         e.ctrl.Ticks(),
+		"windows":       e.set.Windows(),
+		"pending_units": e.set.PendingUnits(),
+	})
+}
+
+// requireEcon gates the /econ/* handlers on the plane being enabled and
+// (except the settlement POST hook) on GET.
+func (s *server) requireEcon(w http.ResponseWriter, r *http.Request) (*econState, bool) {
+	e := s.econ.Load()
+	if e == nil {
+		writeError(w, http.StatusNotFound, "economics plane disabled (run with -econ)")
+		return nil, false
+	}
+	if r.Method != http.MethodGet && !(r.Method == http.MethodPost && r.URL.Path == "/econ/settlement") {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return nil, false
+	}
+	return e, true
+}
+
+// writeJSONLLine writes one ledger record as a JSONL line (the same shape
+// market.Settlement.WriteJSONL produces).
+func writeJSONLLine(w http.ResponseWriter, rec *market.Record) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// econPointer is the atomic holder server embeds; a typed alias keeps the
+// server struct readable.
+type econPointer = atomic.Pointer[econState]
+
+// registerEconCollectors adds scrape-time econ context that isn't owned by
+// the market package: whether the plane is enabled at all.
+func (s *server) registerEconCollectors() {
+	s.reg.RegisterCollector(func(emit func(obs.Sample)) {
+		enabled := 0.0
+		if s.econ.Load() != nil {
+			enabled = 1
+		}
+		emit(obs.Sample{
+			Name: "market_enabled",
+			Help: "1 when the economics plane (-econ) is active",
+			Kind: obs.KindGauge, Value: enabled,
+		})
+	})
+}

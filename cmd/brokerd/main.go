@@ -20,6 +20,18 @@
 //	GET    /sessions/{id}
 //	DELETE /sessions/{id}
 //	POST   /churn             {"events":[...]} | {"generate":N} [, "heal":false]
+//	GET    /econ/price        (with -econ) current posted price
+//	GET    /econ/quote        full repricing breakdown
+//	GET    /econ/settlement   ledger [?last=N][&format=jsonl]; POST forces a window close
+//	GET    /econ/stats        admission counters + settlement progress
+//
+// With -econ set, the economics plane is live: a market controller samples
+// query-plane load every -econ-every and reprices via the Stackelberg
+// solver; /path queries may carry a bid (?bid= or X-Econ-Bid) that priced
+// admission compares to the congestion-adjusted price (refusals are 429
+// with the quote in X-Econ-Price); every -econ-window controller ticks the
+// accrued revenue is settled into Shapley splits across the brokers that
+// carried the traffic.
 //
 // With -churn set, a background loop additionally draws Poisson bursts of
 // churn from the seeded generator at that interval, applies them, and
@@ -66,6 +78,12 @@ func main() {
 		healTarget = flag.Float64("heal-target", 0, "connectivity the healer restores (0 = initial coalition's)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
+		econOn        = flag.Bool("econ", false, "enable the economics plane (pricing, priced admission, settlement)")
+		econEvery     = flag.Duration("econ-every", 250*time.Millisecond, "market controller sampling period")
+		econWindow    = flag.Int("econ-window", 40, "settlement window length in controller ticks")
+		econSeed      = flag.Int64("econ-seed", 1, "settlement Monte-Carlo seed")
+		econThreshold = flag.Float64("econ-threshold", 0.7, "utilization above which congestion pricing engages")
+
 		regions  = flag.Int("regions", 0, "serve an in-process federation of N broker regions under /federation/* (0 = off)")
 		region   = flag.Int("region", -1, "reserved: this brokerd's region id in a multi-process federation")
 		peers    = flag.String("peers", "", "reserved: comma-separated peer brokerd URLs for a multi-process federation")
@@ -110,6 +128,17 @@ func main() {
 		fmt.Printf("brokerd: federation of %d regions (%s), crossing cost %.1fms\n",
 			*regions, srv.fedBanner(), *crossing)
 	}
+	if *econOn {
+		if err := srv.enableEcon(econConfig{
+			Every: *econEvery, WindowTicks: *econWindow,
+			Seed: *econSeed, Threshold: *econThreshold,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "brokerd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("brokerd: economics plane live (reprice every %v, settle every %d ticks, seed %d)\n",
+			*econEvery, *econWindow, *econSeed)
+	}
 	snap := srv.pub.Current()
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
 		top.NumNodes(), snap.NumBrokers(), 100*snap.Connectivity(), *addr)
@@ -140,6 +169,9 @@ func main() {
 	}
 	if srv.fed != nil {
 		go srv.runFederationLoop(ctx, 100*time.Millisecond)
+	}
+	if *econOn {
+		go srv.runEconLoop(ctx)
 	}
 	done := make(chan error, 1)
 	go func() {

@@ -36,6 +36,7 @@ func (s *server) initObs() {
 		})
 	})
 
+	s.registerEconCollectors()
 	s.httpReqs = s.reg.Counter("http_requests_total", "HTTP requests served")
 	s.httpHist = s.reg.Histogram("http_request_seconds", "HTTP request latency")
 	s.reg.RegisterCollector(func(emit func(obs.Sample)) {

@@ -59,6 +59,11 @@ type server struct {
 	// set); see federation.go for the lock protocol and endpoints.
 	fed *fedState
 
+	// econ is the live economics plane (nil unless -econ is set); the
+	// query plane's admission hook and the /econ/* handlers read it with
+	// one atomic load, so the disabled path stays effectively free.
+	econ econPointer
+
 	// Unified observability (see initObs): metrics registry, request
 	// tracer, control-plane flight recorder, HTTP front-door instruments.
 	reg      *obs.Registry
@@ -112,6 +117,10 @@ func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int6
 			snap := s.pub.Current()
 			return snap.ID() == gen && snap.PathValid(p, opts)
 		},
+		// The server itself is the admission hook: it delegates to the
+		// econ plane when -econ enabled one, and admits everything (one
+		// atomic nil-check) otherwise.
+		Admission: s,
 		Compute: func(ctx context.Context, src, dst int, opts routing.Options) (*routing.Path, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -226,6 +235,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/sessions", s.handleSessions)
 	mux.HandleFunc("/sessions/", s.handleSessionByID)
 	mux.HandleFunc("/churn", s.handleChurn)
+	mux.HandleFunc("/econ/price", s.handleEconPrice)
+	mux.HandleFunc("/econ/quote", s.handleEconQuote)
+	mux.HandleFunc("/econ/settlement", s.handleEconSettlement)
+	mux.HandleFunc("/econ/stats", s.handleEconStats)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
 	if s.fed != nil {
@@ -456,9 +469,12 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
 		return
 	}
-	p, cached, err := s.qp.Query(r.Context(), src, dst, opts)
+	p, cached, err := s.qp.QueryBid(r.Context(), src, dst, opts, parseBid(r))
 	if err != nil {
+		var pe *queryplane.PriceError
 		switch {
+		case errors.As(err, &pe):
+			s.writePriceRejection(w, pe.Quote)
 		case errors.Is(err, queryplane.ErrShed):
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.qp.RetryAfter().Seconds())))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -476,6 +492,9 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Cache", "miss")
 	}
+	// Each served path credits the coalition members that carry it with
+	// one settlement unit (no-op while the econ plane is disabled).
+	s.recordCarriers(p.Nodes, 1)
 	names := make([]string, len(p.Nodes))
 	for i, u := range p.Nodes {
 		names[i] = s.top.Name[u]
@@ -600,6 +619,9 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.sessions.Put(sess)
+		// A committed reservation credits its carrying brokers with the
+		// session's bandwidth in settlement units.
+		s.recordCarriers(sess.Path, sess.Bandwidth)
 		writeJSON(w, http.StatusCreated, sessionJSON(sess))
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "GET or POST")

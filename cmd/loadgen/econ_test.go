@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunEconPriceShock drives the full -econ path on a small topology: the
+// scenario clock forces the controller through the demand shock while the
+// workers bid, and the report carries the econ summary line. -econ-assert
+// turns ledger conservation and the price trajectory into the exit code.
+func TestRunEconPriceShock(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := run([]string{
+		"-scale", "0.01", "-k", "20", "-c", "4", "-d", "1500ms",
+		"-econ", "price-shock", "-econ-seed", "1", "-econ-assert",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if rep.Econ == nil {
+		t.Fatal("report missing econ summary")
+	}
+	if rep.Econ.Scenario != "price-shock" {
+		t.Fatalf("scenario = %q", rep.Econ.Scenario)
+	}
+	if rep.Econ.Admitted == 0 || rep.Econ.Settlements == 0 || rep.Econ.LastPrice <= 0 {
+		t.Fatalf("econ summary empty: %+v", rep.Econ)
+	}
+	text := out.String()
+	if !strings.Contains(text, "econ:") || !strings.Contains(text, "asserts passed") {
+		t.Fatalf("missing econ output:\n%s", text)
+	}
+}
+
+func TestRunEconFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-econ", "no-such-scenario"}, &out); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := run([]string{"-econ", "price-shock", "-addr", "http://localhost:1"}, &out); err == nil {
+		t.Fatal("-econ with -addr accepted")
+	}
+	if _, err := run([]string{"-econ", "price-shock", "-regions", "2"}, &out); err == nil {
+		t.Fatal("-econ with -regions accepted")
+	}
+}

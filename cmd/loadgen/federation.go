@@ -1,0 +1,200 @@
+// Federation mode: loadgen builds an N-region broker federation in
+// process, points the closed-loop workers at cross-region stitched path
+// queries, and concurrently drives the fabric — clock ticks, gossip,
+// a trickle of cross-region session setups/teardowns, and (optionally)
+// a mid-run region crash — all over the fault-injected inter-region bus.
+// At the end of the run the fabric must reconcile to a conserved state;
+// an invariant violation dumps the flight recorder and fails the run.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/federation"
+	"brokerset/internal/obs"
+	"brokerset/internal/routing"
+	"brokerset/internal/topology"
+	"brokerset/internal/workload"
+)
+
+// fedStack owns the in-process federation and the mutex ordering every
+// touch of it. The fabric itself is not internally synchronized: workers
+// (stitch queries), the driver goroutine (ticks, gossip, sessions), and
+// the final reconcile all serialize through mu.
+type fedStack struct {
+	mu     sync.Mutex
+	fabric *federation.Fabric
+	top    *topology.Topology
+	flight *obs.FlightRecorder
+
+	crashTarget int // transit region crashed mid-run by -fed-crash
+}
+
+func newFedStack(scale float64, seed int64, regions, budget int, crossing, loss, dup float64) (*fedStack, error) {
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	cfg := federation.Config{
+		Regions:        regions,
+		BrokerBudget:   budget,
+		CrossingCostMs: crossing,
+		Seed:           seed,
+		Retry:          ctrlplane.RetryConfig{MaxAttempts: 4, LeaseTTL: 60, BreakerThreshold: 1000},
+	}
+	if loss > 0 || dup > 0 {
+		rates := ctrlplane.FaultRates{Drop: loss, Duplicate: dup}
+		cfg.PeerFaults = &ctrlplane.FaultConfig{Seed: seed, ToBroker: rates, ToCoord: rates}
+	}
+	fabric, err := federation.New(top, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fr := obs.NewFlightRecorder(1 << 14)
+	fabric.SetFlightRecorder(fr)
+	// Crash a transit region, never an edge one: endpoints stay routable
+	// and the run exercises re-stitching rather than total blackout.
+	return &fedStack{fabric: fabric, top: top, flight: fr, crashTarget: regions / 2}, nil
+}
+
+// fedTarget answers workload queries with cross-region stitched paths,
+// honoring a shedding region's Retry-After exactly like HTTPTarget
+// honors a 429: sleep the advertised backoff (capped), re-issue, and
+// give up after MaxRetries with the refusing region recorded.
+type fedTarget struct {
+	stack      *fedStack
+	opts       routing.Options
+	maxRetries int
+	maxWait    time.Duration
+}
+
+func (t *fedTarget) Query(src, dst int32) (workload.Outcome, error) {
+	retries := 0
+	for {
+		t.stack.mu.Lock()
+		_, err := t.stack.fabric.StitchPath(context.Background(), src, dst, t.opts)
+		t.stack.mu.Unlock()
+		var shed *federation.ShedError
+		switch {
+		case err == nil:
+			return workload.Outcome{Found: true, Retries: retries}, nil
+		case errors.As(err, &shed):
+			if retries >= t.maxRetries {
+				return workload.Outcome{Shed: true, Retries: retries, ShedRegion: shed.Region}, nil
+			}
+			retries++
+			wait := shed.RetryAfter
+			if wait <= 0 || wait > t.maxWait {
+				wait = t.maxWait
+			}
+			time.Sleep(wait)
+		case errors.Is(err, federation.ErrNoRoute):
+			return workload.Outcome{Retries: retries}, nil
+		default:
+			return workload.Outcome{Retries: retries}, err
+		}
+	}
+}
+
+// drive advances the fabric until stop closes: every interval it ticks
+// the lease clocks, gossips every 5th tick, and attempts one cross-region
+// session setup (tearing down the oldest once a few are live) so the 2PC
+// machinery runs under the same faults the queries see. With crash set,
+// the target transit region is crashed a third of the way through the
+// run and recovered at two thirds.
+func (s *fedStack) drive(stop <-chan struct{}, dur time.Duration, interval time.Duration, crash bool, seed int64) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	n := int32(s.top.NumNodes())
+	var live []*federation.Session
+	tick := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		tick++
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		s.fabric.Tick()
+		if tick%5 == 0 {
+			s.fabric.GossipTick()
+		}
+		if crash {
+			switch {
+			case elapsed > dur/3 && elapsed < 2*dur/3 && !s.fabric.RegionCrashed(s.crashTarget):
+				s.fabric.CrashRegion(s.crashTarget)
+			case elapsed >= 2*dur/3 && s.fabric.RegionCrashed(s.crashTarget):
+				s.fabric.RecoverRegion(s.crashTarget)
+			}
+		}
+		src, dst := rng.Int31n(n), rng.Int31n(n)
+		if sess, err := s.fabric.Setup(context.Background(), src, dst, 0.1, routing.Options{}); err == nil {
+			live = append(live, sess)
+		}
+		if len(live) > 4 {
+			sess := live[0]
+			live = live[1:]
+			if sess.State == ctrlplane.StateCommitted {
+				_ = s.fabric.Teardown(context.Background(), sess)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// finish recovers any crashed region, reconciles the fabric to
+// quiescence, and checks conservation invariants in every region's WAL.
+// On violation the flight recorder is dumped to $FLIGHT_DUMP (or a temp
+// file) so CI can attach it, and the error fails the run.
+func (s *fedStack) finish(out io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r := 0; r < s.fabric.NumRegions(); r++ {
+		if s.fabric.RegionCrashed(r) {
+			s.fabric.RecoverRegion(r)
+		}
+	}
+	ctx := context.Background()
+	if err := s.fabric.Reconcile(ctx); err != nil {
+		s.dumpFlight(out, err)
+		return fmt.Errorf("federation reconcile: %w", err)
+	}
+	if err := s.fabric.CheckInvariants(); err != nil {
+		s.dumpFlight(out, err)
+		return fmt.Errorf("federation invariant violation: %w", err)
+	}
+	st := s.fabric.Stats()
+	fmt.Fprintf(out, "fed:      %d setups (%d commits, %d aborts), %d peer msgs, %d retries, %d rollbacks, %d restitched, %d crashes\n",
+		st.Setups, st.Commits, st.Aborts, st.PeerMessages, st.PeerRetries, st.Rollbacks, st.Restitched, st.RegionCrashes)
+	return nil
+}
+
+func (s *fedStack) dumpFlight(out io.Writer, violation error) {
+	path := os.Getenv("FLIGHT_DUMP")
+	if path == "" {
+		path = "fed-flight.jsonl"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(out, "fed: flight dump failed: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := s.flight.Dump(f, map[string]any{"violation": violation.Error()}); err != nil {
+		fmt.Fprintf(out, "fed: flight dump failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "fed: flight recorder dumped to %s (%d events)\n", path, s.flight.Len())
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFederationSmoke drives the in-process federation path end to
+// end: regions built, stitched queries answered closed-loop, the driver
+// goroutine ticking/gossiping/setting up sessions concurrently, and the
+// final reconcile + invariant check passing.
+func TestRunFederationSmoke(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := run([]string{
+		"-regions", "3", "-scale", "0.02", "-k", "40", "-c", "4",
+		"-d", "800ms", "-fed-every", "10ms",
+		"-fed-loss", "0.03", "-fed-dup", "0.03",
+	}, &out)
+	if err != nil {
+		t.Fatalf("federation run: %v\noutput:\n%s", err, out.String())
+	}
+	if rep.Requests == 0 || rep.Errors != 0 {
+		t.Fatalf("requests = %d, errors = %d, want >0 / 0\n%s", rep.Requests, rep.Errors, out.String())
+	}
+	if !strings.Contains(out.String(), "in-process federation, 3 regions") {
+		t.Fatalf("missing federation banner:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fed: ") {
+		t.Fatalf("missing federation summary line:\n%s", out.String())
+	}
+}
+
+// TestRunFederationCrashRecovers runs long enough for -fed-crash to
+// crash and recover a transit region mid-run; the run must still end
+// with invariants green.
+func TestRunFederationCrashRecovers(t *testing.T) {
+	var out bytes.Buffer
+	_, err := run([]string{
+		"-regions", "3", "-scale", "0.02", "-k", "40", "-c", "4",
+		"-d", "900ms", "-fed-every", "10ms", "-fed-crash",
+	}, &out)
+	if err != nil {
+		t.Fatalf("federation crash run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1 crashes") {
+		t.Fatalf("crash was not injected:\n%s", out.String())
+	}
+}
+
+// TestRunFederationExclusiveFlags rejects combining the churn stack with
+// the federation fabric.
+func TestRunFederationExclusiveFlags(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run([]string{"-regions", "3", "-churn-every", "100ms"}, &out); err == nil {
+		t.Fatal("federation + churn accepted")
+	}
+}

@@ -18,6 +18,13 @@
 // while the workers keep querying):
 //
 //	loadgen -scale 0.1 -k 100 -c 32 -d 10s -churn-every 500ms -churn-events 4
+//
+// In-process economics scenario (the market controller is forced through
+// the scenario's demand trace while the workers bid for admission; the
+// final report carries an econ summary line and -econ-assert turns the
+// run's economic invariants into an exit code):
+//
+//	loadgen -econ price-shock -c 16 -d 10s -econ-assert
 package main
 
 import (
@@ -65,6 +72,10 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		churnEvents = fs.Int("churn-events", 4, "events per churn burst")
 		churnSeed   = fs.Int64("churn-seed", 42, "churn generator seed")
 
+		econName   = fs.String("econ", "", "in-process economics scenario: price-shock, free-rider, or broker-defection")
+		econSeed   = fs.Int64("econ-seed", 1, "econ bid + settlement seed")
+		econAssert = fs.Bool("econ-assert", false, "fail unless the econ run conserves its ledger and the price trajectory is sane")
+
 		regions   = fs.Int("regions", 0, "in-process federation: broker regions (0 = off)")
 		fedLoss   = fs.Float64("fed-loss", 0, "federation inter-region bus drop rate")
 		fedDup    = fs.Float64("fed-dup", 0, "federation inter-region bus duplicate rate")
@@ -91,9 +102,25 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		top    *topology.Topology
 		stack  *churnStack
 		fed    *fedStack
+		econ   *econStack
 		err    error
 	)
 	switch {
+	case *econName != "":
+		if *addr != "" || *regions > 0 || *churnEvery > 0 {
+			return nil, fmt.Errorf("-econ is in-process only and exclusive with -addr/-regions/-churn-every")
+		}
+		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		econ, err = newEconStack(top, *k, *econName, *econSeed)
+		if err != nil {
+			return nil, err
+		}
+		target = &econTarget{stack: econ, opts: opts}
+		fmt.Fprintf(out, "loadgen: econ scenario %s over %d nodes, %d workers (seed %d, %d ticks, window %d)\n",
+			*econName, top.NumNodes(), cfg.Concurrency, *econSeed, econ.spec.Ticks, econ.spec.WindowTicks)
 	case *addr != "":
 		if *churnEvery > 0 {
 			return nil, fmt.Errorf("-churn-every is in-process only (use brokerd -churn against a live server)")
@@ -183,13 +210,34 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 			fed.drive(fedStop, *dur, *fedEvery, *fedCrash, *seed)
 		}()
 	}
+	var (
+		econStop chan struct{}
+		econDone chan struct{}
+	)
+	if econ != nil {
+		econStop, econDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(econDone)
+			econ.drive(econStop, *dur)
+		}()
+	}
 	rep, err := workload.Run(target, newGen, cfg)
 	if fed != nil {
 		close(fedStop)
 		<-fedDone
 	}
+	if econ != nil {
+		close(econStop)
+		<-econDone
+	}
 	if err != nil {
 		return nil, err
+	}
+	if econ != nil {
+		if err := econ.finish(rep, out, *econAssert); err != nil {
+			fmt.Fprintln(out, rep)
+			return rep, err
+		}
 	}
 	fmt.Fprintln(out, rep)
 	if fed != nil {

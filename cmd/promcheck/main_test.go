@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"brokerset/internal/market"
+	"brokerset/internal/obs"
+)
+
+// marketExposition renders a live economics plane through the registry —
+// the same text a brokerd -econ scrape produces.
+func marketExposition(t *testing.T) string {
+	t.Helper()
+	ctrl, err := market.NewController(market.Config{DemandRef: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm := market.NewAdmission(ctrl)
+	set := market.NewSettlement(market.SettlementConfig{Seed: 5})
+	if _, err := ctrl.Reprice(market.Sample{Utilization: 0.5, Demand: 96}); err != nil {
+		t.Fatal(err)
+	}
+	adm.Admit(ctrl.Price())
+	set.Record([]int32{1, 2}, 3)
+	set.Settle(adm.DrainRevenue(), ctrl.Ticks())
+	reg := obs.NewRegistry()
+	market.RegisterMetrics(reg, ctrl, adm, set)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestPromcheckValidatesAndRequires(t *testing.T) {
+	text := marketExposition(t)
+	var out bytes.Buffer
+
+	// Plain validation still works flag-free.
+	if err := run(nil, strings.NewReader(text), &out); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+
+	// The market families round-trip through the scrape text.
+	err := run([]string{"-require",
+		"market_price_units,market_admitted_total,market_revenue_units_total,market_settlements_total"},
+		strings.NewReader(text), &out)
+	if err != nil {
+		t.Fatalf("required market families not found: %v", err)
+	}
+
+	// A missing family is named in the failure.
+	err = run([]string{"-require", "market_price_units,market_bogus_total"},
+		strings.NewReader(text), &out)
+	if err == nil || !strings.Contains(err.Error(), "market_bogus_total") {
+		t.Fatalf("missing family not reported: %v", err)
+	}
+
+	// A malformed family name fails the naming gate before presence.
+	if err := run([]string{"-require", "Bad-Name"}, strings.NewReader(text), &out); err == nil {
+		t.Fatal("invalid family name accepted")
+	}
+}
+
+func TestPromcheckRejectsInvalidExposition(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("not a metric line {{{\n"), &out); err == nil {
+		t.Fatal("invalid exposition accepted")
+	}
+}
+
+func TestPromcheckHistogramChildrenSatisfyRequire(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("rpc_seconds", "request latency")
+	h.Observe(1)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-require", "rpc_seconds"}, strings.NewReader(buf.String()), &out); err != nil {
+		t.Fatalf("histogram base family not matched from children: %v", err)
+	}
+}

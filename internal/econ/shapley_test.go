@@ -1,0 +1,101 @@
+package econ
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomGame builds a deterministic random monotone characteristic function
+// over n players: each player gets a base weight and each pair a synergy
+// bonus, so marginal contributions vary with coalition composition and the
+// game is not additive (the interesting regime for estimator agreement).
+func randomGame(n int, rng *rand.Rand) CoalitionValue {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64() * 4
+	}
+	syn := make([][]float64, n)
+	for i := range syn {
+		syn[i] = make([]float64, n)
+		for j := i + 1; j < n; j++ {
+			syn[i][j] = rng.Float64()
+		}
+	}
+	return func(mask uint64) float64 {
+		var v float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			v += w[i]
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					v += syn[i][j]
+				}
+			}
+		}
+		return v
+	}
+}
+
+// TestShapleyExactVsMonteCarloAgreement is a property test over random
+// coalition games with at most 8 players: the Monte-Carlo estimator must
+// agree with the exact subset-sum computation per player within a tolerance
+// that shrinks-by-construction with the sample count.
+func TestShapleyExactVsMonteCarloAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(7) // 2..8 players
+		v := Memoize(randomGame(n, rng))
+		exact, err := ShapleyExact(n, v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mc, err := ShapleyMonteCarlo(n, v, 6000, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		grand := v((uint64(1) << n) - 1)
+		for j := range exact {
+			// Tolerance relative to the game's scale: 6000 permutation
+			// samples put the estimator well within 5% of the grand value.
+			if diff := math.Abs(exact[j] - mc[j]); diff > 0.05*grand {
+				t.Fatalf("trial %d (n=%d) player %d: exact %g vs MC %g (diff %g, grand %g)",
+					trial, n, j, exact[j], mc[j], diff, grand)
+			}
+		}
+	}
+}
+
+// TestShapleyEfficiencyAxiomProperty checks the efficiency axiom — Shapley
+// values sum exactly to the grand-coalition value — as a property over
+// random games, for both the exact computation (machine-epsilon scale) and
+// the Monte-Carlo estimator (exact by construction: every sampled
+// permutation telescopes to v(N) − v(∅)).
+func TestShapleyEfficiencyAxiomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(8) // 1..8 players
+		v := Memoize(randomGame(n, rng))
+		grand := v((uint64(1) << n) - 1)
+
+		exact, err := ShapleyExact(n, v)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gap := Efficiency(exact, v); gap > 1e-9*math.Max(1, grand) {
+			t.Fatalf("trial %d (n=%d): exact efficiency gap %g (grand %g)", trial, n, gap, grand)
+		}
+
+		mc, err := ShapleyMonteCarlo(n, v, 200, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// v(∅) = 0 for randomGame, so the telescoping sum makes every
+		// Monte-Carlo estimate efficient up to float accumulation error.
+		if gap := Efficiency(mc, v); gap > 1e-9*math.Max(1, grand) {
+			t.Fatalf("trial %d (n=%d): Monte-Carlo efficiency gap %g (grand %g)", trial, n, gap, grand)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package market
+
+import (
+	"sync/atomic"
+)
+
+// Admission is the priced admission gate: it implements the queryplane's
+// Admission hook (Admit(bid) (admitted, quote)) against the controller's
+// published price. Semantics:
+//
+//   - Uncongested (utilization below the threshold at the last reprice):
+//     every request is admitted. A positive bid pays min(bid, price); a
+//     zero bid rides free — this is exactly the backward-compatible
+//     free-rider regime, and the loadgen free-rider scenario measures it.
+//   - Congested: a request is admitted iff bid ≥ price, and pays price.
+//     Refused requests are told the quote so they can re-bid.
+//
+// Admit is a few atomic operations; it is safe to run on the query hot
+// path in front of the cache.
+type Admission struct {
+	ctrl *Controller
+
+	admitted     atomic.Uint64 // all admissions
+	admittedFree atomic.Uint64 // admissions that paid nothing (zero bid)
+	rejected     atomic.Uint64 // congested refusals (bid < price)
+	revenue      floatAdder    // accumulated payments
+}
+
+// floatAdder accumulates a float64 with CAS (identical contract to
+// obs.FloatCounter, local so market has no obs dependency on the hot
+// path).
+type floatAdder struct{ bits atomic.Uint64 }
+
+func (a *floatAdder) add(v float64) {
+	if v <= 0 {
+		return
+	}
+	for {
+		old := a.bits.Load()
+		next := f64bits(f64from(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *floatAdder) load() float64 { return f64from(a.bits.Load()) }
+
+// NewAdmission builds the gate over a controller.
+func NewAdmission(ctrl *Controller) *Admission {
+	return &Admission{ctrl: ctrl}
+}
+
+// Admit implements queryplane.Admission.
+func (a *Admission) Admit(bid float64) (bool, float64) {
+	price := a.ctrl.Price()
+	if !a.ctrl.Congested() {
+		a.admitted.Add(1)
+		if bid <= 0 {
+			a.admittedFree.Add(1)
+		} else {
+			pay := bid
+			if pay > price {
+				pay = price
+			}
+			a.revenue.add(pay)
+		}
+		return true, price
+	}
+	if bid < price {
+		a.rejected.Add(1)
+		return false, price
+	}
+	a.admitted.Add(1)
+	a.revenue.add(price)
+	return true, price
+}
+
+// Stats is a point-in-time snapshot of the gate's counters.
+type AdmissionStats struct {
+	// Admitted counts all admitted requests; AdmittedFree is the zero-bid
+	// subset that paid nothing.
+	Admitted     uint64 `json:"admitted"`
+	AdmittedFree uint64 `json:"admitted_free"`
+	// PriceRejected counts congested refusals (bid below quote).
+	PriceRejected uint64 `json:"price_rejected"`
+	// Revenue is the accumulated payments in price units.
+	Revenue float64 `json:"revenue"`
+}
+
+// Stats snapshots the counters.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:      a.admitted.Load(),
+		AdmittedFree:  a.admittedFree.Load(),
+		PriceRejected: a.rejected.Load(),
+		Revenue:       a.revenue.load(),
+	}
+}
+
+// Revenue returns the accumulated payments.
+func (a *Admission) Revenue() float64 { return a.revenue.load() }
+
+// DrainRevenue atomically takes the accumulated revenue and resets it to
+// zero — the settlement engine calls it at each window close so every unit
+// of revenue lands in exactly one settlement record.
+func (a *Admission) DrainRevenue() float64 {
+	for {
+		old := a.revenue.bits.Load()
+		if a.revenue.bits.CompareAndSwap(old, f64bits(0)) {
+			return f64from(old)
+		}
+	}
+}

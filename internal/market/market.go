@@ -1,0 +1,261 @@
+// Package market is the live economics plane: it closes the loop between
+// the observability substrate and the serving stack by turning the offline
+// game theory of internal/econ into a running control system. A Controller
+// periodically samples utilization, demand, and session counts, re-solves
+// the Stackelberg leader-pricing game against a demand-scaled follower
+// population, applies a congestion multiplier, and publishes the smoothed
+// result as the current broker price. An Admission gate prices scarcity on
+// the query hot path — below the congestion threshold everything (zero
+// bids included) is admitted; above it a query must bid at least the
+// congestion-adjusted price. A Settlement engine accumulates which brokers
+// carried each admitted unit of traffic and periodically splits the
+// accrued revenue by Shapley value (exact for small carrier sets,
+// seeded Monte-Carlo beyond), appending conservation-checked records to an
+// append-only Ledger.
+//
+// Everything in this package is deterministic given its input sequence:
+// pricing is a pure function of the sampled state, and settlement sampling
+// is seeded per window, so a replayed scenario reproduces the exact price
+// trajectory and ledger (see Simulate and TestScenarioDeterminism).
+package market
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"brokerset/internal/econ"
+)
+
+// Sample is one observation of the serving stack the controller prices
+// against. All fields are dimensionless or in request units per tick.
+type Sample struct {
+	// Utilization is compute-stage occupancy in [0,1] (queryplane
+	// Occupancy, possibly blended with link utilization).
+	Utilization float64
+	// Demand is offered load since the previous sample, in requests.
+	Demand float64
+	// Sessions is the number of active QoS sessions.
+	Sessions int
+}
+
+// Config parameterizes a Controller. Zero values get serving defaults;
+// pricing inputs (Leader, Customers) default to a calibrated population
+// matching the §7 evaluation's shape.
+type Config struct {
+	// Leader is the Stackelberg leader (the broker coalition).
+	Leader econ.Broker
+	// Customers is the follower population template. Reprice scales each
+	// follower's Value by the observed demand index before solving, so the
+	// equilibrium price tracks measured demand instead of a static guess.
+	Customers []econ.Customer
+	// CongestionThreshold is the utilization above which admission starts
+	// pricing scarcity (default 0.7). Below it, all traffic is admitted.
+	CongestionThreshold float64
+	// CongestionGain scales how fast the price multiplier grows past the
+	// threshold (default 4).
+	CongestionGain float64
+	// MaxMultiplier caps the congestion multiplier (default 8).
+	MaxMultiplier float64
+	// Smoothing is the EMA weight of the newest equilibrium price in
+	// (0,1]; default 0.3. 1 disables smoothing.
+	Smoothing float64
+	// DemandRef is the per-tick demand (requests) that maps to demand
+	// index 1.0 (default 256). Observed demand is normalized by it and
+	// clamped to [0.25, 4] before scaling the follower population.
+	DemandRef float64
+}
+
+func (c *Config) defaults() {
+	if c.Leader.MaxPrice == 0 {
+		c.Leader = econ.Broker{UnitCost: 0.4, HireFraction: 0.1, Beta: 4, MaxPrice: 12}
+	}
+	if len(c.Customers) == 0 {
+		c.Customers = DefaultCustomers()
+	}
+	if c.CongestionThreshold <= 0 || c.CongestionThreshold >= 1 {
+		c.CongestionThreshold = 0.7
+	}
+	if c.CongestionGain <= 0 {
+		c.CongestionGain = 4
+	}
+	if c.MaxMultiplier < 1 {
+		c.MaxMultiplier = 8
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		c.Smoothing = 0.3
+	}
+	if c.DemandRef <= 0 {
+		c.DemandRef = 256
+	}
+}
+
+// DefaultCustomers returns the standard follower population: three AS
+// classes (high-paid movers, mid-tier, low-tier laggards) with parameters
+// in the ranges internal/experiments uses for the §7 reproduction.
+func DefaultCustomers() []econ.Customer {
+	return []econ.Customer{
+		{Name: "high-paid", BaseRate: 0.10, Value: 8, Curvature: 3, TransitGain: 1.5, PaidRelief: 2.5},
+		{Name: "mid-tier", BaseRate: 0.15, Value: 6, Curvature: 2, TransitGain: 2.0, PaidRelief: 1.0},
+		{Name: "low-tier", BaseRate: 0.20, Value: 4, Curvature: 2, TransitGain: 2.5, PaidRelief: 0.5},
+	}
+}
+
+// Quote is the externally visible pricing state at one instant.
+type Quote struct {
+	// Price is the congestion-adjusted, smoothed current price per
+	// admitted request.
+	Price float64 `json:"price"`
+	// BasePrice is the raw Stackelberg equilibrium price before the
+	// congestion multiplier and smoothing.
+	BasePrice float64 `json:"base_price"`
+	// Multiplier is the congestion multiplier applied at the last reprice.
+	Multiplier float64 `json:"multiplier"`
+	// Congested reports utilization at or above the threshold: admission
+	// is comparing bids against Price.
+	Congested bool `json:"congested"`
+	// Utilization is the utilization the last reprice saw.
+	Utilization float64 `json:"utilization"`
+	// Adoption is the total follower adoption α at the last equilibrium.
+	Adoption float64 `json:"adoption"`
+	// Tick counts reprices since the controller started.
+	Tick uint64 `json:"tick"`
+}
+
+// Controller runs the online Stackelberg pricing loop. Reprice is called
+// by a driver (brokerd's econ loop, loadgen's scenario driver, or the
+// deterministic simulator); between calls the published price is read
+// lock-free by the admission gate and the /econ endpoints.
+type Controller struct {
+	cfg Config
+
+	// price and congested are the hot-path-readable outputs, updated
+	// atomically at each reprice.
+	price     atomicFloat
+	congested atomic.Bool
+
+	mu    sync.Mutex
+	quote Quote
+	ticks atomic.Uint64
+}
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+func f64from(b uint64) float64 { return math.Float64frombits(b) }
+
+// atomicFloat is a float64 published through a uint64 bit store.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// NewController builds a controller and primes the price with the
+// equilibrium of the unscaled follower population, so the first admitted
+// request already pays a meaningful price.
+func NewController(cfg Config) (*Controller, error) {
+	cfg.defaults()
+	if err := cfg.Leader.Validate(); err != nil {
+		return nil, err
+	}
+	for _, cu := range cfg.Customers {
+		if err := cu.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	c := &Controller{cfg: cfg}
+	eq, err := econ.StackelbergEquilibrium(cfg.Leader, cfg.Customers)
+	if err != nil {
+		return nil, fmt.Errorf("market: priming equilibrium: %w", err)
+	}
+	c.price.store(eq.Price)
+	c.quote = Quote{Price: eq.Price, BasePrice: eq.Price, Multiplier: 1, Adoption: eq.TotalTraffic}
+	return c, nil
+}
+
+// demandIndex normalizes observed demand into the [0.25, 4] scale factor
+// applied to the follower population's Value.
+func (c *Controller) demandIndex(demand float64) float64 {
+	idx := demand / c.cfg.DemandRef
+	if idx < 0.25 {
+		return 0.25
+	}
+	if idx > 4 {
+		return 4
+	}
+	return idx
+}
+
+// multiplier maps utilization to the congestion price multiplier: 1 below
+// the threshold, then 1 + Gain·(u−thr)/(1−thr) capped at MaxMultiplier.
+func (c *Controller) multiplier(u float64) float64 {
+	thr := c.cfg.CongestionThreshold
+	if u < thr {
+		return 1
+	}
+	m := 1 + c.cfg.CongestionGain*(u-thr)/(1-thr)
+	if m > c.cfg.MaxMultiplier {
+		m = c.cfg.MaxMultiplier
+	}
+	return m
+}
+
+// Reprice runs one pricing iteration against the sample: scale the
+// follower population by the demand index, solve the Stackelberg game,
+// apply the congestion multiplier, and EMA-smooth into the published
+// price. It returns the new quote. Deterministic: the same sample sequence
+// always yields the same price trajectory.
+func (c *Controller) Reprice(s Sample) (Quote, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	idx := c.demandIndex(s.Demand)
+	scaled := make([]econ.Customer, len(c.cfg.Customers))
+	for i, cu := range c.cfg.Customers {
+		cu.Value *= idx
+		scaled[i] = cu
+	}
+	eq, err := econ.StackelbergEquilibrium(c.cfg.Leader, scaled)
+	if err != nil {
+		return c.quote, err
+	}
+	u := s.Utilization
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	mult := c.multiplier(u)
+	target := eq.Price * mult
+	alpha := c.cfg.Smoothing
+	price := (1-alpha)*c.quote.Price + alpha*target
+
+	c.quote = Quote{
+		Price:       price,
+		BasePrice:   eq.Price,
+		Multiplier:  mult,
+		Congested:   u >= c.cfg.CongestionThreshold,
+		Utilization: u,
+		Adoption:    eq.TotalTraffic,
+		Tick:        c.ticks.Add(1),
+	}
+	c.price.store(price)
+	c.congested.Store(c.quote.Congested)
+	return c.quote, nil
+}
+
+// Price returns the current published price. Lock-free.
+func (c *Controller) Price() float64 { return c.price.load() }
+
+// Congested reports whether the last reprice saw utilization at or above
+// the congestion threshold. Lock-free.
+func (c *Controller) Congested() bool { return c.congested.Load() }
+
+// Quote returns the full pricing state from the last reprice.
+func (c *Controller) Quote() Quote {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quote
+}
+
+// Ticks returns the number of reprices run.
+func (c *Controller) Ticks() uint64 { return c.ticks.Load() }

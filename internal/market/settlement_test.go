@@ -1,0 +1,157 @@
+package market
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSettleExactSmallWindow(t *testing.T) {
+	set := NewSettlement(SettlementConfig{Seed: 7})
+	// Broker 1 carries alone twice; 2 and 3 always share. The coverage
+	// game gives 1 full credit for its solo units and splits the shared
+	// request between 2 and 3.
+	set.Record([]int32{1}, 2)
+	set.Record([]int32{2, 3}, 1)
+	rec := set.Settle(6, 1)
+	if rec.Method != "exact" {
+		t.Fatalf("method %q, want exact", rec.Method)
+	}
+	// v coverage: solo units 2 for {1}, 1 for {2,3} → Shapley over units:
+	// φ1 = 2, φ2 = φ3 = 0.5; revenue-scaled: 4, 1, 1.
+	if got := rec.Share(1); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("broker 1 share %g, want 4", got)
+	}
+	if got := rec.Share(2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("broker 2 share %g, want 1", got)
+	}
+	if got := rec.Share(3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("broker 3 share %g, want 1", got)
+	}
+	if err := set.CheckConservation(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSettleMonteCarloConservesAndIsDeterministic(t *testing.T) {
+	run := func() Record {
+		set := NewSettlement(SettlementConfig{Seed: 42, MaxExact: 4, Samples: 500})
+		rng := rand.New(rand.NewSource(9))
+		brokers := make([]int32, 16)
+		for i := range brokers {
+			brokers[i] = int32(i)
+		}
+		for i := 0; i < 300; i++ {
+			nc := 1 + rng.Intn(3)
+			c := make([]int32, 0, nc)
+			for len(c) < nc {
+				b := brokers[rng.Intn(len(brokers))]
+				dup := false
+				for _, x := range c {
+					dup = dup || x == b
+				}
+				if !dup {
+					c = append(c, b)
+				}
+			}
+			set.Record(c, 1)
+		}
+		rec := set.Settle(123.456, 1)
+		if err := set.CheckConservation(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	a, b := run(), run()
+	if a.Method != "montecarlo" {
+		t.Fatalf("method %q, want montecarlo (16 carriers > MaxExact 4)", a.Method)
+	}
+	if len(a.Splits) != len(b.Splits) {
+		t.Fatalf("split lengths differ: %d vs %d", len(a.Splits), len(b.Splits))
+	}
+	for i := range a.Splits {
+		if a.Splits[i] != b.Splits[i] {
+			t.Fatalf("split %d: %v != %v (seeded Monte-Carlo must replay bitwise)", i, a.Splits[i], b.Splits[i])
+		}
+	}
+	var sum float64
+	for _, v := range a.Splits {
+		sum += v
+	}
+	if sum != a.Revenue {
+		t.Fatalf("splits sum %v != revenue %v (conservation is exact by construction)", sum, a.Revenue)
+	}
+}
+
+func TestSettleWindowsResetAccumulator(t *testing.T) {
+	set := NewSettlement(SettlementConfig{})
+	set.Record([]int32{5}, 3)
+	r0 := set.Settle(10, 1)
+	if r0.Window != 0 || r0.Units != 3 {
+		t.Fatalf("window 0: %+v", r0)
+	}
+	// Next window starts empty: same revenue, different carrier.
+	set.Record([]int32{6}, 1)
+	r1 := set.Settle(10, 2)
+	if r1.Window != 1 {
+		t.Fatalf("window index %d, want 1", r1.Window)
+	}
+	if r1.Share(5) != 0 {
+		t.Fatalf("stale broker 5 credited %g in window 1", r1.Share(5))
+	}
+	if math.Abs(r1.Share(6)-10) > 1e-9 {
+		t.Fatalf("broker 6 share %g, want 10", r1.Share(6))
+	}
+	if set.Windows() != 2 {
+		t.Fatalf("windows %d, want 2", set.Windows())
+	}
+}
+
+func TestSettleZeroTrafficWithRevenueIsUnattributedButConserved(t *testing.T) {
+	set := NewSettlement(SettlementConfig{})
+	rec := set.Settle(5, 1)
+	if err := set.CheckConservation(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Brokers) != 1 || rec.Brokers[0] != -1 {
+		t.Fatalf("unattributed revenue not parked on sentinel broker: %+v", rec)
+	}
+}
+
+func TestTopBroker(t *testing.T) {
+	rec := Record{Brokers: []int32{3, 1, 7}, Splits: []float64{1, 5, 5}}
+	if got := rec.TopBroker(); got != 1 {
+		t.Fatalf("TopBroker = %d, want 1 (lowest id wins the tie)", got)
+	}
+	empty := Record{}
+	if got := empty.TopBroker(); got != -1 {
+		t.Fatalf("empty TopBroker = %d, want -1", got)
+	}
+}
+
+func TestLedgerJSONLRoundTrip(t *testing.T) {
+	set := NewSettlement(SettlementConfig{})
+	set.Record([]int32{1, 2}, 4)
+	set.Settle(8, 1)
+	set.Record([]int32{2}, 2)
+	set.Settle(3, 2)
+	var buf bytes.Buffer
+	if err := set.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("ledger lines = %d, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Window != i {
+			t.Fatalf("line %d decodes window %d", i, rec.Window)
+		}
+	}
+}

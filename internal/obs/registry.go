@@ -16,6 +16,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -78,6 +79,44 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an atomic float64 gauge for non-integral values (prices,
+// ratios). Stored as IEEE-754 bits in a uint64 so Set/Value are single
+// atomic operations.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FloatCounter is a monotonically increasing float64 counter (accumulated
+// revenue, carried traffic units). Add uses a CAS loop; it is intended for
+// control-loop-rate updates, not per-nanosecond hot paths.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v (v must be >= 0; negative deltas are
+// ignored to preserve monotonicity).
+func (c *FloatCounter) Add(v float64) {
+	if v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
 // CollectorFunc emits a batch of samples at scrape time. Registering one
 // collector per subsystem keeps the hot path free of registry overhead:
 // subsystems update their own atomics and the collector adapts them to
@@ -92,6 +131,8 @@ type instrument struct {
 	kind       Kind
 	counter    *Counter
 	gauge      *Gauge
+	fcounter   *FloatCounter
+	fgauge     *FloatGauge
 }
 
 type histEntry struct {
@@ -175,6 +216,27 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
+// FloatCounter registers and returns a float-valued counter (counter
+// naming conventions apply: event totals end in _total).
+func (r *Registry) FloatCounter(name, help string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	c := &FloatCounter{}
+	r.instr = append(r.instr, instrument{name: name, help: help, kind: KindCounter, fcounter: c})
+	return c
+}
+
+// FloatGauge registers and returns a float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	g := &FloatGauge{}
+	r.instr = append(r.instr, instrument{name: name, help: help, kind: KindGauge, fgauge: g})
+	return g
+}
+
 // Histogram registers and returns a new duration histogram, exported as a
 // Prometheus summary (p50/p95/p99 + _sum + _count) in seconds. Duration
 // metric names must end in _seconds.
@@ -218,11 +280,15 @@ func (r *Registry) gather() ([]Sample, []histEntry, error) {
 	samples := make([]Sample, 0, len(instr)+16)
 	for _, in := range instr {
 		s := Sample{Name: in.name, Help: in.help, Kind: in.kind}
-		switch in.kind {
-		case KindCounter:
+		switch {
+		case in.counter != nil:
 			s.Value = float64(in.counter.Value())
-		case KindGauge:
+		case in.gauge != nil:
 			s.Value = float64(in.gauge.Value())
+		case in.fcounter != nil:
+			s.Value = in.fcounter.Value()
+		case in.fgauge != nil:
+			s.Value = in.fgauge.Value()
 		}
 		samples = append(samples, s)
 	}

@@ -24,6 +24,38 @@ import (
 // rejected to protect latency (HTTP layers should map it to 429).
 var ErrShed = errors.New("queryplane: overloaded, query shed")
 
+// ErrPriceRejected is the errors.Is target for priced-admission refusals:
+// the plane is congested and the query's bid was below the current price.
+// HTTP layers map it to 429 and should attach the quote from PriceError.
+var ErrPriceRejected = errors.New("queryplane: bid below current price")
+
+// PriceError is the concrete priced-admission refusal, carrying the quote
+// the bidder must meet. It matches ErrPriceRejected under errors.Is.
+type PriceError struct {
+	// Quote is the congestion-adjusted price at refusal time.
+	Quote float64
+}
+
+func (e *PriceError) Error() string {
+	return fmt.Sprintf("queryplane: bid below current price (quote %.6g)", e.Quote)
+}
+
+// Is reports target == ErrPriceRejected so callers can branch without
+// depending on the concrete type.
+func (e *PriceError) Is(target error) bool { return target == ErrPriceRejected }
+
+// Admission is the priced-admission hook: given the caller's bid (0 for a
+// legacy bidless query), it decides whether to admit and returns the
+// current quote. Implementations must be safe for concurrent use and
+// cheap — Admit runs on the query hot path before the cache lookup, so it
+// should be a few atomic loads, not a pricing computation. The economics
+// contract (market.Admission implements it): below the congestion
+// threshold everything is admitted, bids included zero; above it a query
+// is admitted iff its bid meets the congestion-adjusted price.
+type Admission interface {
+	Admit(bid float64) (admitted bool, quote float64)
+}
+
 // ComputeFunc resolves a cache miss. Implementations must be safe for
 // concurrent calls (the caller typically wraps the routing engine in a
 // read lock) and should respect ctx cancellation for long computations.
@@ -61,6 +93,10 @@ type Config struct {
 	// for the new generation; callers that need strict per-epoch
 	// optimality leave this nil.
 	Revalidate func(p *routing.Path, opts routing.Options, gen uint64) bool
+	// Admission, when non-nil, gates every query (QueryBid's bid, 0 for
+	// Query) through priced admission before the cache is consulted.
+	// Refusals return a *PriceError and count in Stats.PriceRejected.
+	Admission Admission
 }
 
 // Stats is a point-in-time snapshot of the plane's counters.
@@ -76,18 +112,21 @@ type Stats struct {
 	// HitsRevalidated counts hits served by re-stamping a stale entry
 	// whose path checked out against the current generation (subset of
 	// Hits; only non-zero with Config.Revalidate wired).
-	HitsRevalidated uint64        `json:"hits_revalidated"`
-	Dedup           uint64        `json:"dedup"`
-	Shed            uint64        `json:"shed"`
-	Errors          uint64        `json:"errors"`
-	Evictions       uint64        `json:"evictions"`
-	Inflight        int64         `json:"inflight"`
-	Waiting         int64         `json:"waiting"`
-	CacheEntries    int           `json:"cache_entries"`
-	Generation      uint64        `json:"generation"`
-	P50             time.Duration `json:"-"`
-	P95             time.Duration `json:"-"`
-	P99             time.Duration `json:"-"`
+	HitsRevalidated uint64 `json:"hits_revalidated"`
+	Dedup           uint64 `json:"dedup"`
+	Shed            uint64 `json:"shed"`
+	// PriceRejected counts queries refused by priced admission (bid below
+	// the congestion-adjusted price); zero unless Config.Admission is wired.
+	PriceRejected uint64        `json:"price_rejected"`
+	Errors        uint64        `json:"errors"`
+	Evictions     uint64        `json:"evictions"`
+	Inflight      int64         `json:"inflight"`
+	Waiting       int64         `json:"waiting"`
+	CacheEntries  int           `json:"cache_entries"`
+	Generation    uint64        `json:"generation"`
+	P50           time.Duration `json:"-"`
+	P95           time.Duration `json:"-"`
+	P99           time.Duration `json:"-"`
 }
 
 // HitRate returns Hits / Queries (0 when idle).
@@ -114,6 +153,7 @@ type QueryPlane struct {
 	missesStale atomic.Uint64
 	dedup       atomic.Uint64
 	shed        atomic.Uint64
+	priceRej    atomic.Uint64
 	errs        atomic.Uint64
 	inflight    atomic.Int64
 	waiting     atomic.Int64
@@ -169,8 +209,26 @@ func (q *QueryPlane) Generation() uint64 {
 // Query answers a path query: cache hit, joined in-flight computation, or a
 // fresh computation on the worker pool. cached reports a cache hit (the
 // result was served without any computation on behalf of this caller).
+// Equivalent to QueryBid with a zero bid — with priced admission wired,
+// zero-bid traffic is still admitted whenever the plane is uncongested.
 func (q *QueryPlane) Query(ctx context.Context, src, dst int, opts routing.Options) (path *routing.Path, cached bool, err error) {
+	return q.QueryBid(ctx, src, dst, opts, 0)
+}
+
+// QueryBid is Query with an economic bid attached: when Config.Admission
+// is wired, the bid is compared against the congestion-adjusted price
+// before any cache or compute work happens, and a losing bid returns a
+// *PriceError carrying the quote. With no Admission configured the bid is
+// ignored.
+func (q *QueryPlane) QueryBid(ctx context.Context, src, dst int, opts routing.Options, bid float64) (path *routing.Path, cached bool, err error) {
 	start := time.Now()
+	if adm := q.cfg.Admission; adm != nil {
+		if ok, quote := adm.Admit(bid); !ok {
+			q.queries.Add(1)
+			q.priceRej.Add(1)
+			return nil, false, &PriceError{Quote: quote}
+		}
+	}
 	ctx, span := obs.StartSpan(ctx, "queryplane.query")
 	defer span.End()
 	q.queries.Add(1)
@@ -261,6 +319,22 @@ func (q *QueryPlane) acquireSlot(ctx context.Context) error {
 	}
 }
 
+// Occupancy reports how full the compute stage is, in [0,1]: in-flight
+// computations plus queued waiters over the worker-pool-plus-queue
+// capacity. The market controller samples it as the utilization input to
+// congestion pricing — 1.0 here is exactly the point where bidless
+// shedding would begin.
+func (q *QueryPlane) Occupancy() float64 {
+	occ := float64(q.inflight.Load()+q.waiting.Load()) / float64(q.cfg.Workers+q.cfg.QueueDepth)
+	if occ < 0 {
+		return 0
+	}
+	if occ > 1 {
+		return 1
+	}
+	return occ
+}
+
 // RetryAfter estimates how long a shed caller should wait before retrying:
 // roughly the time for the full wait queue to drain through the worker
 // pool at the observed p95 compute latency, floored at one second (the
@@ -291,6 +365,7 @@ func (q *QueryPlane) Stats() Stats {
 		MissesInvalidated: q.missesStale.Load(),
 		Dedup:             q.dedup.Load(),
 		Shed:              q.shed.Load(),
+		PriceRejected:     q.priceRej.Load(),
 		Errors:            q.errs.Load(),
 		Evictions:         q.cache.Evictions(),
 		Inflight:          q.inflight.Load(),
@@ -323,6 +398,7 @@ func (q *QueryPlane) RegisterMetrics(reg *obs.Registry) {
 			{"queryplane_misses_invalidated_total", "misses caused by generation invalidation", obs.KindCounter, float64(s.MissesInvalidated)},
 			{"queryplane_dedup_total", "queries joined to an in-flight computation", obs.KindCounter, float64(s.Dedup)},
 			{"queryplane_shed_total", "queries shed under overload", obs.KindCounter, float64(s.Shed)},
+			{"queryplane_price_rejected_total", "queries refused by priced admission (bid below quote)", obs.KindCounter, float64(s.PriceRejected)},
 			{"queryplane_errors_total", "queries that failed", obs.KindCounter, float64(s.Errors)},
 			{"queryplane_evictions_total", "cache entries evicted", obs.KindCounter, float64(s.Evictions)},
 			{"queryplane_inflight", "computations currently running", obs.KindGauge, float64(s.Inflight)},

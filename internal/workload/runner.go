@@ -28,6 +28,11 @@ type Outcome struct {
 	// Shed reports the server rejected the query under overload (429) and
 	// the retry budget, if any, was exhausted.
 	Shed bool
+	// PriceRejected reports the economics plane refused the query because
+	// its bid was below the congestion-adjusted price (429 with an econ
+	// quote). Quote carries the posted price from the refusal.
+	PriceRejected bool
+	Quote         float64
 	// Retries counts 429-triggered re-issues of this query (each after
 	// honoring the server's Retry-After, bounded by the target's cap).
 	Retries int
@@ -72,16 +77,19 @@ type Report struct {
 	Shed     int `json:"shed"`
 	// ShedByRegion breaks Shed down by the federation region that refused
 	// (key -1 collects local/unknown sheds); empty on non-federated runs.
-	ShedByRegion map[int]int   `json:"shed_by_region,omitempty"`
-	Retries      int           `json:"retries"`
-	NotFound     int           `json:"not_found"`
-	Hits         int           `json:"cache_hits"`
-	Elapsed      time.Duration `json:"elapsed_ns"`
-	QPS          float64       `json:"qps"`
-	HitRate      float64       `json:"hit_rate"`
-	P50          time.Duration `json:"p50_ns"`
-	P95          time.Duration `json:"p95_ns"`
-	P99          time.Duration `json:"p99_ns"`
+	ShedByRegion map[int]int `json:"shed_by_region,omitempty"`
+	// PriceRejected counts queries the economics plane priced out (bid
+	// below the congestion-adjusted quote); zero on non-econ runs.
+	PriceRejected int           `json:"price_rejected,omitempty"`
+	Retries       int           `json:"retries"`
+	NotFound      int           `json:"not_found"`
+	Hits          int           `json:"cache_hits"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+	QPS           float64       `json:"qps"`
+	HitRate       float64       `json:"hit_rate"`
+	P50           time.Duration `json:"p50_ns"`
+	P95           time.Duration `json:"p95_ns"`
+	P99           time.Duration `json:"p99_ns"`
 
 	// Churn-under-load fields (zero unless Config.Churn was set).
 	// ChurnBursts counts churn injections; Availability is the fraction of
@@ -94,6 +102,22 @@ type Report struct {
 	Availability float64       `json:"availability,omitempty"`
 	RepairP50    time.Duration `json:"repair_p50_ns,omitempty"`
 	RepairP95    time.Duration `json:"repair_p95_ns,omitempty"`
+
+	// Econ, when non-nil, summarizes the economics plane's view of the run
+	// (filled by loadgen -econ from the live market stack).
+	Econ *EconSummary `json:"econ,omitempty"`
+}
+
+// EconSummary is the market-side tally of an econ-enabled run: what the
+// admission gate saw, what it collected, and where the price ended up.
+type EconSummary struct {
+	Scenario      string  `json:"scenario,omitempty"`
+	Admitted      uint64  `json:"admitted"`
+	AdmittedFree  uint64  `json:"admitted_free"`
+	PriceRejected uint64  `json:"price_rejected"`
+	Revenue       float64 `json:"revenue"`
+	LastPrice     float64 `json:"last_price"`
+	Settlements   int     `json:"settlements"`
 }
 
 // String renders the report in loadgen's human output format.
@@ -128,6 +152,10 @@ func (r *Report) String() string {
 			r.ChurnBursts, 100*r.Availability,
 			r.RepairP50.Round(time.Microsecond), r.RepairP95.Round(time.Microsecond))
 	}
+	if e := r.Econ; e != nil {
+		fmt.Fprintf(&b, "\necon:     admitted=%d (free=%d) price-rejected=%d shed=%d revenue=%.3f last-price=%.4f settlements=%d",
+			e.Admitted, e.AdmittedFree, e.PriceRejected, r.Shed, e.Revenue, e.LastPrice, e.Settlements)
+	}
 	return b.String()
 }
 
@@ -148,8 +176,8 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		cfg.Duration = 5 * time.Second
 	}
 	type workerStats struct {
-		requests, errors, shed, retries, notFound, hits int
-		shedBy                                          map[int]int
+		requests, errors, shed, priceRej, retries, notFound, hits int
+		shedBy                                                    map[int]int
 	}
 	var (
 		wg      sync.WaitGroup
@@ -228,6 +256,8 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 				switch {
 				case err != nil:
 					st.errors++
+				case out.PriceRejected:
+					st.priceRej++
 				case out.Shed:
 					st.shed++
 					if st.shedBy == nil {
@@ -256,6 +286,7 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
 		rep.Shed += stats[i].shed
+		rep.PriceRejected += stats[i].priceRej
 		rep.Retries += stats[i].retries
 		rep.NotFound += stats[i].notFound
 		rep.Hits += stats[i].hits
@@ -296,17 +327,28 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// PlaneTarget drives an in-process query plane directly (no HTTP).
+// PlaneTarget drives an in-process query plane directly (no HTTP). When Bid
+// is set each query carries its bid into the plane's priced admission gate.
 type PlaneTarget struct {
 	Plane *queryplane.QueryPlane
 	Opts  routing.Options
+	// Bid, when non-nil, supplies the per-query bid (called once per query;
+	// must be safe for concurrent use). Nil bids zero, the free-rider tier.
+	Bid func() float64
 }
 
 // Query implements Target.
 func (t *PlaneTarget) Query(src, dst int32) (Outcome, error) {
-	_, cached, err := t.Plane.Query(context.Background(), int(src), int(dst), t.Opts)
+	var bid float64
+	if t.Bid != nil {
+		bid = t.Bid()
+	}
+	_, cached, err := t.Plane.QueryBid(context.Background(), int(src), int(dst), t.Opts, bid)
 	if err != nil {
+		var pe *queryplane.PriceError
 		switch {
+		case errors.As(err, &pe):
+			return Outcome{PriceRejected: true, Quote: pe.Quote}, nil
 		case errors.Is(err, queryplane.ErrShed):
 			return Outcome{Shed: true, ShedRegion: -1}, nil
 		// A clean routing miss is a valid outcome, not a target failure.
@@ -339,6 +381,10 @@ type HTTPTarget struct {
 	// asks for (a load generator can't honor multi-second waits at full
 	// offered load). Default 250ms when retries are enabled.
 	MaxRetryWait time.Duration
+	// Bid, when non-nil, supplies the per-query bid sent as the bid query
+	// parameter (must be safe for concurrent use). Nil sends no bid — the
+	// zero-bid free-rider tier on econ-enabled servers.
+	Bid func() float64
 }
 
 // retryWait reconciles the server's Retry-After with the local cap.
@@ -366,6 +412,9 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 	if t.Opts.MinBandwidth > 0 {
 		q.Set("minbw", fmt.Sprint(t.Opts.MinBandwidth))
 	}
+	if t.Bid != nil {
+		q.Set("bid", strconv.FormatFloat(t.Bid(), 'g', -1, 64))
+	}
 	client := t.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -383,6 +432,7 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 		}
 		status := resp.StatusCode
 		retryAfter := resp.Header.Get("Retry-After")
+		econPrice := resp.Header.Get("X-Econ-Price")
 		cached := resp.Header.Get("X-Cache") == "hit"
 		// A federated 429 names the region that refused via X-Shed-Region;
 		// a local shed (or a plain brokerd) leaves it unset.
@@ -400,6 +450,12 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 		case http.StatusNotFound:
 			return Outcome{Retries: retries}, nil
 		case http.StatusTooManyRequests:
+			// An econ refusal carries the posted price in X-Econ-Price.
+			// Retrying with the same bid cannot succeed, so it is terminal.
+			if v := econPrice; v != "" {
+				quote, _ := strconv.ParseFloat(v, 64)
+				return Outcome{PriceRejected: true, Quote: quote, Retries: retries}, nil
+			}
 			if retries >= t.MaxRetries {
 				return Outcome{Shed: true, Retries: retries, ShedRegion: shedRegion}, nil
 			}
