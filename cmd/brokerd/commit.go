@@ -1,0 +1,270 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"brokerset/internal/ctrlplane"
+	"brokerset/internal/obs"
+	"brokerset/internal/routing"
+)
+
+// committer is brokerd's group-commit front end to the control plane:
+// concurrent session setups and teardowns enqueue here, and whichever
+// request thread acquires writeMu next becomes the leader for everything
+// queued behind it — one ctrlplane.CommitBatch round (one 2PC prepare
+// broadcast, one batch record per touched broker) and ONE snapshot publish
+// per batch, instead of one full round and publish per request. Leadership
+// rotates naturally: while a leader drains, later arrivals enqueue and
+// block on writeMu; the first one in inherits the next batch.
+//
+// Degraded mode: when the queue backs up past highWater the committer
+// sheds NEW setups (HTTP 429 + Retry-After) while teardowns — which shrink
+// load — are always accepted, and lease renewals bypass the queue
+// entirely. Shrink-before-refuse: a saturated plane keeps draining.
+type committer struct {
+	s *server
+
+	mu    sync.Mutex
+	queue []*pendingOp
+
+	// highWater is the queue depth above which new setups are shed
+	// (0 disables shedding); retryAfter is the advisory backoff clients
+	// get with the 429.
+	highWater  int
+	retryAfter time.Duration
+
+	shed atomic.Uint64
+}
+
+// errSetupShed is returned to setup submitters refused in degraded mode.
+var errSetupShed = errors.New("brokerd: setup queue over high-water mark, retry later")
+
+// pendingOp is one queued lifecycle request plus its reply slot.
+type pendingOp struct {
+	// Setup inputs: the request, the path precomputed lock-free against a
+	// pinned snapshot (nil when that snapshot had no dominated path), and
+	// the snapshot's epoch for the staleness fallbacks.
+	req    sessionRequest
+	path   []int32
+	snapID uint64
+	// tear, when non-nil, makes this a teardown of that session instead.
+	tear *ctrlplane.Session
+
+	sess *ctrlplane.Session
+	err  error
+	done chan struct{}
+}
+
+func newCommitter(s *server) *committer {
+	return &committer{s: s, highWater: 1024, retryAfter: time.Second}
+}
+
+// submit enqueues op and drives the group-commit protocol until op has a
+// result. The op that flips the queue empty→non-empty is the batch LEADER:
+// it alone acquires writeMu, drains everything queued behind it, and runs
+// the round. Every other submitter just parks on its done channel — if
+// followers also queued on writeMu, each would wake after the batch into
+// an empty-leader convoy that drains the next arrival as a singleton,
+// destroying the amortization this exists for. Returns errSetupShed
+// without enqueueing when degraded. ctx supplies the leader's trace
+// context (the batch's 2PC spans attach to whichever request leads); its
+// cancellation is NOT honored mid-batch — a leader's client disconnecting
+// must not abort its batch peers' commits.
+func (c *committer) submit(ctx context.Context, op *pendingOp) error {
+	c.mu.Lock()
+	if op.tear == nil && c.highWater > 0 && len(c.queue) >= c.highWater {
+		depth := len(c.queue)
+		c.mu.Unlock()
+		c.shed.Add(1)
+		c.s.flight.Recordf("brokerd", "setup_shed", time.Now().UnixNano(),
+			"queue depth %d over high water %d", depth, c.highWater)
+		return errSetupShed
+	}
+	c.queue = append(c.queue, op)
+	lead := len(c.queue) == 1
+	c.mu.Unlock()
+	if !lead {
+		<-op.done
+		return nil
+	}
+
+	c.s.writeMu.Lock()
+	// Group-commit beat: yield until the queue stops growing (bounded) so
+	// concurrent submitters — runnable but not yet enqueued, especially on
+	// few cores where nothing else ran while writeMu was held — land in
+	// THIS batch instead of leading the next one. An uncontended submit
+	// sees one no-growth check and proceeds immediately.
+	for prev, spins := -1, 0; spins < 8; spins++ {
+		c.mu.Lock()
+		n := len(c.queue)
+		c.mu.Unlock()
+		if n == prev {
+			break
+		}
+		prev = n
+		runtime.Gosched()
+	}
+	c.mu.Lock()
+	batch := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	c.processBatch(ctx, batch)
+	c.s.writeMu.Unlock()
+	<-op.done
+	return nil
+}
+
+// processBatch runs one coalesced commit round for batch. Caller holds
+// writeMu. Setups whose precomputed path went stale (the epoch moved, or
+// the pinned snapshot had no path at all) fall back to a live-state serial
+// setup, and the post-commit damage check reuses the repair flow — the
+// same two guards the serial path had. Exactly one snapshot is published
+// when anything changed, via the capacity-only WithView fast path (a batch
+// mutates reservations, never the graph or membership).
+func (c *committer) processBatch(ctx context.Context, batch []*pendingOp) {
+	s := c.s
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), opTimeout)
+	defer cancel()
+	before := s.plane.Version()
+	epoch := s.pub.Epoch()
+
+	ops := make([]ctrlplane.BatchOp, 0, len(batch))
+	idx := make([]int, 0, len(batch))
+	for i, op := range batch {
+		switch {
+		case op.tear != nil:
+			ops = append(ops, ctrlplane.BatchOp{Kind: ctrlplane.BatchTeardown, Session: op.tear})
+			idx = append(idx, i)
+		case op.path != nil:
+			ops = append(ops, ctrlplane.BatchOp{Kind: ctrlplane.BatchSetup, Path: op.path, Bandwidth: op.req.Gbps})
+			idx = append(idx, i)
+		}
+	}
+	results := s.plane.CommitBatch(ctx, ops)
+	for k, r := range results {
+		batch[idx[k]].sess, batch[idx[k]].err = r.Session, r.Err
+	}
+	for _, op := range batch {
+		if op.tear != nil {
+			continue
+		}
+		if op.path == nil || (op.err != nil && epoch != op.snapID) {
+			// The pinned snapshot had no dominated path, or a snapshot-valid
+			// path became uncommittable under a moved epoch: live state is
+			// the authority before reporting failure.
+			op.sess, op.err = s.plane.Setup(ctx, op.req.Src, op.req.Dst, op.req.Gbps, routing.Options{})
+		}
+		if op.err == nil && epoch != op.snapID && s.plane.SessionDamaged(op.sess) {
+			// Churn landed between path pin and commit and broke a hop we
+			// just reserved. Reuse the repair flow.
+			if rerr := s.plane.Repath(ctx, op.sess, routing.Options{}); rerr != nil {
+				_ = s.plane.Teardown(ctx, op.sess)
+				op.err = fmt.Errorf("brokerd: setup raced topology change and repath failed: %w", rerr)
+				op.sess = nil
+			}
+		}
+	}
+	if s.plane.Version() != before {
+		s.pub.Publish(ctx, s.pub.Current().WithView(s.metrics.View()))
+	}
+	for _, op := range batch {
+		close(op.done)
+	}
+}
+
+// registerMetrics exposes the committer's degraded-mode surface.
+func (c *committer) registerMetrics(reg *obs.Registry) {
+	reg.RegisterCollector(func(emit func(obs.Sample)) {
+		c.mu.Lock()
+		depth := len(c.queue)
+		c.mu.Unlock()
+		emit(obs.Sample{Name: "ctrlplane_batch_queue_depth", Help: "lifecycle ops queued for the next group-commit batch",
+			Kind: obs.KindGauge, Value: float64(depth)})
+		emit(obs.Sample{Name: "ctrlplane_batch_shed_total", Help: "setups shed by group-commit queue backpressure",
+			Kind: obs.KindCounter, Value: float64(c.shed.Load())})
+	})
+}
+
+// enableSessionLeases switches the control plane to wall-clock heartbeat
+// leases with the given TTL: committed sessions must be renewed via
+// POST /sessions/{id}/renew or the sweeper presumed-releases them.
+func (s *server) enableSessionLeases(ttl time.Duration) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.plane.SetRetryConfig(ctrlplane.RetryConfig{SessionTTL: ttl.Nanoseconds()})
+	s.plane.SetLeaseClock(func() int64 { return time.Now().UnixNano() })
+}
+
+// runLeaseSweeper periodically presumed-releases committed sessions whose
+// heartbeats stopped. The expiry flows through the same group-commit path
+// as everything else — CommitBatch re-checks each lease under writeMu, so
+// a renewal racing the sweep keeps its session (no double release).
+func (s *server) runLeaseSweeper(ctx context.Context, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			s.sweepLeases(ctx)
+		}
+	}
+}
+
+// sweepLeases runs one expiry pass; it returns the number of sessions
+// presumed-released.
+func (s *server) sweepLeases(ctx context.Context) int {
+	ctx, cancel := context.WithTimeout(ctx, opTimeout)
+	defer cancel()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	expired := s.plane.ExpiredSessions()
+	if len(expired) == 0 {
+		return 0
+	}
+	before := s.plane.Version()
+	ops := make([]ctrlplane.BatchOp, len(expired))
+	for i, sess := range expired {
+		ops[i] = ctrlplane.BatchOp{Kind: ctrlplane.BatchExpire, Session: sess}
+	}
+	n := 0
+	for _, r := range s.plane.CommitBatch(ctx, ops) {
+		if r.Err == nil && r.Session != nil && r.Session.State == ctrlplane.StateReleased {
+			s.sessions.Delete(r.Session.ID)
+			n++
+		}
+	}
+	if s.plane.Version() != before {
+		s.pub.Publish(ctx, s.pub.Current().WithView(s.metrics.View()))
+	}
+	return n
+}
+
+// handleSessionRenew serves POST /sessions/{id}/renew — the heartbeat.
+// Renewals never queue and are never shed: in degraded mode keeping live
+// sessions alive (and letting abandoned ones expire) is exactly the work
+// that shrinks the plane back under its high-water mark.
+func (s *server) handleSessionRenew(w http.ResponseWriter, r *http.Request, id int) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.writeMu.Lock()
+	ok := s.plane.RenewSession(id)
+	s.writeMu.Unlock()
+	if !ok {
+		// The lease is gone — never granted, torn down, or already swept.
+		// 410: the client must set up a new session, not keep heartbeating.
+		writeError(w, http.StatusGone, "session %d holds no lease", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "renewed"})
+}

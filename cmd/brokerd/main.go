@@ -73,6 +73,10 @@ func main() {
 		k        = flag.Int("k", 100, "broker budget (0 = complete alliance)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 
+		leaseTTL   = flag.Duration("lease-ttl", 0, "committed-session heartbeat lease TTL (0 = sessions never expire)")
+		leaseSweep = flag.Duration("lease-sweep", 0, "lease expiry sweep interval (default lease-ttl/4)")
+		setupQueue = flag.Int("setup-queue", 1024, "group-commit queue high-water mark; new setups shed (429) above it (0 = never shed)")
+
 		churnEvery = flag.Duration("churn", 0, "background churn interval (0 = off)")
 		churnSeed  = flag.Int64("churn-seed", 42, "churn generator seed")
 		healTarget = flag.Float64("heal-target", 0, "connectivity the healer restores (0 = initial coalition's)")
@@ -120,6 +124,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "brokerd:", err)
 		os.Exit(1)
 	}
+	srv.commit.highWater = *setupQueue
+	if *leaseTTL > 0 {
+		srv.enableSessionLeases(*leaseTTL)
+		fmt.Printf("brokerd: session leases on (ttl %v): heartbeat via POST /sessions/{id}/renew\n", *leaseTTL)
+	}
 	if *regions > 0 {
 		if err := srv.enableFederation(*regions, *k, *crossing, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "brokerd:", err)
@@ -166,6 +175,13 @@ func main() {
 	if *churnEvery > 0 {
 		fmt.Printf("brokerd: background churn every %v (seed %d)\n", *churnEvery, *churnSeed)
 		go srv.runChurnLoop(ctx, *churnEvery)
+	}
+	if *leaseTTL > 0 {
+		sweep := *leaseSweep
+		if sweep <= 0 {
+			sweep = *leaseTTL / 4
+		}
+		go srv.runLeaseSweeper(ctx, sweep)
 	}
 	if srv.fed != nil {
 		go srv.runFederationLoop(ctx, 100*time.Millisecond)

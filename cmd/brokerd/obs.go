@@ -21,6 +21,7 @@ func (s *server) initObs() {
 	s.plane.SetFlightRecorder(s.flight)
 
 	s.qp.RegisterMetrics(s.reg)
+	s.commit.registerMetrics(s.reg)
 	// The control plane is not internally synchronized; its collector
 	// snapshots under the write mutex that orders control-plane mutations.
 	s.plane.RegisterMetrics(s.reg, &s.writeMu)

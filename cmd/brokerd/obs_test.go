@@ -182,7 +182,7 @@ func TestSessionTracePropagation(t *testing.T) {
 	for _, s := range srv.tracer.Trace(777) {
 		names[s.Name] = true
 	}
-	for _, want := range []string{"ctrlplane.setup_on_path", "ctrlplane.establish", "2pc.broadcast", "2pc.attempt", "2pc.send", "epoch.publish"} {
+	for _, want := range []string{"ctrlplane.commit_batch", "2pc.broadcast", "2pc.attempt", "2pc.send", "epoch.publish"} {
 		if !names[want] {
 			t.Fatalf("session trace missing %q spans: %v", want, names)
 		}

@@ -50,6 +50,11 @@ type server struct {
 	writeMu sync.Mutex
 	plane   *ctrlplane.Plane
 
+	// commit coalesces concurrent session lifecycle requests into
+	// group-commit batches (see commit.go): one 2PC round and one snapshot
+	// publish per batch, with degraded-mode setup shedding.
+	commit *committer
+
 	churnState *churn.State
 	applier    *churn.Applier
 	gen        *churn.Generator
@@ -152,6 +157,7 @@ func newServer(top *topology.Topology, k int, healTarget float64, churnSeed int6
 	if err != nil {
 		return nil, err
 	}
+	s.commit = newCommitter(s)
 	s.initObs()
 	return s, nil
 }
@@ -529,69 +535,35 @@ const opTimeout = 2 * time.Second
 
 // setup establishes a session in two phases. Path computation is
 // lock-free: it pins the current epoch snapshot and searches its frozen
-// view, so concurrent /path queries are never blocked behind it. Only the
-// 2PC commit serializes on writeMu. Because the path may be stale by
-// commit time, there are two guards: a commit failure with the epoch
-// moved retries against live state, and a post-commit epoch check runs
-// the session through the existing damage-repair flow (SessionDamaged →
-// Repath) when the topology changed under the in-flight commit.
+// view, so concurrent /path queries are never blocked behind it. The
+// commit itself goes through the group committer (commit.go): concurrent
+// setups coalesce into one 2PC round and one snapshot publish per batch,
+// and the staleness fallbacks (stale-epoch retry against live state,
+// post-commit damage repair) run inside the batch leader. Degraded mode
+// returns errSetupShed without touching the plane.
 func (s *server) setup(ctx context.Context, req sessionRequest) (*ctrlplane.Session, error) {
-	ctx, cancel := context.WithTimeout(ctx, opTimeout)
-	defer cancel()
-
-	// Phase 1, no locks held: compute the path against a pinned snapshot.
 	snap := s.pub.Current()
-	path, perr := snap.BestPath(req.Src, req.Dst, routing.Options{})
-
-	// Phase 2, serialized: run the 2PC over the precomputed path.
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	before := s.plane.Version()
-	var (
-		sess *ctrlplane.Session
-		err  error
-	)
-	if perr == nil {
-		sess, err = s.plane.SetupOnPath(ctx, path.Nodes, req.Gbps)
-		// Only an epoch moving between pin and lock acquisition can make
-		// a snapshot-valid path uncommittable (capacity claimed, link
-		// failed, or ownership moved): recompute against live state.
-		if err != nil && s.pub.Epoch() != snap.ID() {
-			sess, err = s.plane.Setup(ctx, req.Src, req.Dst, req.Gbps, routing.Options{})
-		}
-	} else {
-		// The snapshot had no dominated path; the live state (same epoch
-		// or newer) is the authority before reporting failure.
-		sess, err = s.plane.Setup(ctx, req.Src, req.Dst, req.Gbps, routing.Options{})
+	op := &pendingOp{req: req, snapID: snap.ID(), done: make(chan struct{})}
+	// Resolve the path through the query-plane cache (stale entries
+	// revalidate in O(hops) against the pinned snapshot — setup storms over
+	// popular routes skip the full search), inline and unmetered.
+	if path, _, err := s.qp.Resolve(ctx, req.Src, req.Dst, routing.Options{}); err == nil {
+		op.path = path.Nodes
 	}
-	if err == nil && s.pub.Epoch() != snap.ID() && s.plane.SessionDamaged(sess) {
-		// Post-commit epoch check: churn landed between pin and commit
-		// and broke a hop we just reserved. Reuse the repair flow.
-		if rerr := s.plane.Repath(ctx, sess, routing.Options{}); rerr != nil {
-			_ = s.plane.Teardown(ctx, sess)
-			err = fmt.Errorf("brokerd: setup raced topology change and repath failed: %w", rerr)
-			sess = nil
-		}
+	if err := s.commit.submit(ctx, op); err != nil {
+		return nil, err
 	}
-	if s.plane.Version() != before {
-		s.publishLocked(ctx)
-	}
-	return sess, err
+	return op.sess, op.err
 }
 
-// teardown releases a session under the write mutex, publishing a new
-// snapshot when capacity was returned.
+// teardown releases a session through the group committer. Teardowns are
+// never shed — they shrink load.
 func (s *server) teardown(ctx context.Context, sess *ctrlplane.Session) error {
-	ctx, cancel := context.WithTimeout(ctx, opTimeout)
-	defer cancel()
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	before := s.plane.Version()
-	err := s.plane.Teardown(ctx, sess)
-	if s.plane.Version() != before {
-		s.publishLocked(ctx)
+	op := &pendingOp{tear: sess, done: make(chan struct{})}
+	if err := s.commit.submit(ctx, op); err != nil {
+		return err
 	}
-	return err
+	return op.err
 }
 
 func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
@@ -615,6 +587,13 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		}
 		sess, err := s.setup(r.Context(), req)
 		if err != nil {
+			if errors.Is(err, errSetupShed) {
+				// Degraded mode: the batch queue is over its high-water
+				// mark. Renewals and teardowns still flow; new load waits.
+				w.Header().Set("Retry-After", strconv.Itoa(int(s.commit.retryAfter.Seconds())))
+				writeError(w, http.StatusTooManyRequests, "%v", err)
+				return
+			}
 			writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
@@ -630,9 +609,17 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleSessionByID(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	renew := false
+	if rest, ok := strings.CutSuffix(idStr, "/renew"); ok {
+		idStr, renew = rest, true
+	}
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad session id %q", idStr)
+		return
+	}
+	if renew {
+		s.handleSessionRenew(w, r, id)
 		return
 	}
 	switch r.Method {

@@ -72,6 +72,9 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		churnEvents = fs.Int("churn-events", 4, "events per churn burst")
 		churnSeed   = fs.Int64("churn-seed", 42, "churn generator seed")
 
+		abandon  = fs.Float64("abandon", 0, "lifecycle scenario: fraction of sessions that stop heartbeating instead of tearing down (0 = off)")
+		leaseTTL = fs.Duration("lease-ttl", 300*time.Millisecond, "lifecycle scenario session lease TTL")
+
 		econName   = fs.String("econ", "", "in-process economics scenario: price-shock, free-rider, or broker-defection")
 		econSeed   = fs.Int64("econ-seed", 1, "econ bid + settlement seed")
 		econAssert = fs.Bool("econ-assert", false, "fail unless the econ run conserves its ledger and the price trajectory is sane")
@@ -106,6 +109,18 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		err    error
 	)
 	switch {
+	case *abandon > 0:
+		if *addr != "" || *econName != "" || *regions > 0 || *churnEvery > 0 {
+			return nil, fmt.Errorf("-abandon is in-process only and exclusive with -addr/-econ/-regions/-churn-every")
+		}
+		if *abandon > 1 {
+			return nil, fmt.Errorf("-abandon is a fraction in (0, 1], got %g", *abandon)
+		}
+		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+		if err != nil {
+			return nil, err
+		}
+		return nil, runLifecycle(top, *k, *conc, *dur, *leaseTTL, *abandon, *seed, out)
 	case *econName != "":
 		if *addr != "" || *regions > 0 || *churnEvery > 0 {
 			return nil, fmt.Errorf("-econ is in-process only and exclusive with -addr/-regions/-churn-every")

@@ -280,6 +280,12 @@ func (h *Healer) Heal(ctx context.Context) (*HealReport, error) {
 			if h.cfg.Epoch != nil && h.sessions.CheckedAt(sess.ID) == cur {
 				continue
 			}
+			if h.plane.SessionLeaseLapsed(sess.ID) {
+				// Heartbeats stopped: the expiry sweeper will presumed-
+				// release it. Repairing an abandoned session would spend a
+				// 2PC round keeping capacity reserved for nobody.
+				continue
+			}
 			if !h.plane.SessionDamaged(sess) {
 				if h.cfg.Epoch != nil {
 					h.sessions.Stamp(sess.ID, cur)

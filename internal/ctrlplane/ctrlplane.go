@@ -84,6 +84,12 @@ const (
 	// MsgGossip carries one region's digest to a peer: region epoch, one
 	// border broker's liveness, and connectivity. Fire-and-forget.
 	MsgGossip
+	// MsgBatch carries one group-commit decision record to a broker: every
+	// commit, abort, and release entry of the batch that touches links the
+	// broker owns, in one message — the agent write-ahead-logs the whole
+	// record once, then applies each entry with per-session fencing.
+	MsgBatch
+	MsgBatchAck
 )
 
 var msgNames = [...]string{
@@ -107,6 +113,8 @@ var msgNames = [...]string{
 	MsgXRelease:     "X-RELEASE",
 	MsgXReleaseAck:  "X-RELEASE-ACK",
 	MsgGossip:       "GOSSIP",
+	MsgBatch:        "BATCH",
+	MsgBatchAck:     "BATCH-ACK",
 }
 
 // String returns the wire name of the message type.
@@ -137,6 +145,8 @@ func ackFor(t MsgType) (MsgType, bool) {
 		return MsgXAbortAck, true
 	case MsgXRelease:
 		return MsgXReleaseAck, true
+	case MsgBatch:
+		return MsgBatchAck, true
 	}
 	return 0, false
 }
@@ -159,6 +169,9 @@ type Message struct {
 	// Lease is the hold's time-to-live in virtual clock ticks, granted with
 	// a PREPARE (0 = no lease; the hold waits for a decision forever).
 	Lease uint32
+	// Batch is the group-commit decision record (Type == MsgBatch only;
+	// variable-length on the wire, see Encode).
+	Batch []BatchEntry
 }
 
 // Stats counts control-plane activity.
@@ -195,6 +208,21 @@ type Stats struct {
 	// by lease expiry (sessions abandoned mid-setup self-cleaning without
 	// teardown traffic).
 	LeaseExpiries int `json:"lease_expiries"`
+	// Group-commit activity: BatchRounds counts CommitBatch invocations
+	// that reached the wire, BatchOps the lifecycle operations they carried
+	// (ops per round is the amortization factor).
+	BatchRounds int `json:"batch_rounds"`
+	BatchOps    int `json:"batch_ops"`
+	// Committed-session lease activity: SessionLeases is the current count
+	// of leased committed sessions; renew misses are heartbeats that
+	// arrived after the lease was already swept (the session is gone — the
+	// client must set up anew, never resurrect).
+	SessionLeases    int `json:"session_leases"`
+	LeaseRenewals    int `json:"lease_renewals"`
+	LeaseRenewMisses int `json:"lease_renew_misses"`
+	// SessionExpiries counts committed sessions presumed-released by the
+	// expiry sweep after their heartbeats stopped.
+	SessionExpiries int `json:"session_expiries"`
 }
 
 // SessionState is the lifecycle state of a setup.
@@ -298,6 +326,19 @@ type RetryConfig struct {
 	// above MaxAttempts (each retry round is one tick) or in-flight setups
 	// expire themselves. 0 disables leasing.
 	LeaseTTL int
+	// SessionTTL, when > 0, leases every *committed* session for that long
+	// in lease-clock units (virtual ticks by default; see SetLeaseClock).
+	// The lease is renewed by RenewSession heartbeats; a session whose
+	// lease lapses is returned by ExpiredSessions for the sweeper to
+	// presumed-release through CommitBatch. 0 disables session leasing.
+	SessionTTL int64
+	// RetryJitterTicks, when > 0, de-synchronizes retransmissions in
+	// virtual time: each message's retries are deferred a seeded-random
+	// 0..RetryJitterTicks extra ticks, independently per message, so the
+	// retry storms of colliding setups (or a healing partition's backlog
+	// flush) spread over ticks instead of all landing on the same one. The
+	// per-message attempt budget is unchanged. 0 keeps retries aligned.
+	RetryJitterTicks int
 }
 
 func (rc RetryConfig) withDefaults() RetryConfig {
@@ -360,6 +401,26 @@ type Plane struct {
 	// releases to unreachable agents); they are lazily re-driven at the
 	// start of every operation and by Reconcile.
 	backlog map[uint64]Message
+	// backlogWait defers individual backlog re-sends when RetryJitterTicks
+	// is set, so a healed partition's catch-up traffic spreads over ticks.
+	backlogWait map[uint64]int
+	// jrng is the retry-jitter stream, separate from rng so enabling
+	// jitter never perturbs the backoff/fault schedules of existing seeds.
+	jrng *rand.Rand
+
+	// sessLeases tracks committed sessions' heartbeat leases by session id
+	// (see RetryConfig.SessionTTL). One entry is a pointer plus an int64 —
+	// compact enough for millions of concurrent sessions.
+	sessLeases map[int]*sessLease
+	// leaseNow overrides the session-lease clock (nil: the virtual clock).
+	leaseNow func() int64
+
+	// batchPrepareCrash and batchWALCrash are chaos seams: when non-nil and
+	// returning true they simulate, respectively, the coordinator dying
+	// mid-batch (after phase 1, before any decision is recorded) and a
+	// broker dying between its batch WAL append and the in-memory apply.
+	batchPrepareCrash func() bool
+	batchWALCrash     func(b int32) bool
 
 	// flight records recent protocol events for post-mortem dumps; nil
 	// (the default) disables recording at zero cost.
@@ -396,6 +457,10 @@ func New(top *topology.Topology, metrics *routing.Metrics, brokers []int32) *Pla
 		wals:     make(map[int32]*wal),
 		decided:  make(map[sessKey]bool),
 		backlog:  make(map[uint64]Message),
+
+		backlogWait: make(map[uint64]int),
+		jrng:        rand.New(rand.NewSource(2)),
+		sessLeases:  make(map[int]*sessLease),
 	}
 	for _, b := range brokers {
 		p.inB[b] = true
@@ -648,6 +713,7 @@ func (p *Plane) SetBrokers(brokers []int32) (added, removed []int32) {
 func (p *Plane) Stats() Stats {
 	st := p.stats
 	st.Backlogged = len(p.backlog)
+	st.SessionLeases = len(p.sessLeases)
 	return st
 }
 
@@ -916,6 +982,7 @@ func (p *Plane) commitPoint(ctx context.Context, s *Session) {
 	p.version++
 	p.stats.Commits++
 	s.State = StateCommitted
+	p.grantSessionLease(s)
 }
 
 // Prepared is a split-phase setup: phase 1 succeeded (every hop held at its
@@ -1074,6 +1141,7 @@ func (p *Plane) releaseAll(ctx context.Context, s *Session) {
 		p.metrics.Release(u, v, s.Bandwidth)
 	}
 	p.version++
+	p.dropSessionLease(s.ID)
 	out := p.broadcast(ctx, msgs)
 	p.enqueueBacklog(out.pending)
 }
@@ -1180,6 +1248,17 @@ func (p *Plane) broadcast(ctx context.Context, msgs []Message) rpcOutcome {
 	for _, m := range msgs {
 		out.pending[m.MsgID] = m
 	}
+	if p.retry.RetryJitterTicks > 0 {
+		p.broadcastJittered(ctx, &out)
+		if ctx.Err() == nil {
+			for _, id := range sortedIDs(out.pending) {
+				if m := out.pending[id]; !p.crashed[m.To] {
+					p.breakerFail(m.To)
+				}
+			}
+		}
+		return out
+	}
 	for attempt := 0; len(out.pending) > 0 && attempt < p.retry.MaxAttempts; attempt++ {
 		if ctx.Err() != nil {
 			break
@@ -1229,6 +1308,59 @@ func (p *Plane) broadcast(ctx context.Context, msgs []Message) rpcOutcome {
 		}
 	}
 	return out
+}
+
+// broadcastJittered is the retry loop under RetryJitterTicks: every message
+// keeps its MaxAttempts send budget, but between a message's sends a
+// seeded-random 0..RetryJitterTicks extra backoff rounds pass, rolled
+// independently per message — two setups whose retries would collide on the
+// same tick de-synchronize instead of hammering the same broker in
+// lockstep. Bounded by MaxAttempts*(RetryJitterTicks+1) rounds.
+func (p *Plane) broadcastJittered(ctx context.Context, out *rpcOutcome) {
+	jitter := p.retry.RetryJitterTicks
+	maxRounds := p.retry.MaxAttempts * (jitter + 1)
+	sent := make(map[uint64]int, len(out.pending))
+	wait := make(map[uint64]int, len(out.pending))
+	for round := 0; len(out.pending) > 0 && round < maxRounds; round++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if round > 0 {
+			attempt := round
+			if attempt >= p.retry.MaxAttempts {
+				attempt = p.retry.MaxAttempts - 1
+			}
+			p.backoff(attempt)
+		}
+		progress := false
+		for _, id := range sortedIDs(out.pending) {
+			m := out.pending[id]
+			if p.crashed[m.To] {
+				continue
+			}
+			if sent[id] >= p.retry.MaxAttempts {
+				continue // attempt budget spent; stays pending
+			}
+			if wait[id] > 0 {
+				wait[id]--
+				progress = true
+				continue
+			}
+			if sent[id] > 0 {
+				p.stats.Retries++
+			}
+			p.send(m)
+			sent[id]++
+			if sent[id] < p.retry.MaxAttempts {
+				wait[id] = p.jrng.Intn(jitter + 1)
+			}
+			progress = true
+		}
+		p.pump(out)
+		if !progress {
+			break // everything left is known-crashed or exhausted
+		}
+	}
 }
 
 func sortedIDs(m map[uint64]Message) []uint64 {
@@ -1296,6 +1428,7 @@ func (p *Plane) handleReply(m Message, out *rpcOutcome) {
 	}
 	if _, ok := p.backlog[m.AckFor]; ok {
 		delete(p.backlog, m.AckFor)
+		delete(p.backlogWait, m.AckFor)
 		p.breakerOK(m.From)
 	}
 }
@@ -1318,14 +1451,26 @@ func (p *Plane) flushBacklog() {
 	if len(p.backlog) == 0 {
 		return
 	}
+	jitter := p.retry.RetryJitterTicks
 	for _, id := range sortedIDs(p.backlog) {
 		m := p.backlog[id]
 		if _, stillAgent := p.agents[m.To]; !stillAgent {
 			delete(p.backlog, id)
+			delete(p.backlogWait, id)
 			continue
 		}
 		if p.crashed[m.To] {
 			continue // redelivered after Recover
+		}
+		if jitter > 0 {
+			// Spread the post-heal catch-up storm: each backlog entry's
+			// re-sends are deferred independently, so a lifted partition's
+			// accumulated decisions trickle out over ticks.
+			if w := p.backlogWait[id]; w > 0 {
+				p.backlogWait[id] = w - 1
+				continue
+			}
+			p.backlogWait[id] = p.jrng.Intn(jitter + 1)
 		}
 		p.stats.Retries++
 		p.send(m)
@@ -1346,7 +1491,7 @@ func (p *Plane) Reconcile(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if attempt >= 4*p.retry.MaxAttempts {
+		if attempt >= 4*p.retry.MaxAttempts*(p.retry.RetryJitterTicks+1) {
 			return fmt.Errorf("ctrlplane: %d backlog message(s) undeliverable after %d rounds", len(p.backlog), attempt)
 		}
 		p.clock++
@@ -1491,5 +1636,22 @@ func (p *Plane) deliver(a *agent, m Message) {
 			a.avail[m.Hop] += m.Bandwidth
 		}
 		p.reply(a, m, MsgReleaseAck)
+	case MsgBatch:
+		// One WAL record carries the whole batch; each entry then applies
+		// with the same per-session fencing as its standalone message, so
+		// crash-atomicity is per session, not per batch — replay resolves
+		// every entry independently.
+		w.append(walRecord{Op: walBatch, MsgID: m.MsgID, Batch: append([]BatchEntry(nil), m.Batch...)})
+		a.markSeen(m.MsgID)
+		if p.batchWALCrash != nil && p.batchWALCrash(a.id) {
+			// Chaos seam: the broker dies in the durability window — batch
+			// record logged, nothing applied or acked. Recovery replays the
+			// record; the unacked coordinator retransmission dedups against
+			// the WAL-rebuilt seen set.
+			p.Crash(a.id)
+			return
+		}
+		applyBatchEntries(a.avail, a.holds, a.done, m.Batch)
+		p.reply(a, m, MsgBatchAck)
 	}
 }

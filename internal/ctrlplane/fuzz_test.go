@@ -2,6 +2,8 @@ package ctrlplane
 
 import (
 	"bytes"
+	"math"
+	"reflect"
 	"testing"
 )
 
@@ -24,6 +26,56 @@ func FuzzMessageCodec(f *testing.F) {
 		}
 		if _, err := DecodeMessage(m.Encode(nil)); err != nil {
 			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+	})
+}
+
+// FuzzBatchCodec fuzzes the variable-length batch record codec: MsgBatch
+// frames carry a count-prefixed entry list, so truncation, inflated
+// counts, out-of-range entry kinds, and non-finite bandwidths all have to
+// be rejected without panicking — and every accepted frame must re-encode
+// canonically, entries included.
+func FuzzBatchCodec(f *testing.F) {
+	f.Add(Message{From: Coordinator, To: 2, Type: MsgBatch, MsgID: 7, Batch: []BatchEntry{
+		{Kind: EntryCommit, ID: 1, Epoch: 1},
+	}}.Encode(nil))
+	f.Add(Message{From: Coordinator, To: 3, Type: MsgBatch, MsgID: 8, Batch: []BatchEntry{
+		{Kind: EntryRelease, ID: 2, Epoch: 1, Hop: [2]int32{0, 1}, BW: 2.5},
+		{Kind: EntryAbort, ID: 3, Epoch: 2},
+		{Kind: EntryCommit, ID: 4, Epoch: 1},
+	}}.Encode(nil))
+	// Truncated entry list and a count promising more entries than bytes.
+	full := Message{Type: MsgBatch, MsgID: 9, Batch: []BatchEntry{{Kind: EntryCommit, ID: 5, Epoch: 1}}}.Encode(nil)
+	f.Add(full[:len(full)-4])
+	f.Add(append(append([]byte(nil), full[:msgWireSize]...), 0xff, 0xff, 0xff, 0xff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if got := m.Encode(nil); !bytes.Equal(got, data) {
+			t.Fatalf("accepted frame not canonical: % x -> %+v -> % x", data, m, got)
+		}
+		if m.Type != MsgBatch {
+			if len(m.Batch) != 0 {
+				t.Fatalf("non-batch frame decoded entries: %+v", m)
+			}
+			return
+		}
+		for _, e := range m.Batch {
+			if e.Kind < EntryCommit || e.Kind > EntryRelease {
+				t.Fatalf("accepted out-of-range entry kind %d", e.Kind)
+			}
+			if math.IsNaN(e.BW) || math.IsInf(e.BW, 0) {
+				t.Fatalf("accepted non-finite entry bandwidth %v", e.BW)
+			}
+		}
+		m2, err := DecodeMessage(m.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip drifted: %+v vs %+v", m, m2)
 		}
 	})
 }

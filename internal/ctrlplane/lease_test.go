@@ -2,6 +2,7 @@ package ctrlplane
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -178,7 +179,7 @@ func TestMessageCodecCarriesLease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != m {
+	if !reflect.DeepEqual(got, m) {
 		t.Fatalf("codec round-trip: got %+v, want %+v", got, m)
 	}
 	x := Message{From: PeerAddr(1), To: PeerAddr(0), Type: MsgGossip, SessionID: 1, MsgID: 11}

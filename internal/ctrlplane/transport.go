@@ -228,10 +228,21 @@ func (t *FaultTransport) Advance() {
 	t.held = kept
 }
 
-// msgWireSize is the fixed encoded size of a Message.
+// msgWireSize is the fixed encoded size of a Message header. MsgBatch
+// frames extend it with a variable-length batch record (see Encode); every
+// other type encodes to exactly this size.
 const msgWireSize = 4 + 4 + 1 + 8 + 4 + 8 + 8 + 4 + 4 + 8 + 4
 
-// Encode appends the fixed-size little-endian wire form of m to dst.
+// batchEntryWireSize is the fixed encoded size of one BatchEntry.
+const batchEntryWireSize = 1 + 8 + 4 + 4 + 4 + 8
+
+// maxBatchEntries bounds the decoded batch record length — a corrupt count
+// field must not drive a huge allocation.
+const maxBatchEntries = 1 << 20
+
+// Encode appends the little-endian wire form of m to dst: a fixed-size
+// header, plus — for MsgBatch only — a uint32 entry count followed by the
+// fixed-size batch entries.
 func (m Message) Encode(dst []byte) []byte {
 	var b [msgWireSize]byte
 	binary.LittleEndian.PutUint32(b[0:], uint32(m.From))
@@ -245,15 +256,34 @@ func (m Message) Encode(dst []byte) []byte {
 	binary.LittleEndian.PutUint32(b[41:], uint32(m.Hop[1]))
 	binary.LittleEndian.PutUint64(b[45:], math.Float64bits(m.Bandwidth))
 	binary.LittleEndian.PutUint32(b[53:], m.Lease)
-	return append(dst, b[:]...)
+	dst = append(dst, b[:]...)
+	if m.Type != MsgBatch {
+		return dst
+	}
+	var c [4]byte
+	binary.LittleEndian.PutUint32(c[:], uint32(len(m.Batch)))
+	dst = append(dst, c[:]...)
+	for _, e := range m.Batch {
+		var eb [batchEntryWireSize]byte
+		eb[0] = byte(e.Kind)
+		binary.LittleEndian.PutUint64(eb[1:], uint64(e.ID))
+		binary.LittleEndian.PutUint32(eb[9:], e.Epoch)
+		binary.LittleEndian.PutUint32(eb[13:], uint32(e.Hop[0]))
+		binary.LittleEndian.PutUint32(eb[17:], uint32(e.Hop[1]))
+		binary.LittleEndian.PutUint64(eb[21:], math.Float64bits(e.BW))
+		dst = append(dst, eb[:]...)
+	}
+	return dst
 }
 
 // DecodeMessage parses the wire form produced by Encode, rejecting
-// short/long buffers, unknown message types, and non-finite bandwidths —
-// a malformed frame must never enter an agent's state machine.
+// short/long buffers, unknown message types, malformed batch records, and
+// non-finite bandwidths — a malformed frame must never enter an agent's
+// state machine. Only MsgBatch frames may exceed the fixed header size,
+// and their length must match the entry count exactly.
 func DecodeMessage(b []byte) (Message, error) {
-	if len(b) != msgWireSize {
-		return Message{}, fmt.Errorf("ctrlplane: message frame is %d bytes, want %d", len(b), msgWireSize)
+	if len(b) < msgWireSize {
+		return Message{}, fmt.Errorf("ctrlplane: message frame is %d bytes, want >= %d", len(b), msgWireSize)
 	}
 	m := Message{
 		From:      int32(binary.LittleEndian.Uint32(b[0:])),
@@ -270,11 +300,51 @@ func DecodeMessage(b []byte) (Message, error) {
 		Bandwidth: math.Float64frombits(binary.LittleEndian.Uint64(b[45:])),
 		Lease:     binary.LittleEndian.Uint32(b[53:]),
 	}
-	if m.Type < MsgPrepare || m.Type > MsgGossip {
+	if m.Type < MsgPrepare || m.Type > MsgBatchAck {
 		return Message{}, fmt.Errorf("ctrlplane: unknown message type %d", uint8(m.Type))
 	}
 	if math.IsNaN(m.Bandwidth) || math.IsInf(m.Bandwidth, 0) {
 		return Message{}, fmt.Errorf("ctrlplane: non-finite bandwidth")
+	}
+	if m.Type != MsgBatch {
+		if len(b) != msgWireSize {
+			return Message{}, fmt.Errorf("ctrlplane: message frame is %d bytes, want %d", len(b), msgWireSize)
+		}
+		return m, nil
+	}
+	if len(b) < msgWireSize+4 {
+		return Message{}, fmt.Errorf("ctrlplane: batch frame truncated before entry count")
+	}
+	n := binary.LittleEndian.Uint32(b[msgWireSize:])
+	if n > maxBatchEntries {
+		return Message{}, fmt.Errorf("ctrlplane: batch entry count %d exceeds limit", n)
+	}
+	want := msgWireSize + 4 + int(n)*batchEntryWireSize
+	if len(b) != want {
+		return Message{}, fmt.Errorf("ctrlplane: batch frame is %d bytes, want %d for %d entries", len(b), want, n)
+	}
+	if n > 0 {
+		m.Batch = make([]BatchEntry, n)
+	}
+	for i := range m.Batch {
+		eb := b[msgWireSize+4+i*batchEntryWireSize:]
+		e := BatchEntry{
+			Kind:  BatchEntryKind(eb[0]),
+			ID:    int(int64(binary.LittleEndian.Uint64(eb[1:]))),
+			Epoch: binary.LittleEndian.Uint32(eb[9:]),
+			Hop: [2]int32{
+				int32(binary.LittleEndian.Uint32(eb[13:])),
+				int32(binary.LittleEndian.Uint32(eb[17:])),
+			},
+			BW: math.Float64frombits(binary.LittleEndian.Uint64(eb[21:])),
+		}
+		if e.Kind < EntryCommit || e.Kind > EntryRelease {
+			return Message{}, fmt.Errorf("ctrlplane: unknown batch entry kind %d", uint8(e.Kind))
+		}
+		if math.IsNaN(e.BW) || math.IsInf(e.BW, 0) {
+			return Message{}, fmt.Errorf("ctrlplane: non-finite batch entry bandwidth")
+		}
+		m.Batch[i] = e
 	}
 	return m, nil
 }

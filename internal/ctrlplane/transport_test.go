@@ -2,6 +2,7 @@ package ctrlplane
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -121,7 +122,7 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
-		if got != m {
+		if !reflect.DeepEqual(got, m) {
 			t.Fatalf("case %d: roundtrip %+v != %+v", i, got, m)
 		}
 	}

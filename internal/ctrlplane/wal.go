@@ -26,6 +26,11 @@ const (
 	walAbort
 	// walRelease records a RELEASE crediting a hop.
 	walRelease
+	// walBatch records one group-commit decision record: the broker's
+	// entire view of a batch (commits, aborts, releases) in one append.
+	// Replay applies each entry with per-session fencing, so recovery
+	// resolves every session in the batch independently.
+	walBatch
 )
 
 // sessKey identifies one establish attempt: Repath re-establishes the same
@@ -51,6 +56,9 @@ type walRecord struct {
 	// Snapshot payload (Op == walSnapshot only).
 	SnapAvail map[[2]int32]float64
 	SnapDone  map[sessKey]walOp
+
+	// Batch payload (Op == walBatch only).
+	Batch []BatchEntry
 }
 
 // wal is one broker's append-only durable log.
@@ -82,8 +90,17 @@ func (w *wal) snapshot(avail map[[2]int32]float64, done map[sessKey]walOp) {
 func (w *wal) commitCounts() map[sessKey]int {
 	out := make(map[sessKey]int)
 	for _, r := range w.recs {
-		if r.Op == walCommit && r.MsgID != 0 {
-			out[r.Session]++
+		switch r.Op {
+		case walCommit:
+			if r.MsgID != 0 {
+				out[r.Session]++
+			}
+		case walBatch:
+			for _, e := range r.Batch {
+				if e.Kind == EntryCommit {
+					out[sessKey{e.ID, e.Epoch}]++
+				}
+			}
 		}
 	}
 	return out
@@ -138,6 +155,8 @@ func (w *wal) replay() (avail map[[2]int32]float64, holds map[sessKey][]hold, do
 			if _, owned := avail[r.Hop]; owned {
 				avail[r.Hop] += r.BW
 			}
+		case walBatch:
+			applyBatchEntries(avail, holds, done, r.Batch)
 		}
 	}
 	return avail, holds, done, seen

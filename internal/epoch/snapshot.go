@@ -76,8 +76,18 @@ type Snapshot struct {
 	region     int
 	orig       []int32
 
-	connOnce sync.Once
-	conn     float64
+	// conn is shared (by pointer) between a snapshot and its WithView
+	// descendants: capacity-only republishes keep the same live graph and
+	// coalition, so connectivity is computed at most once per down-mark
+	// state rather than once per publish.
+	conn *connCache
+}
+
+// connCache lazily computes saturated connectivity once per live-graph +
+// coalition state.
+type connCache struct {
+	once sync.Once
+	val  float64
 }
 
 // NewSnapshot builds an unpublished snapshot from writer-owned data. The
@@ -98,6 +108,31 @@ func NewSnapshot(d SnapshotData) *Snapshot {
 		view:       d.View,
 		region:     d.Region,
 		orig:       d.Orig,
+		conn:       &connCache{},
+	}
+}
+
+// WithView derives an unpublished successor snapshot that differs from s
+// only in its routing metrics view. This is the fast path for commit
+// batches: reservations change on every batch, but the live graph,
+// down-marks, and membership don't, so everything except the view (and the
+// epoch number, assigned at Publish) is shared with s — no map copies, no
+// connectivity recompute. Callers must only use it when nothing but
+// capacity changed since s was captured (brokerd's writer holds writeMu
+// across the check and the publish).
+func (s *Snapshot) WithView(view *routing.View) *Snapshot {
+	return &Snapshot{
+		top:        s.top,
+		live:       s.live,
+		brokers:    s.brokers,
+		inB:        s.inB,
+		nodeDown:   s.nodeDown,
+		linkDown:   s.linkDown,
+		brokerDown: s.brokerDown,
+		view:       view,
+		region:     s.region,
+		orig:       s.orig,
+		conn:       s.conn,
 	}
 }
 
@@ -216,8 +251,8 @@ func (s *Snapshot) PathValid(p *routing.Path, opts routing.Options) bool {
 // cached for the snapshot's lifetime — /stats and /metrics scrapes within
 // one epoch pay for it once.
 func (s *Snapshot) Connectivity() float64 {
-	s.connOnce.Do(func() {
-		s.conn = coverage.SaturatedConnectivity(s.live, s.brokers)
+	s.conn.once.Do(func() {
+		s.conn.val = coverage.SaturatedConnectivity(s.live, s.brokers)
 	})
-	return s.conn
+	return s.conn.val
 }

@@ -284,6 +284,34 @@ func (q *QueryPlane) QueryBid(ctx context.Context, src, dst int, opts routing.Op
 	return path, false, err
 }
 
+// Resolve answers a path query for an INTERNAL caller — the control
+// plane's setup path resolving a route it is about to reserve. It shares
+// the cache (including stale-entry revalidation, the O(hops) fast path
+// that makes setup storms cheap: every commit publishes a new epoch, but
+// an untouched path re-stamps instead of recomputing) and the singleflight
+// dedup, but skips admission, the worker pool, and shedding: lifecycle
+// traffic is already backpressured by the group-commit queue, so refusing
+// it here would double-count the overload, and a miss computes inline on
+// the caller's goroutine.
+func (q *QueryPlane) Resolve(ctx context.Context, src, dst int, opts routing.Options) (path *routing.Path, cached bool, err error) {
+	key := opts.CacheKey(src, dst)
+	gen := q.Generation()
+	if p, ok, _ := q.lookup(key, gen, opts); ok {
+		return p, true, nil
+	}
+	path, _, err = q.flights.do(flightKey{key: key, gen: gen}, func() (*routing.Path, error) {
+		cctx, cancel := context.WithTimeout(ctx, q.cfg.Timeout)
+		defer cancel()
+		p, err := q.cfg.Compute(cctx, src, dst, opts)
+		if err != nil {
+			return nil, err
+		}
+		q.cache.Put(key, p, gen)
+		return p, nil
+	})
+	return path, false, err
+}
+
 // lookup consults the cache, trying stale-entry revalidation when the
 // Config provides a Revalidate hook.
 func (q *QueryPlane) lookup(key routing.QueryKey, gen uint64, opts routing.Options) (*routing.Path, bool, bool) {

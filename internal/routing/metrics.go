@@ -19,10 +19,17 @@ import (
 // adjacency arrays so path searches do no map lookups. It is the substrate
 // both the mutable Metrics and the immutable View are built on; pathSearch
 // runs against it directly, which is what lets one search core serve both.
+//
+// Every column is copy-on-write so freeze() — which runs on every snapshot
+// publish, i.e. every committed setup/teardown batch — is O(touched state),
+// not O(arcs). The granularity matches each column's write pattern:
+// latency/capacity/failed change rarely (scenario setters, churn events)
+// and COW whole arrays; used changes on every commit and is paged
+// (pagedF64) so only dirtied pages are ever copied.
 type arcState struct {
 	latency  []float64 // milliseconds, per arc
 	capacity []float64 // Gbps, per arc
-	used     []float64 // reserved Gbps, per arc
+	used     pagedF64  // reserved Gbps, per arc (page-granular COW)
 	failed   []bool
 }
 
@@ -31,7 +38,7 @@ func (s *arcState) availArc(a int) float64 {
 	if s.failed[a] {
 		return 0
 	}
-	avail := s.capacity[a] - s.used[a]
+	avail := s.capacity[a] - s.used.at(a)
 	if avail < 0 {
 		return 0
 	}
@@ -39,17 +46,17 @@ func (s *arcState) availArc(a int) float64 {
 }
 
 // freeze captures an immutable copy of the arc state for snapshot
-// publication. Only the hot mutable halves (reservations, failure flags)
-// are copied; latency and capacity arrays are shared, which is safe
-// because their setters are copy-on-write (SetLatency/SetCapacity swap in
-// a fresh array instead of mutating the shared one). Publication is on
-// every setup/teardown, so this asymmetry is what keeps the writer cheap.
+// publication. Nothing is deep-copied: latency/capacity/failed share their
+// arrays (their setters swap in fresh copies before mutating, see
+// mutableFailed/SetLatency), and used shares pages, with the writer
+// cloning a page before its next write to it. Publication is on every
+// setup/teardown batch, so this is what keeps the writer cheap.
 func (s *arcState) freeze() arcState {
 	return arcState{
 		latency:  s.latency,
 		capacity: s.capacity,
-		used:     append([]float64(nil), s.used...),
-		failed:   append([]bool(nil), s.failed...),
+		used:     s.used.freeze(),
+		failed:   s.failed,
 	}
 }
 
@@ -60,6 +67,19 @@ func (s *arcState) freeze() arcState {
 type Metrics struct {
 	top *topology.Topology
 	arcState
+	// failedShared marks the failed array as visible to a frozen View;
+	// FailLink/RestoreLink clone it before mutating while set.
+	failedShared bool
+}
+
+// mutableFailed makes the failed array safe to mutate, cloning it when a
+// published View still shares it.
+func (m *Metrics) mutableFailed() []bool {
+	if m.failedShared {
+		m.failed = append([]bool(nil), m.failed...)
+		m.failedShared = false
+	}
+	return m.failed
 }
 
 // edgeKey packs an undirected edge (used by the k-alternatives penalty map).
@@ -107,7 +127,7 @@ func DefaultMetrics(top *topology.Topology, rng *rand.Rand) *Metrics {
 		arcState: arcState{
 			latency:  make([]float64, nArcs),
 			capacity: make([]float64, nArcs),
-			used:     make([]float64, nArcs),
+			used:     newPagedF64(nArcs),
 			failed:   make([]bool, nArcs),
 		},
 	}
@@ -149,7 +169,7 @@ func NewMetricsFunc(top *topology.Topology, f func(u, v int32) (latencyMs, capac
 		arcState: arcState{
 			latency:  make([]float64, nArcs),
 			capacity: make([]float64, nArcs),
-			used:     make([]float64, nArcs),
+			used:     newPagedF64(nArcs),
 			failed:   make([]bool, nArcs),
 		},
 	}
@@ -196,7 +216,7 @@ func (m *Metrics) Residual(u, v int32) float64 {
 	if a < 0 {
 		return 0
 	}
-	r := m.capacity[a] - m.used[a]
+	r := m.capacity[a] - m.used.at(a)
 	if r < 0 {
 		return 0
 	}
@@ -212,8 +232,8 @@ func (m *Metrics) Reserve(u, v int32, bw float64) error {
 	if avail := m.availArc(a); avail < bw {
 		return fmt.Errorf("routing: link (%d,%d) has %.2f Gbps available, need %.2f", u, v, avail, bw)
 	}
-	m.used[a] += bw
-	m.used[b] += bw
+	m.used.add(a, bw)
+	m.used.add(b, bw)
 	return nil
 }
 
@@ -224,10 +244,11 @@ func (m *Metrics) Release(u, v int32, bw float64) {
 		return
 	}
 	for _, i := range [2]int{a, b} {
-		m.used[i] -= bw
-		if m.used[i] < 0 {
-			m.used[i] = 0
+		u := m.used.at(i) - bw
+		if u < 0 {
+			u = 0
 		}
+		m.used.set(i, u)
 	}
 }
 
@@ -235,16 +256,18 @@ func (m *Metrics) Release(u, v int32, bw float64) {
 // released by their owners.
 func (m *Metrics) FailLink(u, v int32) {
 	if a, b := m.bothArcs(u, v); a >= 0 {
-		m.failed[a] = true
-		m.failed[b] = true
+		failed := m.mutableFailed()
+		failed[a] = true
+		failed[b] = true
 	}
 }
 
 // RestoreLink clears a link failure.
 func (m *Metrics) RestoreLink(u, v int32) {
 	if a, b := m.bothArcs(u, v); a >= 0 {
-		m.failed[a] = false
-		m.failed[b] = false
+		failed := m.mutableFailed()
+		failed[a] = false
+		failed[b] = false
 	}
 }
 
@@ -282,5 +305,5 @@ func (m *Metrics) Utilization(u, v int32) float64 {
 	if a < 0 || m.capacity[a] == 0 {
 		return 0
 	}
-	return m.used[a] / m.capacity[a]
+	return m.used.at(a) / m.capacity[a]
 }

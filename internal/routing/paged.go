@@ -1,0 +1,80 @@
+package routing
+
+// pagedF64 is a float64 array with page-granular copy-on-write, built for
+// the reservation column of arcState. The write pattern there is extreme:
+// every committed setup/teardown mutates a handful of arcs, and every
+// snapshot publish needs an immutable capture of the whole column. A flat
+// copy per publish is O(arcs) memmove + garbage — profiled at ~38% of
+// serial SetupTeardown — while the arcs actually touched between publishes
+// number in the tens. Paging makes the capture O(touched pages): freeze
+// copies only the page table (one pointer per page) and marks every page
+// shared; a writer mutating a shared page clones just that page first.
+//
+// Frozen copies never mutate (shared == nil disables the write path), so
+// any number of concurrent readers may hold them, same contract as the
+// flat arrays they replace.
+type pagedF64 struct {
+	pages [][]float64
+	// shared[p] means page p is visible to at least one frozen copy and
+	// must be cloned before the next write. nil on frozen copies.
+	shared []bool
+	n      int
+}
+
+// pageShift sizes pages at 256 entries (2 KiB): small enough that a
+// setup's dirty set stays a few KiB, large enough that the page table is
+// ~0.4% of the flat array.
+const (
+	pageShift = 8
+	pageLen   = 1 << pageShift
+	pageMask  = pageLen - 1
+)
+
+// newPagedF64 returns a zeroed paged array of n entries. Pages are carved
+// from one backing allocation so a fresh (never-frozen) array has the same
+// locality as a flat slice.
+func newPagedF64(n int) pagedF64 {
+	np := (n + pageLen - 1) >> pageShift
+	pages := make([][]float64, np)
+	backing := make([]float64, np<<pageShift)
+	for i := range pages {
+		pages[i] = backing[i<<pageShift : (i+1)<<pageShift : (i+1)<<pageShift]
+	}
+	return pagedF64{pages: pages, shared: make([]bool, np), n: n}
+}
+
+func (p *pagedF64) len() int { return p.n }
+
+func (p *pagedF64) at(i int) float64 {
+	return p.pages[i>>pageShift][i&pageMask]
+}
+
+// writable returns page pg's slice, cloning it first when a frozen copy
+// still references it.
+func (p *pagedF64) writable(pg int) []float64 {
+	if p.shared[pg] {
+		p.pages[pg] = append([]float64(nil), p.pages[pg]...)
+		p.shared[pg] = false
+	}
+	return p.pages[pg]
+}
+
+func (p *pagedF64) set(i int, v float64) {
+	p.writable(i >> pageShift)[i&pageMask] = v
+}
+
+func (p *pagedF64) add(i int, d float64) {
+	p.writable(i >> pageShift)[i&pageMask] += d
+}
+
+// freeze captures an immutable copy sharing every page with the writer.
+// O(pages), not O(entries): only the page table is copied. All writer
+// pages become shared, so the writer's next mutation of any captured page
+// clones it first.
+func (p *pagedF64) freeze() pagedF64 {
+	pages := append([][]float64(nil), p.pages...)
+	for i := range p.shared {
+		p.shared[i] = true
+	}
+	return pagedF64{pages: pages, n: p.n}
+}

@@ -12,12 +12,14 @@ type View struct {
 	arcState
 }
 
-// View freezes the current arc state into an immutable View (reservations
-// and failure flags copied; latency/capacity shared copy-on-write).
-// Callers hold whatever serialization orders Metrics mutations (the copy
-// must not race a Reserve/FailLink); the returned View itself is free of
-// that rule.
+// View freezes the current arc state into an immutable View. Everything is
+// shared copy-on-write: latency/capacity/failed share whole arrays, used
+// shares pages, and the writer clones before its next mutation of anything
+// captured here — so this is O(pages), not O(arcs). Callers hold whatever
+// serialization orders Metrics mutations (the capture must not race a
+// Reserve/FailLink); the returned View itself is free of that rule.
 func (m *Metrics) View() *View {
+	m.failedShared = true
 	return &View{top: m.top, arcState: m.arcState.freeze()}
 }
 
