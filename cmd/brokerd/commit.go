@@ -57,6 +57,12 @@ type pendingOp struct {
 	// tear, when non-nil, makes this a teardown of that session instead.
 	tear *ctrlplane.Session
 
+	// trace is the submitting request's trace ID, captured at submit time:
+	// only the batch leader's context reaches CommitBatch, so without this
+	// a follower's trace would end at the enqueue and its 2PC work would be
+	// invisible to /debug/trace.
+	trace uint64
+
 	sess *ctrlplane.Session
 	err  error
 	done chan struct{}
@@ -78,6 +84,7 @@ func newCommitter(s *server) *committer {
 // cancellation is NOT honored mid-batch — a leader's client disconnecting
 // must not abort its batch peers' commits.
 func (c *committer) submit(ctx context.Context, op *pendingOp) error {
+	op.trace = obs.TraceIDFrom(ctx)
 	c.mu.Lock()
 	if op.tear == nil && c.highWater > 0 && len(c.queue) >= c.highWater {
 		depth := len(c.queue)
@@ -140,10 +147,10 @@ func (c *committer) processBatch(ctx context.Context, batch []*pendingOp) {
 	for i, op := range batch {
 		switch {
 		case op.tear != nil:
-			ops = append(ops, ctrlplane.BatchOp{Kind: ctrlplane.BatchTeardown, Session: op.tear})
+			ops = append(ops, ctrlplane.BatchOp{Kind: ctrlplane.BatchTeardown, Session: op.tear, Trace: op.trace})
 			idx = append(idx, i)
 		case op.path != nil:
-			ops = append(ops, ctrlplane.BatchOp{Kind: ctrlplane.BatchSetup, Path: op.path, Bandwidth: op.req.Gbps})
+			ops = append(ops, ctrlplane.BatchOp{Kind: ctrlplane.BatchSetup, Path: op.path, Bandwidth: op.req.Gbps, Trace: op.trace})
 			idx = append(idx, i)
 		}
 	}
@@ -263,6 +270,10 @@ func (s *server) handleSessionRenew(w http.ResponseWriter, r *http.Request, id i
 	if !ok {
 		// The lease is gone — never granted, torn down, or already swept.
 		// 410: the client must set up a new session, not keep heartbeating.
+		s.refuseSpan(r.Context(), "brokerd.renew_refused", "lease_lapsed")
+		if s.sloSetup != nil {
+			s.sloSetup.Record(false, obs.TraceIDFrom(r.Context()))
+		}
 		writeError(w, http.StatusGone, "session %d holds no lease", id)
 		return
 	}

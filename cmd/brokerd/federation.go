@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"brokerset/internal/federation"
+	"brokerset/internal/obs"
 	"brokerset/internal/routing"
 )
 
@@ -65,6 +66,11 @@ func (s *server) enableFederation(regions, budget int, crossing float64, seed in
 	}
 	s.fed = &fedState{fabric: fabric, sessions: make(map[int]*federation.Session)}
 	fabric.SetFlightRecorder(s.flight)
+	// Sharing the server's tracer lets each region's sub-coordinator adopt
+	// the trace ID riding incoming X-* messages, so one stitched trace
+	// covers the HTTP request, the home-region 2PC, and every transit
+	// region's sub-transaction.
+	fabric.SetTracer(s.tracer)
 	fabric.RegisterMetrics(s.reg, s.fed.mu.RLocker())
 	return nil
 }
@@ -196,6 +202,10 @@ func (s *server) handleFedPath(w http.ResponseWriter, r *http.Request) {
 		var shed *federation.ShedError
 		switch {
 		case errors.As(err, &shed):
+			s.refuseSpan(r.Context(), "brokerd.fedquery_refused", "shed")
+			if shed.Region >= 0 && shed.Region < len(s.sloCrossing) {
+				s.sloCrossing[shed.Region].Record(false, obs.TraceIDFrom(r.Context()))
+			}
 			w.Header().Set("Retry-After", strconv.Itoa(int(shed.RetryAfter.Seconds())))
 			w.Header().Set("X-Shed-Region", strconv.Itoa(shed.Region))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
@@ -205,6 +215,17 @@ func (s *server) handleFedPath(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}
 		return
+	}
+	// Per-region crossing objectives: each stitched segment's modeled
+	// latency is classified against the region's crossing budget, so /slo
+	// breaks a burning federation down to the region dragging it.
+	if len(s.sloCrossing) > 0 {
+		trace := obs.TraceIDFrom(r.Context())
+		for _, seg := range sp.Segments {
+			if seg.Region >= 0 && seg.Region < len(s.sloCrossing) {
+				s.sloCrossing[seg.Region].Observe(time.Duration(seg.LatencyMs*float64(time.Millisecond)), trace)
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, fedPathJSON(sp))
 }

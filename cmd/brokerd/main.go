@@ -88,6 +88,12 @@ func main() {
 		econSeed      = flag.Int64("econ-seed", 1, "settlement Monte-Carlo seed")
 		econThreshold = flag.Float64("econ-threshold", 0.7, "utilization above which congestion pricing engages")
 
+		sloP99      = flag.Duration("slo-query-p99", 0, "enable the SLO plane with this query-latency objective (0 = off); see GET /slo")
+		sloCrossing = flag.Float64("slo-crossing-ms", 50, "per-region stitched-segment latency budget in ms (with -regions)")
+		sloWindow   = flag.Duration("slo-window", time.Hour, "burn-rate base window (the fast pair's long window; scale down for smoke tests)")
+		sloEvery    = flag.Duration("slo-every", 0, "SLO evaluation tick (default slo-window/48, floored at 50ms)")
+		sloDump     = flag.String("slo-dump", "", "dump the flight recorder to this file when a burn-rate alert fires")
+
 		regions  = flag.Int("regions", 0, "serve an in-process federation of N broker regions under /federation/* (0 = off)")
 		region   = flag.Int("region", -1, "reserved: this brokerd's region id in a multi-process federation")
 		peers    = flag.String("peers", "", "reserved: comma-separated peer brokerd URLs for a multi-process federation")
@@ -148,6 +154,15 @@ func main() {
 		fmt.Printf("brokerd: economics plane live (reprice every %v, settle every %d ticks, seed %d)\n",
 			*econEvery, *econWindow, *econSeed)
 	}
+	if *sloP99 > 0 {
+		// After enableFederation: the per-region crossing objectives only
+		// exist for regions booted by then.
+		srv.enableSLO(sloConfig{
+			QueryP99: *sloP99, CrossingMs: *sloCrossing,
+			Window: *sloWindow, DumpPath: *sloDump,
+		})
+		fmt.Printf("brokerd: slo plane on (query p99 < %v, base window %v): GET /slo\n", *sloP99, *sloWindow)
+	}
 	snap := srv.pub.Current()
 	fmt.Printf("brokerd: %d nodes, %d brokers, %.2f%% connectivity, listening on %s\n",
 		top.NumNodes(), snap.NumBrokers(), 100*snap.Connectivity(), *addr)
@@ -188,6 +203,19 @@ func main() {
 	}
 	if *econOn {
 		go srv.runEconLoop(ctx)
+	}
+	if srv.slo != nil {
+		every := *sloEvery
+		if every <= 0 {
+			// Comfortably finer than the shortest evaluation window
+			// (slo-window/12) so windowed deltas resolve at useful
+			// granularity even on smoke-test-scale windows.
+			every = *sloWindow / 48
+			if every < 50*time.Millisecond {
+				every = 50 * time.Millisecond
+			}
+		}
+		go srv.runSLOLoop(ctx, every)
 	}
 	done := make(chan error, 1)
 	go func() {

@@ -76,6 +76,15 @@ type server struct {
 	flight   *obs.FlightRecorder
 	httpReqs *obs.Counter
 	httpHist *obs.Histogram
+
+	// SLO plane (nil unless -slo-query-p99 is set; see slo.go): the
+	// handlers feed the objectives, runSLOLoop evaluates burn rates, and a
+	// firing alert dumps the flight recorder to sloDump.
+	slo         *obs.SLOEngine
+	sloQuery    *obs.SLOObjective
+	sloSetup    *obs.SLOObjective
+	sloCrossing []*obs.SLOObjective
+	sloDump     string
 }
 
 // newServer wires a server for the topology: it selects k brokers with
@@ -245,6 +254,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/econ/quote", s.handleEconQuote)
 	mux.HandleFunc("/econ/settlement", s.handleEconSettlement)
 	mux.HandleFunc("/econ/stats", s.handleEconStats)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/trace", s.handleDebugTrace)
 	mux.HandleFunc("/debug/flight", s.handleDebugFlight)
 	if s.fed != nil {
@@ -475,23 +485,40 @@ func (s *server) handlePath(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "node ids outside [0,%d)", s.top.NumNodes())
 		return
 	}
+	start := time.Now()
 	p, cached, err := s.qp.QueryBid(r.Context(), src, dst, opts, parseBid(r))
 	if err != nil {
+		trace := obs.TraceIDFrom(r.Context())
 		var pe *queryplane.PriceError
 		switch {
 		case errors.As(err, &pe):
+			// Priced admission is policy, not a reliability failure: it gets
+			// a terminal span but does not burn the latency error budget.
+			s.refuseSpan(r.Context(), "brokerd.query_refused", "priced_admission")
 			s.writePriceRejection(w, pe.Quote)
 		case errors.Is(err, queryplane.ErrShed):
+			s.refuseSpan(r.Context(), "brokerd.query_refused", "shed")
+			if s.sloQuery != nil {
+				s.sloQuery.Record(false, trace)
+			}
 			w.Header().Set("Retry-After", strconv.Itoa(int(s.qp.RetryAfter().Seconds())))
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, context.DeadlineExceeded):
+			s.refuseSpan(r.Context(), "brokerd.query_refused", "timeout")
+			if s.sloQuery != nil {
+				s.sloQuery.Record(false, trace)
+			}
 			writeError(w, http.StatusGatewayTimeout, "path computation timed out")
 		case errors.Is(err, context.Canceled):
+			s.refuseSpan(r.Context(), "brokerd.query_refused", "canceled")
 			writeError(w, http.StatusServiceUnavailable, "query canceled")
 		default:
 			writeError(w, http.StatusNotFound, "%v", err)
 		}
 		return
+	}
+	if s.sloQuery != nil {
+		s.sloQuery.Observe(time.Since(start), obs.TraceIDFrom(r.Context()))
 	}
 	if cached {
 		w.Header().Set("X-Cache", "hit")
@@ -587,15 +614,23 @@ func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		}
 		sess, err := s.setup(r.Context(), req)
 		if err != nil {
+			if s.sloSetup != nil {
+				s.sloSetup.Record(false, obs.TraceIDFrom(r.Context()))
+			}
 			if errors.Is(err, errSetupShed) {
 				// Degraded mode: the batch queue is over its high-water
 				// mark. Renewals and teardowns still flow; new load waits.
+				s.refuseSpan(r.Context(), "brokerd.setup_refused", "shed")
 				w.Header().Set("Retry-After", strconv.Itoa(int(s.commit.retryAfter.Seconds())))
 				writeError(w, http.StatusTooManyRequests, "%v", err)
 				return
 			}
+			s.refuseSpan(r.Context(), "brokerd.setup_refused", "conflict")
 			writeError(w, http.StatusConflict, "%v", err)
 			return
+		}
+		if s.sloSetup != nil {
+			s.sloSetup.Record(true, 0)
 		}
 		s.sessions.Put(sess)
 		// A committed reservation credits its carrying brokers with the

@@ -34,6 +34,14 @@ type fedStack struct {
 	fabric *federation.Fabric
 	top    *topology.Topology
 	flight *obs.FlightRecorder
+	tracer *obs.Tracer
+
+	// Client-side SLO engine (-slo-p99): the workers classify stitched
+	// queries against the latency budget, the driver ticks the burn-rate
+	// evaluation, and finish reports alerts plus the bad-event traces.
+	slo    *obs.SLOEngine
+	sloQ   *obs.SLOObjective
+	alerts []obs.AlertTransition
 
 	crashTarget int // transit region crashed mid-run by -fed-crash
 }
@@ -60,9 +68,25 @@ func newFedStack(scale float64, seed int64, regions, budget int, crossing, loss,
 	}
 	fr := obs.NewFlightRecorder(1 << 14)
 	fabric.SetFlightRecorder(fr)
+	// Every query roots a trace and the fabric's sub-coordinators adopt
+	// the ID from the peer messages, so one stitched trace covers the
+	// query plus each region's sub-transaction spans.
+	tracer := obs.NewTracer(1 << 14)
+	fabric.SetTracer(tracer)
 	// Crash a transit region, never an edge one: endpoints stay routable
 	// and the run exercises re-stitching rather than total blackout.
-	return &fedStack{fabric: fabric, top: top, flight: fr, crashTarget: regions / 2}, nil
+	return &fedStack{fabric: fabric, top: top, flight: fr, tracer: tracer, crashTarget: regions / 2}, nil
+}
+
+// enableSLO arms a client-side burn-rate alert over stitched-query
+// latency: p99 is the per-query budget, window the burn-rate base window
+// (scaled to the run length, not the SRE-workbook hour).
+func (s *fedStack) enableSLO(p99, window time.Duration) {
+	s.slo = obs.NewSLOEngine(obs.SLOConfig{BaseWindow: window})
+	s.sloQ = s.slo.Add(obs.Objective{
+		Name: "fed_query_latency", Help: "stitched queries under the latency budget",
+		Target: 0.99, Latency: p99,
+	})
 }
 
 // fedTarget answers workload queries with cross-region stitched paths,
@@ -77,18 +101,35 @@ type fedTarget struct {
 }
 
 func (t *fedTarget) Query(src, dst int32) (workload.Outcome, error) {
+	// One trace covers the whole query including its shed-retry attempts;
+	// the fabric's sub-coordinators stitch their spans into it.
+	ctx := context.Background()
+	var trace uint64
+	if t.stack.tracer != nil {
+		var span *obs.Span
+		ctx, span = t.stack.tracer.Root(ctx, "loadgen.fedquery", 0)
+		trace = span.TraceID
+		defer span.End()
+	}
+	t0 := time.Now()
 	retries := 0
 	for {
 		t.stack.mu.Lock()
-		_, err := t.stack.fabric.StitchPath(context.Background(), src, dst, t.opts)
+		_, err := t.stack.fabric.StitchPath(ctx, src, dst, t.opts)
 		t.stack.mu.Unlock()
 		var shed *federation.ShedError
 		switch {
 		case err == nil:
-			return workload.Outcome{Found: true, Retries: retries}, nil
+			if t.stack.sloQ != nil {
+				t.stack.sloQ.Observe(time.Since(t0), trace)
+			}
+			return workload.Outcome{Found: true, Retries: retries, TraceID: trace}, nil
 		case errors.As(err, &shed):
 			if retries >= t.maxRetries {
-				return workload.Outcome{Shed: true, Retries: retries, ShedRegion: shed.Region}, nil
+				if t.stack.sloQ != nil {
+					t.stack.sloQ.Record(false, trace)
+				}
+				return workload.Outcome{Shed: true, Retries: retries, ShedRegion: shed.Region, TraceID: trace}, nil
 			}
 			retries++
 			wait := shed.RetryAfter
@@ -97,9 +138,9 @@ func (t *fedTarget) Query(src, dst int32) (workload.Outcome, error) {
 			}
 			time.Sleep(wait)
 		case errors.Is(err, federation.ErrNoRoute):
-			return workload.Outcome{Retries: retries}, nil
+			return workload.Outcome{Retries: retries, TraceID: trace}, nil
 		default:
-			return workload.Outcome{Retries: retries}, err
+			return workload.Outcome{Retries: retries, TraceID: trace}, err
 		}
 	}
 }
@@ -138,6 +179,9 @@ func (s *fedStack) drive(stop <-chan struct{}, dur time.Duration, interval time.
 			case elapsed >= 2*dur/3 && s.fabric.RegionCrashed(s.crashTarget):
 				s.fabric.RecoverRegion(s.crashTarget)
 			}
+		}
+		if s.slo != nil {
+			s.alerts = append(s.alerts, s.slo.Tick(time.Now())...)
 		}
 		src, dst := rng.Int31n(n), rng.Int31n(n)
 		if sess, err := s.fabric.Setup(context.Background(), src, dst, 0.1, routing.Options{}); err == nil {
@@ -178,6 +222,24 @@ func (s *fedStack) finish(out io.Writer) error {
 	st := s.fabric.Stats()
 	fmt.Fprintf(out, "fed:      %d setups (%d commits, %d aborts), %d peer msgs, %d retries, %d rollbacks, %d restitched, %d crashes\n",
 		st.Setups, st.Commits, st.Aborts, st.PeerMessages, st.PeerRetries, st.Rollbacks, st.Restitched, st.RegionCrashes)
+	if s.slo != nil {
+		for _, tr := range s.alerts {
+			state := "resolved"
+			if tr.Firing {
+				state = "firing"
+			}
+			fmt.Fprintf(out, "slo:      alert %s/%s %s (burn long %.1f short %.1f)\n",
+				tr.Objective, tr.Severity, state, tr.BurnLong, tr.BurnShort)
+		}
+		for _, o := range s.slo.Status().Objectives {
+			fmt.Fprintf(out, "slo:      %s good=%d bad=%d burn fast=%.1f slow=%.1f budget-left=%.2f",
+				o.Name, o.Good, o.Bad, o.BurnFastLong, o.BurnSlowLong, o.BudgetRemaining)
+			if len(o.BadTraceIDs) > 0 {
+				fmt.Fprintf(out, " bad-traces=%v", o.BadTraceIDs)
+			}
+			fmt.Fprintln(out)
+		}
+	}
 	return nil
 }
 

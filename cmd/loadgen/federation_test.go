@@ -49,10 +49,42 @@ func TestRunFederationCrashRecovers(t *testing.T) {
 }
 
 // TestRunFederationExclusiveFlags rejects combining the churn stack with
-// the federation fabric.
+// the federation fabric, and -slo-p99 outside federation mode.
 func TestRunFederationExclusiveFlags(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run([]string{"-regions", "3", "-churn-every", "100ms"}, &out); err == nil {
 		t.Fatal("federation + churn accepted")
+	}
+	if _, err := run([]string{"-slo-p99", "1ms"}, &out); err == nil {
+		t.Fatal("-slo-p99 without -regions accepted")
+	}
+}
+
+// TestRunFederationSLOBurn arms the client-side SLO with an impossible
+// 1ns latency budget: every stitched query is a bad event, so the
+// fast-burn alert must fire during the run and the report must surface
+// the objective status plus bad-event trace IDs.
+func TestRunFederationSLOBurn(t *testing.T) {
+	var out bytes.Buffer
+	// -n bounds the run so the slow traces' spans are still in the fabric
+	// tracer's ring when the report resolves them.
+	_, err := run([]string{
+		"-regions", "3", "-scale", "0.02", "-k", "40", "-c", "4",
+		"-n", "500", "-d", "5s", "-fed-every", "10ms",
+		"-slo-p99", "1ns", "-slo-window", "300ms", "-slow-k", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("federation slo run: %v\noutput:\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "slo:      alert fed_query_latency/fast firing") {
+		t.Fatalf("fast-burn alert did not fire:\n%s", text)
+	}
+	if !strings.Contains(text, "bad-traces=") {
+		t.Fatalf("no bad-event trace exemplars reported:\n%s", text)
+	}
+	// -slow-k in federation mode resolves spans from the fabric tracer.
+	if !strings.Contains(text, "slowest:") || !strings.Contains(text, "trace ") {
+		t.Fatalf("slow-k breakdown missing in federation mode:\n%s", text)
 	}
 }

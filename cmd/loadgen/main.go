@@ -34,9 +34,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"brokerset/internal/broker"
+	"brokerset/internal/obs"
 	"brokerset/internal/queryplane"
 	"brokerset/internal/routing"
 	"brokerset/internal/topology"
@@ -79,6 +81,10 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		econSeed   = fs.Int64("econ-seed", 1, "econ bid + settlement seed")
 		econAssert = fs.Bool("econ-assert", false, "fail unless the econ run conserves its ledger and the price trajectory is sane")
 
+		slowK     = fs.Int("slow-k", 0, "report the K slowest requests with their trace IDs (0 = off)")
+		sloP99    = fs.Duration("slo-p99", 0, "federation mode: arm a client-side SLO with this stitched-query latency budget (0 = off)")
+		sloWindow = fs.Duration("slo-window", 2*time.Second, "federation mode: SLO burn-rate base window")
+
 		regions   = fs.Int("regions", 0, "in-process federation: broker regions (0 = off)")
 		fedLoss   = fs.Float64("fed-loss", 0, "federation inter-region bus drop rate")
 		fedDup    = fs.Float64("fed-dup", 0, "federation inter-region bus duplicate rate")
@@ -98,15 +104,22 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		Requests:    *reqs,
 		Zipf:        *zipf,
 		Seed:        *seed,
+		SlowK:       *slowK,
 	}
 
+	if *sloP99 > 0 && *regions <= 0 {
+		return nil, fmt.Errorf("-slo-p99 is federation-mode only (set -regions)")
+	}
 	var (
 		target workload.Target
 		top    *topology.Topology
 		stack  *churnStack
 		fed    *fedStack
 		econ   *econStack
-		err    error
+		// slowTracer, when set, lets the -slow-k report break each slow
+		// trace down into per-plane span durations.
+		slowTracer *obs.Tracer
+		err        error
 	)
 	switch {
 	case *abandon > 0:
@@ -168,6 +181,10 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if *sloP99 > 0 {
+			fed.enableSLO(*sloP99, *sloWindow)
+			fmt.Fprintf(out, "loadgen: slo armed (stitched query p99 < %v, base window %v)\n", *sloP99, *sloWindow)
+		}
 		top = fed.top
 		target = &fedTarget{stack: fed, opts: opts, maxRetries: *retries, maxWait: *retryWt}
 		fmt.Fprintf(out, "loadgen: in-process federation, %d regions over %d nodes, %d workers (loss %.1f%%, dup %.1f%%, crash %v)\n",
@@ -195,7 +212,14 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		target = &workload.PlaneTarget{Plane: qp, Opts: opts}
+		pt := &workload.PlaneTarget{Plane: qp, Opts: opts}
+		if *slowK > 0 {
+			// Trace the in-process queries so the slowest-request table can
+			// name traces and break them into per-plane durations.
+			slowTracer = obs.NewTracer(1 << 13)
+			pt.Tracer = slowTracer
+		}
+		target = pt
 
 		if *churnEvery > 0 {
 			stack, err = newChurnStack(top, metrics, engine, brokers, qp, *churnSeed)
@@ -259,6 +283,10 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		if err := fed.finish(out); err != nil {
 			return rep, err
 		}
+		slowTracer = fed.tracer
+	}
+	if len(rep.Slowest) > 0 && slowTracer != nil {
+		printSlowPlanes(out, slowTracer, rep.Slowest)
 	}
 
 	// Churn mode: show what the healing traffic cost the control plane —
@@ -277,4 +305,37 @@ func run(argv []string, out io.Writer) (*workload.Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// printSlowPlanes renders, for each slow request whose trace is still in
+// the ring, the time spent per plane — span durations grouped by the name
+// prefix before the first dot (queryplane, ctrlplane, federation, ...) —
+// so a slow client-side number decomposes into where it was spent.
+func printSlowPlanes(out io.Writer, tracer *obs.Tracer, slow []workload.SlowRequest) {
+	for _, s := range slow {
+		if s.TraceID == 0 {
+			continue
+		}
+		spans := tracer.Trace(s.TraceID)
+		if len(spans) == 0 {
+			continue
+		}
+		byPlane := make(map[string]time.Duration)
+		var order []string
+		for _, sp := range spans {
+			plane := sp.Name
+			if i := strings.IndexByte(plane, '.'); i > 0 {
+				plane = plane[:i]
+			}
+			if _, ok := byPlane[plane]; !ok {
+				order = append(order, plane)
+			}
+			byPlane[plane] += sp.Duration
+		}
+		fmt.Fprintf(out, "trace %d (%v):", s.TraceID, s.Duration.Round(time.Microsecond))
+		for _, plane := range order {
+			fmt.Fprintf(out, "  %s=%v", plane, byPlane[plane].Round(time.Microsecond))
+		}
+		fmt.Fprintln(out)
+	}
 }

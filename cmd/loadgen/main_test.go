@@ -58,6 +58,44 @@ func TestRunWithChurn(t *testing.T) {
 	}
 }
 
+// TestRunSlowK checks -slow-k: the report ranks the K slowest requests
+// with their trace IDs, and the per-plane span breakdown is printed for
+// every traced slow request.
+func TestRunSlowK(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := run([]string{
+		"-scale", "0.01", "-k", "20", "-c", "4", "-n", "300", "-d", "5s", "-slow-k", "3",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slowest) != 3 {
+		t.Fatalf("got %d slow requests, want 3", len(rep.Slowest))
+	}
+	for i, s := range rep.Slowest {
+		if s.Duration <= 0 {
+			t.Fatalf("slow[%d] duration %v", i, s.Duration)
+		}
+		if i > 0 && s.Duration > rep.Slowest[i-1].Duration {
+			t.Fatalf("slowest not sorted: %v after %v", s.Duration, rep.Slowest[i-1].Duration)
+		}
+		if s.TraceID == 0 {
+			t.Fatalf("slow[%d] has no trace ID", i)
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "slowest:") {
+		t.Fatalf("report missing slowest section:\n%s", text)
+	}
+	// Each traced slow request gets a per-plane span-duration line.
+	if got := strings.Count(text, "trace "); got != 3 {
+		t.Fatalf("got %d per-plane trace lines, want 3:\n%s", got, text)
+	}
+	if !strings.Contains(text, "loadgen=") {
+		t.Fatalf("per-plane breakdown missing loadgen spans:\n%s", text)
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	var out bytes.Buffer
 	if _, err := run([]string{"-zipf", "nope"}, &out); err == nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"brokerset/internal/market"
 	"brokerset/internal/obs"
@@ -69,6 +70,47 @@ func TestPromcheckRejectsInvalidExposition(t *testing.T) {
 	if err := run(nil, strings.NewReader("not a metric line {{{\n"), &out); err == nil {
 		t.Fatal("invalid exposition accepted")
 	}
+}
+
+// TestPromcheckSLOAndExemplars scrapes a registry carrying a burning SLO
+// engine and a histogram with exemplars — the exact shape a brokerd
+// booted with -slo-query-p99 exposes — and checks promcheck validates it
+// and finds the slo_* families via -require.
+func TestPromcheckSLOAndExemplars(t *testing.T) {
+	reg := obs.NewRegistry()
+	registerTestSLO(reg)
+	h := reg.Histogram("queryplane_latency_seconds", "query latency")
+	h.ObserveTrace(50*time.Millisecond, 77)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "# EXEMPLAR queryplane_latency_seconds trace_id=77") {
+		t.Fatalf("no exemplar annotation in scrape:\n%s", text)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-require",
+		"slo_query_latency_good_total,slo_query_latency_burn_fast,slo_query_latency_alert_state,slo_alerts_firing,queryplane_latency_seconds"},
+		strings.NewReader(text), &out); err != nil {
+		t.Fatalf("slo scrape failed promcheck: %v", err)
+	}
+
+	// A corrupted exemplar annotation must fail, not be skipped.
+	bad := strings.Replace(text, "trace_id=77", "trace_id=bogus", 1)
+	if err := run(nil, strings.NewReader(bad), &out); err == nil {
+		t.Fatal("malformed exemplar accepted")
+	}
+}
+
+// registerTestSLO registers a minimal engine with one recorded objective.
+func registerTestSLO(reg *obs.Registry) {
+	eng := obs.NewSLOEngine(obs.SLOConfig{BaseWindow: time.Minute})
+	o := eng.Add(obs.Objective{Name: "query_latency", Target: 0.99, Latency: time.Millisecond})
+	o.Observe(2*time.Millisecond, 9)
+	o.Observe(time.Microsecond, 0)
+	eng.Tick(time.Unix(1000, 0))
+	eng.RegisterMetrics(reg)
 }
 
 func TestPromcheckHistogramChildrenSatisfyRequire(t *testing.T) {

@@ -97,6 +97,12 @@ type BatchOp struct {
 	Bandwidth float64
 	// Session is the target of BatchTeardown and BatchExpire.
 	Session *Session
+	// Trace is the trace ID of the request that submitted this op (0 =
+	// untraced). Group commit runs under the batch LEADER's context, so a
+	// follower's trace would otherwise end at its enqueue; carrying it here
+	// lets the round's wire messages ride the follower's trace and the
+	// leader's commit span link back to every follower it carried.
+	Trace uint64
 }
 
 // BatchResult is one op's outcome, index-aligned with CommitBatch's input.
@@ -122,6 +128,14 @@ func (p *Plane) CommitBatch(ctx context.Context, ops []BatchOp) []BatchResult {
 	ctx, span := obs.StartSpan(ctx, "ctrlplane.commit_batch")
 	defer span.End()
 	span.Annotatef("ops", "%d", len(ops))
+	// The leader's span links every distinct follower trace the batch
+	// carried, so a follower's trace and the shared commit round are
+	// navigable from each other even though only the leader's context
+	// parents the 2PC spans.
+	leaderTrace := obs.TraceIDFrom(ctx)
+	for _, op := range ops {
+		span.Link(op.Trace)
+	}
 	p.tick()
 	results := make([]BatchResult, len(ops))
 
@@ -192,12 +206,18 @@ func (p *Plane) CommitBatch(ctx context.Context, ops []BatchOp) []BatchResult {
 	var pmsgs []Message
 	for _, st := range setups {
 		s := st.s
+		// Prepares ride the submitting request's trace, not the leader's:
+		// on the wire each op stays attributable to the client that asked.
+		trace := ops[st.op].Trace
+		if trace == 0 {
+			trace = leaderTrace
+		}
 		for h, owner := range s.owners {
 			m := Message{
 				From: Coordinator, To: owner, Type: MsgPrepare,
 				SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
 				Hop: hopKey(s.Path[h], s.Path[h+1]), Bandwidth: s.Bandwidth,
-				Lease: uint32(p.retry.LeaseTTL),
+				Lease: uint32(p.retry.LeaseTTL), Trace: trace,
 			}
 			st.msgs[m.MsgID] = h
 			pmsgs = append(pmsgs, m)
@@ -318,7 +338,7 @@ func (p *Plane) CommitBatch(ctx context.Context, ops []BatchOp) []BatchResult {
 	for _, b := range brokers {
 		bmsgs = append(bmsgs, Message{
 			From: Coordinator, To: b, Type: MsgBatch,
-			MsgID: p.msgID(), Batch: entries[b],
+			MsgID: p.msgID(), Batch: entries[b], Trace: leaderTrace,
 		})
 	}
 	if len(bmsgs) > 0 {

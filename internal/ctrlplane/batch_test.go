@@ -31,9 +31,9 @@ func TestCommitBatchMixedOps(t *testing.T) {
 
 	res := p.CommitBatch(ctx, []BatchOp{
 		{Kind: BatchSetup, Path: []int32{0, 1, 2}, Bandwidth: 3},
-		{Kind: BatchSetup, Path: []int32{4, 5}, Bandwidth: -1},        // invalid bw
-		{Kind: BatchTeardown, Session: pre},                           // release peer
-		{Kind: BatchSetup, Path: []int32{3, 4, 5, 6}, Bandwidth: 2},   // independent
+		{Kind: BatchSetup, Path: []int32{4, 5}, Bandwidth: -1},      // invalid bw
+		{Kind: BatchTeardown, Session: pre},                         // release peer
+		{Kind: BatchSetup, Path: []int32{3, 4, 5, 6}, Bandwidth: 2}, // independent
 	})
 	if res[0].Err != nil || res[0].Session == nil || res[0].Session.State != StateCommitted {
 		t.Fatalf("op0 = %+v, want committed session", res[0])

@@ -169,6 +169,10 @@ type Message struct {
 	// Lease is the hold's time-to-live in virtual clock ticks, granted with
 	// a PREPARE (0 = no lease; the hold waits for a decision forever).
 	Lease uint32
+	// Trace is the distributed trace ID of the request this message works
+	// for (0 = untraced). It rides the wire so a remote sub-coordinator can
+	// stitch its spans into the originating trace.
+	Trace uint64
 	// Batch is the group-commit decision record (Type == MsgBatch only;
 	// variable-length on the wire, see Encode).
 	Batch []BatchEntry
@@ -922,13 +926,14 @@ func (p *Plane) preparePhase(ctx context.Context, s *Session, nodes []int32) err
 	}
 
 	// Phase 1: PREPARE every hop with its owner.
+	trace := obs.TraceIDFrom(ctx)
 	msgs := make([]Message, 0, len(s.owners))
 	for i, owner := range s.owners {
 		msgs = append(msgs, Message{
 			From: Coordinator, To: owner, Type: MsgPrepare,
 			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
 			Hop: hopKey(s.Path[i], s.Path[i+1]), Bandwidth: s.Bandwidth,
-			Lease: uint32(p.retry.LeaseTTL),
+			Lease: uint32(p.retry.LeaseTTL), Trace: trace,
 		})
 	}
 	out := p.broadcast(ctx, msgs)
@@ -967,6 +972,7 @@ func (p *Plane) commitPoint(ctx context.Context, s *Session) {
 		cmsgs = append(cmsgs, Message{
 			From: Coordinator, To: owner, Type: MsgCommit,
 			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
+			Trace: obs.TraceIDFrom(ctx),
 		})
 	}
 	cout := p.broadcast(ctx, cmsgs)
@@ -1102,6 +1108,7 @@ func (p *Plane) abortAll(ctx context.Context, s *Session) {
 		msgs = append(msgs, Message{
 			From: Coordinator, To: owner, Type: MsgAbort,
 			SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
+			Trace: obs.TraceIDFrom(ctx),
 		})
 	}
 	out := p.broadcast(ctx, msgs)
@@ -1136,6 +1143,7 @@ func (p *Plane) releaseAll(ctx context.Context, s *Session) {
 				From: Coordinator, To: owner, Type: MsgRelease,
 				SessionID: s.ID, Epoch: s.Epoch, MsgID: p.msgID(),
 				Hop: hopKey(u, v), Bandwidth: s.Bandwidth,
+				Trace: obs.TraceIDFrom(ctx),
 			})
 		}
 		p.metrics.Release(u, v, s.Bandwidth)
@@ -1537,6 +1545,7 @@ func (p *Plane) reply(a *agent, orig Message, t MsgType) {
 		From: a.id, To: Coordinator, Type: t,
 		SessionID: orig.SessionID, Epoch: orig.Epoch,
 		MsgID: p.msgID(), AckFor: orig.MsgID,
+		Trace: orig.Trace,
 	})
 }
 

@@ -102,6 +102,78 @@ func TestTracePropagation2PC(t *testing.T) {
 	}
 }
 
+// TestCommitBatchTraceStitching pins the group-commit trace contract: each
+// follower op's PREPARE rides the follower's own trace ID on the wire (the
+// leader's as a fallback for untraced ops), the shared decision batch rides
+// the leader's, and the leader's commit_batch span links every follower
+// trace so the two sides are navigable from each other.
+func TestCommitBatchTraceStitching(t *testing.T) {
+	const nodes = 8
+	top, m := ringTop(t, nodes)
+	brokers := make([]int32, nodes)
+	for i := range brokers {
+		brokers[i] = int32(i)
+	}
+	p := New(top, m, brokers)
+	ft := NewFaultTransport(FaultConfig{Seed: 1}) // no faults: observation only
+	prepTraces := map[uint64]bool{}
+	batchTraces := map[uint64]bool{}
+	ft.OnDeliver = func(msg Message) {
+		switch msg.Type {
+		case MsgPrepare:
+			prepTraces[msg.Trace] = true
+		case MsgBatch:
+			batchTraces[msg.Trace] = true
+		}
+	}
+	p.UseTransport(ft)
+
+	tr := obs.NewTracer(4096)
+	ctx, root := tr.Root(context.Background(), "test.batch_leader", 0)
+	const follower1, follower2 = uint64(0x111), uint64(0x222)
+	res := p.CommitBatch(ctx, []BatchOp{
+		{Kind: BatchSetup, Path: []int32{0, 1, 2}, Bandwidth: 1, Trace: follower1},
+		{Kind: BatchSetup, Path: []int32{3, 4, 5}, Bandwidth: 1, Trace: follower2},
+		{Kind: BatchSetup, Path: []int32{6, 7}, Bandwidth: 1}, // untraced enqueue
+	})
+	root.End()
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+
+	for _, want := range []uint64{follower1, follower2, root.TraceID} {
+		if !prepTraces[want] {
+			t.Errorf("no PREPARE carried trace %#x (saw %v)", want, prepTraces)
+		}
+	}
+	if prepTraces[0] {
+		t.Error("a PREPARE went out untraced despite the leader fallback")
+	}
+	if len(batchTraces) != 1 || !batchTraces[root.TraceID] {
+		t.Errorf("decision batches rode traces %v, want only the leader's %#x", batchTraces, root.TraceID)
+	}
+
+	var commit *obs.Span
+	for _, s := range tr.Trace(root.TraceID) {
+		if s.Name == "ctrlplane.commit_batch" {
+			commit = &s
+			break
+		}
+	}
+	if commit == nil {
+		t.Fatal("leader trace has no commit_batch span")
+	}
+	links := map[uint64]bool{}
+	for _, l := range commit.Links {
+		links[l] = true
+	}
+	if !links[follower1] || !links[follower2] || len(links) != 2 {
+		t.Fatalf("commit_batch links = %v, want exactly {%#x, %#x}", commit.Links, follower1, follower2)
+	}
+}
+
 // checkSpanTree asserts the structural invariants of one trace — a single
 // root, every parent resolving inside the trace, and parent names that
 // follow the protocol nesting — and returns the span count per name.

@@ -107,8 +107,9 @@ func TestFaultTransportPartition(t *testing.T) {
 func TestMessageCodecRoundTrip(t *testing.T) {
 	msgs := []Message{
 		{},
-		{From: Coordinator, To: 7, Type: MsgPrepare, SessionID: 123456, Epoch: 9, MsgID: 1 << 40, AckFor: 3, Hop: [2]int32{-2, 1 << 30}, Bandwidth: 3.25},
+		{From: Coordinator, To: 7, Type: MsgPrepare, SessionID: 123456, Epoch: 9, MsgID: 1 << 40, AckFor: 3, Hop: [2]int32{-2, 1 << 30}, Bandwidth: 3.25, Trace: 0xdeadbeefcafe},
 		{From: 5, To: Coordinator, Type: MsgReleaseAck, SessionID: -1, MsgID: 1, AckFor: ^uint64(0), Bandwidth: 0},
+		{From: 2, To: 3, Type: MsgCommit, MsgID: 7, Trace: ^uint64(0)},
 	}
 	for i, m := range msgs {
 		if m.Type == 0 {

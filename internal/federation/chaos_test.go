@@ -239,3 +239,70 @@ func TestChaosLossDupMidCommitRegionCrash(t *testing.T) {
 	}
 	t.Logf("chaos seed %d: %d/%d setups committed, stats %+v", seed, commits, setups, f.Stats())
 }
+
+// TestStitchedTraceSpansRegions is the tracing acceptance criterion: with
+// a fixed-seed lossy inter-region bus, one trace rooted at the home-region
+// setup spans BOTH sides of the two-level commit — the home region's own
+// prepare/commit (ctrlplane spans under the setup's context) and every
+// transit region's sub-transaction (federation.sub_* spans adopted from
+// the trace ID that rode the X-PREPARE/X-COMMIT wire messages).
+func TestStitchedTraceSpansRegions(t *testing.T) {
+	seed := chaosSeed(t)
+	rates := ctrlplane.FaultRates{Drop: 0.03, Duplicate: 0.03}
+	f := fedFabric(t, 4, 1, Config{
+		Seed:       seed,
+		Retry:      ctrlplane.RetryConfig{MaxAttempts: 4, LeaseTTL: 200, BreakerThreshold: 1000},
+		PeerFaults: &ctrlplane.FaultConfig{Seed: seed, ToBroker: rates, ToCoord: rates},
+	})
+	tr := obs.NewTracer(1 << 14)
+	f.SetTracer(tr)
+
+	ctx := context.Background()
+	checked := 0
+	for i := 0; i < 30; i++ {
+		qctx, root := tr.Root(ctx, "test.fedsetup", 0)
+		s, err := f.Setup(qctx, 2, 10, 0.5, routing.Options{}) // as(0,2)->as(2,2): 2 transit regions
+		root.End()
+		if err != nil {
+			continue // chaos abort: conservation is covered elsewhere
+		}
+		spans := tr.Trace(root.TraceID)
+		names := map[string]int{}
+		subRegions := map[string]map[string]bool{}
+		for _, sp := range spans {
+			names[sp.Name]++
+			if sp.Name == "federation.sub_prepare" || sp.Name == "federation.sub_commit" {
+				for _, a := range sp.Attrs {
+					if a.Key == "region" {
+						if subRegions[sp.Name] == nil {
+							subRegions[sp.Name] = map[string]bool{}
+						}
+						subRegions[sp.Name][a.Val] = true
+					}
+				}
+			}
+		}
+		if names["federation.setup"] != 1 {
+			t.Fatalf("trace %#x: %d federation.setup spans, want 1", root.TraceID, names["federation.setup"])
+		}
+		// Home-region commit: the home plane's prepare ran under the same trace.
+		if names["ctrlplane.prepare_on_path"] == 0 {
+			t.Fatalf("trace %#x misses the home-region prepare span: %v", root.TraceID, names)
+		}
+		// Transit-region sub-transactions: regions 1 and 2 each adopted the
+		// trace for their prepare and commit steps.
+		for _, step := range []string{"federation.sub_prepare", "federation.sub_commit"} {
+			for _, q := range []string{"1", "2"} {
+				if !subRegions[step][q] {
+					t.Fatalf("trace %#x misses %s in region %s (got %v)", root.TraceID, step, q, subRegions)
+				}
+			}
+		}
+		checked++
+		_ = f.Teardown(ctx, s)
+	}
+	if checked == 0 {
+		t.Fatal("no setup committed under chaos — nothing traced")
+	}
+	t.Logf("chaos seed %d: %d stitched traces verified", seed, checked)
+}

@@ -171,6 +171,7 @@ type Fabric struct {
 	nextID   int
 	nextMsg  uint64
 	flight   *obs.FlightRecorder
+	tracer   *obs.Tracer
 }
 
 // fedBreaker is one peer region's circuit-breaker state.

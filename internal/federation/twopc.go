@@ -116,6 +116,7 @@ func (f *Fabric) establishStitched(ctx context.Context, s *Session, sp *Stitched
 	// Phase 1b: X-PREPARE every transit region's segment (the remote
 	// sub-coordinator recomputes the concrete path between the border
 	// endpoints against its own snapshot and holds it under our lease).
+	trace := obs.TraceIDFrom(ctx)
 	var msgs []ctrlplane.Message
 	var remotes []int
 	for _, seg := range sp.Segments[1:] {
@@ -128,6 +129,7 @@ func (f *Fabric) establishStitched(ctx context.Context, s *Session, sp *Stitched
 			Type: ctrlplane.MsgXPrepare, SessionID: s.ID, Epoch: s.Epoch,
 			MsgID: f.msgID(), Hop: [2]int32{seg.Nodes[0], seg.Nodes[len(seg.Nodes)-1]},
 			Bandwidth: s.Bandwidth, Lease: uint32(f.cfg.Retry.LeaseTTL),
+			Trace: trace,
 		})
 	}
 	out := f.broadcastPeer(ctx, msgs)
@@ -177,7 +179,7 @@ func (f *Fabric) establishStitched(ctx context.Context, s *Session, sp *Stitched
 		cmsgs = append(cmsgs, ctrlplane.Message{
 			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(q),
 			Type: ctrlplane.MsgXCommit, SessionID: s.ID, Epoch: s.Epoch,
-			MsgID: f.msgID(),
+			MsgID: f.msgID(), Trace: trace,
 		})
 	}
 	cout := f.broadcastPeer(ctx, cmsgs)
@@ -215,7 +217,7 @@ func (f *Fabric) abortPrepares(ctx context.Context, fk fedKey, home int, homePr 
 		msgs = append(msgs, ctrlplane.Message{
 			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(q),
 			Type: ctrlplane.MsgXAbort, SessionID: fk.ID, Epoch: fk.Epoch,
-			MsgID: f.msgID(),
+			MsgID: f.msgID(), Trace: obs.TraceIDFrom(ctx),
 		})
 	}
 	out := f.broadcastPeer(ctx, msgs)
@@ -238,7 +240,7 @@ func (f *Fabric) rollbackAfterCommit(ctx context.Context, s *Session, fk fedKey,
 		msgs = append(msgs, ctrlplane.Message{
 			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(q),
 			Type: ctrlplane.MsgXRelease, SessionID: s.ID, Epoch: s.Epoch,
-			MsgID: f.msgID(),
+			MsgID: f.msgID(), Trace: obs.TraceIDFrom(ctx),
 		})
 	}
 	// COMMITs still undelivered become ABORTs (the handler releases fully
@@ -347,7 +349,7 @@ func (f *Fabric) Teardown(ctx context.Context, s *Session) error {
 		msgs = append(msgs, ctrlplane.Message{
 			From: ctrlplane.PeerAddr(home), To: ctrlplane.PeerAddr(r),
 			Type: ctrlplane.MsgXRelease, SessionID: s.ID, Epoch: s.Epoch,
-			MsgID: f.msgID(),
+			MsgID: f.msgID(), Trace: obs.TraceIDFrom(ctx),
 		})
 	}
 	// Releases toward crashed or unreachable regions end up in out.pending
@@ -491,7 +493,15 @@ func (f *Fabric) handlePeerRequest(q int, m ctrlplane.Message) {
 	fk := fedKey{ID: m.SessionID, Epoch: m.Epoch}
 	reg := f.regions[q]
 	rec := f.subWAL[q][fk]
-	ctx := context.Background()
+	// Adopt the trace that rode the wire: the sub-transaction's spans join
+	// the originating request's trace even though the parent span ran in
+	// another region (stitched trace — one trace ID, one root per region).
+	ctx, sub := f.tracer.Adopt(context.Background(), "federation.sub_"+peerOpName(m.Type), m.Trace)
+	if sub != nil {
+		sub.Annotatef("region", "%d", q)
+		sub.Annotatef("session", "%d.%d", m.SessionID, m.Epoch)
+		defer sub.End()
+	}
 
 	switch m.Type {
 	case ctrlplane.MsgXPrepare:
@@ -629,5 +639,22 @@ func (f *Fabric) replyPeer(q int, req ctrlplane.Message, typ ctrlplane.MsgType) 
 		From: ctrlplane.PeerAddr(q), To: req.From, Type: typ,
 		SessionID: req.SessionID, Epoch: req.Epoch,
 		MsgID: f.msgID(), AckFor: req.MsgID,
+		Trace: req.Trace,
 	})
+}
+
+// peerOpName names a sub-coordinator span after the two-level-commit step
+// it executes.
+func peerOpName(t ctrlplane.MsgType) string {
+	switch t {
+	case ctrlplane.MsgXPrepare:
+		return "prepare"
+	case ctrlplane.MsgXCommit:
+		return "commit"
+	case ctrlplane.MsgXAbort:
+		return "abort"
+	case ctrlplane.MsgXRelease:
+		return "release"
+	}
+	return "op"
 }

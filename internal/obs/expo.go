@@ -51,6 +51,9 @@ func ValidateExposition(r io.Reader) error {
 
 func validateComment(text string, typed map[string]string) error {
 	fields := strings.Fields(text)
+	if len(fields) >= 2 && fields[1] == "EXEMPLAR" {
+		return validateExemplar(fields, typed)
+	}
 	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
 		return nil // free-form comment: allowed, ignored
 	}
@@ -66,6 +69,40 @@ func validateComment(text string, typed map[string]string) error {
 			return fmt.Errorf("obs: TYPE %s has invalid metric type", name)
 		}
 		typed[name] = fields[3]
+	}
+	return nil
+}
+
+// validateExemplar checks a `# EXEMPLAR <family> trace_id=<id> value=<v>`
+// annotation (our comment-level stand-in for the OpenMetrics exemplar
+// syntax, which text format 0.0.4 lacks). The family must already carry a
+// TYPE declaration, the trace ID must be a nonzero uint64, and the value a
+// valid float — a malformed annotation fails validation rather than being
+// skipped, so CI catches regressions in the emitter.
+func validateExemplar(fields []string, typed map[string]string) error {
+	if len(fields) != 5 {
+		return fmt.Errorf("obs: EXEMPLAR wants `# EXEMPLAR <metric> trace_id=<id> value=<v>`, got %d fields", len(fields))
+	}
+	name := fields[2]
+	if !validPromName(name) {
+		return fmt.Errorf("obs: EXEMPLAR for invalid metric name %q", name)
+	}
+	if _, ok := typed[name]; !ok {
+		return fmt.Errorf("obs: EXEMPLAR %s precedes its TYPE declaration", name)
+	}
+	tid, ok := strings.CutPrefix(fields[3], "trace_id=")
+	if !ok {
+		return fmt.Errorf("obs: EXEMPLAR %s missing trace_id= field", name)
+	}
+	if id, err := strconv.ParseUint(tid, 10, 64); err != nil || id == 0 {
+		return fmt.Errorf("obs: EXEMPLAR %s has invalid trace_id %q", name, tid)
+	}
+	val, ok := strings.CutPrefix(fields[4], "value=")
+	if !ok {
+		return fmt.Errorf("obs: EXEMPLAR %s missing value= field", name)
+	}
+	if !validPromFloat(val) {
+		return fmt.Errorf("obs: EXEMPLAR %s has invalid value %q", name, val)
 	}
 	return nil
 }

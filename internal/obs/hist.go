@@ -2,6 +2,8 @@ package obs
 
 import (
 	"math/bits"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -26,6 +28,24 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	count   atomic.Uint64
 	sumNs   atomic.Uint64
+
+	// Exemplar retention (ObserveTrace): the top-K slowest traced
+	// observations seen recently. exThr caches the smallest retained
+	// duration once all slots are full, so the hot path is one atomic load
+	// and a compare — the mutex is only taken for genuinely extreme
+	// observations, which are rare by definition.
+	exThr atomic.Int64
+	exMu  sync.Mutex
+	exs   []Exemplar
+}
+
+// histExemplars bounds the exemplars retained per histogram.
+const histExemplars = 8
+
+// Exemplar ties an extreme observation to the trace that produced it.
+type Exemplar struct {
+	TraceID uint64        `json:"trace_id"`
+	Value   time.Duration `json:"value_ns"`
 }
 
 // NewHistogram returns an empty histogram.
@@ -67,7 +87,86 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count.Add(1)
 }
 
-// Count returns the number of observations.
+// ObserveTrace records one duration and, when traceID is non-zero and the
+// duration ranks among the histogram's slowest retained observations,
+// keeps (traceID, d) as an exemplar. Untraced call sites keep using
+// Observe; the extra cost here is one atomic load on the non-extreme path.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID uint64) {
+	h.Observe(d)
+	if traceID == 0 {
+		return
+	}
+	if thr := h.exThr.Load(); thr > 0 && d.Nanoseconds() <= thr {
+		return // slots full and this observation is not extreme
+	}
+	h.keepExemplar(Exemplar{TraceID: traceID, Value: d})
+}
+
+// keepExemplar inserts e into the top-K slots, evicting the smallest, and
+// refreshes the fast-path admission threshold.
+func (h *Histogram) keepExemplar(e Exemplar) {
+	h.exMu.Lock()
+	if len(h.exs) < histExemplars {
+		h.exs = append(h.exs, e)
+	} else {
+		min := 0
+		for i := 1; i < len(h.exs); i++ {
+			if h.exs[i].Value < h.exs[min].Value {
+				min = i
+			}
+		}
+		if h.exs[min].Value < e.Value {
+			h.exs[min] = e
+		}
+	}
+	if len(h.exs) == histExemplars {
+		thr := h.exs[0].Value
+		for _, x := range h.exs[1:] {
+			if x.Value < thr {
+				thr = x.Value
+			}
+		}
+		h.exThr.Store(thr.Nanoseconds())
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the retained extreme-observation exemplars, slowest
+// first.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	out := append([]Exemplar(nil), h.exs...)
+	h.exMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}
+
+// Merge folds other's observations (and exemplars) into h. Neither
+// histogram needs to be quiescent — per-bucket sums are atomic — but the
+// merged quantiles are only exact when other is. Merging an empty
+// histogram is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for b := 0; b < histBuckets; b++ {
+		if n := other.buckets[b].Load(); n > 0 {
+			h.buckets[b].Add(n)
+		}
+	}
+	if s := other.sumNs.Load(); s > 0 {
+		h.sumNs.Add(s)
+	}
+	if c := other.count.Load(); c > 0 {
+		h.count.Add(c)
+	}
+	for _, e := range other.Exemplars() {
+		if thr := h.exThr.Load(); thr > 0 && e.Value.Nanoseconds() <= thr {
+			continue
+		}
+		h.keepExemplar(e)
+	}
+}
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the total of all observed durations.

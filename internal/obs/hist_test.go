@@ -34,6 +34,75 @@ func TestHistQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistBucketBoundaries pins the bucket mapping at the exact
+// power-of-two octave edges, where an off-by-one in the exponent math
+// would silently shift quantiles by a whole sub-bucket.
+func TestHistBucketBoundaries(t *testing.T) {
+	// Below histSub ns every nanosecond is its own bucket.
+	for ns := int64(0); ns < histSub; ns++ {
+		if got := histBucket(ns); got != int(ns) {
+			t.Errorf("histBucket(%d) = %d, want %d", ns, got, ns)
+		}
+	}
+	// An octave edge 2^e starts a fresh run of histSub sub-buckets; the
+	// value just below it lands in the previous run's last sub-bucket.
+	for exp := 4; exp <= 40; exp++ {
+		edge := int64(1) << exp
+		atEdge, below := histBucket(edge), histBucket(edge-1)
+		if atEdge != below+1 {
+			t.Errorf("2^%d: bucket(edge)=%d bucket(edge-1)=%d, want adjacent", exp, atEdge, below)
+		}
+		if atEdge != (exp-3)*histSub {
+			t.Errorf("2^%d: bucket = %d, want %d", exp, atEdge, (exp-3)*histSub)
+		}
+		// histValue must be an upper bound for everything in the bucket.
+		if hv := histValue(below); hv < time.Duration(edge-1) {
+			t.Errorf("histValue(%d) = %v < %d ns it must bound", below, hv, edge-1)
+		}
+	}
+	if histBucket(-5) != 0 {
+		t.Error("negative duration not clamped to bucket 0")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, empty Histogram
+	for i := 1; i <= 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+	}
+	b.ObserveTrace(time.Second, 99)
+
+	// Merging an empty histogram is a no-op in both directions.
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Count() != 100 {
+		t.Fatalf("count after empty merge = %d, want 100", a.Count())
+	}
+	p50 := a.Quantile(0.5)
+	a.Merge(&Histogram{})
+	if a.Quantile(0.5) != p50 {
+		t.Fatal("quantile changed after empty merge")
+	}
+
+	// Merging into empty adopts counts, sum, and exemplars.
+	empty.Merge(&b)
+	if empty.Count() != 1 || empty.Sum() != time.Second {
+		t.Fatalf("merge into empty: count=%d sum=%v", empty.Count(), empty.Sum())
+	}
+	exs := empty.Exemplars()
+	if len(exs) != 1 || exs[0].TraceID != 99 {
+		t.Fatalf("merge dropped exemplars: %v", exs)
+	}
+
+	a.Merge(&b)
+	if a.Count() != 101 {
+		t.Fatalf("count after merge = %d, want 101", a.Count())
+	}
+	if a.Quantile(1) < time.Second {
+		t.Fatalf("max quantile after merge = %v, want >= 1s", a.Quantile(1))
+	}
+}
+
 func TestHistBucketsContinuous(t *testing.T) {
 	last := -1
 	for ns := int64(0); ns < 1<<20; ns += 7 {

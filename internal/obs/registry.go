@@ -342,6 +342,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "%s_sum %s\n", he.name, formatValue(he.h.Sum().Seconds()))
 		fmt.Fprintf(&b, "%s_count %d\n", he.name, he.h.Count())
+		// Exemplars ride as comments (the 0.0.4 text format has no native
+		// exemplar syntax): standard parsers skip them, promcheck validates
+		// them, and humans get a trace ID to paste into /debug/trace.
+		for _, e := range he.h.Exemplars() {
+			fmt.Fprintf(&b, "# EXEMPLAR %s trace_id=%d value=%s\n", he.name, e.TraceID, formatValue(e.Value.Seconds()))
+		}
 	}
 	_, err = io.WriteString(w, b.String())
 	return err

@@ -31,6 +31,10 @@ type Span struct {
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration_ns"`
 	Attrs    []Attr        `json:"attrs,omitempty"`
+	// Links are trace IDs of OTHER traces causally tied to this span —
+	// e.g. the batch-leader's commit span links every follower trace whose
+	// op rode in the batch.
+	Links []uint64 `json:"links,omitempty"`
 
 	tracer *Tracer
 }
@@ -52,6 +56,21 @@ func (s *Span) Annotatef(key, format string, args ...any) {
 		return
 	}
 	s.Attrs = append(s.Attrs, Attr{Key: key, Val: fmt.Sprintf(format, args...)})
+}
+
+// Link records a causal link to another trace (span links, in OTel
+// terms). Links to the span's own trace or to trace 0 are dropped — a
+// link only carries information when it points somewhere else. Nil-safe.
+func (s *Span) Link(traceID uint64) {
+	if s == nil || traceID == 0 || traceID == s.TraceID {
+		return
+	}
+	for _, l := range s.Links {
+		if l == traceID {
+			return
+		}
+	}
+	s.Links = append(s.Links, traceID)
 }
 
 // End stamps the duration and publishes the span into the tracer ring.
@@ -123,6 +142,27 @@ func (t *Tracer) Root(ctx context.Context, name string, id uint64) (context.Cont
 		tracer:  t,
 	}
 	return context.WithValue(ctx, ctxKey{}, active{t: t, traceID: s.TraceID, spanID: s.SpanID}), s
+}
+
+// Adopt opens a span inside an EXISTING trace whose ID arrived from
+// another process or plane (e.g. the Trace field of a control-plane
+// message). The span is a parentless local root on that trace — the
+// remote parent's span ID did not travel, only the trace ID — so a
+// stitched trace shows one root per participant, all sharing TraceID.
+// id 0 means the originating request was untraced; Adopt then returns
+// the context unchanged and a nil span, keeping the path branch-free.
+func (t *Tracer) Adopt(ctx context.Context, name string, id uint64) (context.Context, *Span) {
+	if t == nil || id == 0 {
+		return ctx, nil
+	}
+	s := &Span{
+		TraceID: id,
+		SpanID:  t.nextSpan.Add(1),
+		Name:    name,
+		Start:   time.Now(),
+		tracer:  t,
+	}
+	return context.WithValue(ctx, ctxKey{}, active{t: t, traceID: id, spanID: s.SpanID}), s
 }
 
 // StartSpan opens a child span of the context's active trace. When the
@@ -220,6 +260,13 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		}
 		if s.Parent != 0 {
 			args["parent_id"] = fmt.Sprint(s.Parent)
+		}
+		if len(s.Links) > 0 {
+			links := make([]string, len(s.Links))
+			for i, l := range s.Links {
+				links[i] = fmt.Sprint(l)
+			}
+			args["links"] = strings.Join(links, ",")
 		}
 		for _, a := range s.Attrs {
 			args[a.Key] = a.Val

@@ -237,7 +237,7 @@ func (q *QueryPlane) QueryBid(ctx context.Context, src, dst int, opts routing.Op
 	p, ok, stale := q.lookup(key, gen, opts)
 	if ok {
 		q.hits.Add(1)
-		q.hist.Observe(time.Since(start))
+		q.hist.ObserveTrace(time.Since(start), obs.TraceIDFrom(ctx))
 		span.Annotate("cache", "hit")
 		return p, true, nil
 	} else if stale {
@@ -275,7 +275,7 @@ func (q *QueryPlane) QueryBid(ctx context.Context, src, dst int, opts routing.Op
 	}
 	switch {
 	case err == nil:
-		q.hist.Observe(time.Since(start))
+		q.hist.ObserveTrace(time.Since(start), obs.TraceIDFrom(ctx))
 	case errors.Is(err, ErrShed):
 		q.shed.Add(1)
 	default:
@@ -381,6 +381,11 @@ func (q *QueryPlane) RetryAfter() time.Duration {
 	}
 	return d
 }
+
+// Exemplars returns the latency histogram's retained worst-observation
+// exemplars — the trace IDs behind the slowest served queries — slowest
+// first. Empty until a traced request lands in the extreme buckets.
+func (q *QueryPlane) Exemplars() []obs.Exemplar { return q.hist.Exemplars() }
 
 // Stats snapshots the counters and latency quantiles.
 func (q *QueryPlane) Stats() Stats {

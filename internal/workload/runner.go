@@ -39,6 +39,10 @@ type Outcome struct {
 	// ShedRegion names the federation region whose query plane shed the
 	// request; -1 means local/unknown. Only meaningful when Shed is true.
 	ShedRegion int
+	// TraceID is the distributed trace the query ran under (0 = untraced):
+	// the X-Trace-ID response header over HTTP, or the root span minted by
+	// an in-process target's tracer.
+	TraceID uint64
 }
 
 // Target answers one path query. Implementations must be safe for
@@ -61,6 +65,10 @@ type Config struct {
 	Zipf float64
 	// Seed derives per-worker generator seeds.
 	Seed int64
+	// SlowK, when > 0, retains the K slowest requests (with their trace
+	// IDs) in Report.Slowest — the client-side path from a bad latency
+	// number to the exact traces behind it.
+	SlowK int
 	// Churn, when non-nil, is invoked every ChurnEvery during the run
 	// (from a dedicated goroutine, concurrent with the workers): it
 	// applies a burst of topology churn, runs a heal pass, and returns the
@@ -106,6 +114,35 @@ type Report struct {
 	// Econ, when non-nil, summarizes the economics plane's view of the run
 	// (filled by loadgen -econ from the live market stack).
 	Econ *EconSummary `json:"econ,omitempty"`
+
+	// Slowest holds the run's K slowest requests, slowest first (empty
+	// unless Config.SlowK was set).
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest identifies one of the run's slowest requests.
+type SlowRequest struct {
+	Src      int32         `json:"src"`
+	Dst      int32         `json:"dst"`
+	Duration time.Duration `json:"duration_ns"`
+	TraceID  uint64        `json:"trace_id,omitempty"`
+}
+
+// insertSlow keeps slow as the top-k requests by duration, unordered.
+func insertSlow(slow []SlowRequest, r SlowRequest, k int) []SlowRequest {
+	if len(slow) < k {
+		return append(slow, r)
+	}
+	min := 0
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Duration < slow[min].Duration {
+			min = i
+		}
+	}
+	if slow[min].Duration < r.Duration {
+		slow[min] = r
+	}
+	return slow
 }
 
 // EconSummary is the market-side tally of an econ-enabled run: what the
@@ -156,6 +193,15 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "\necon:     admitted=%d (free=%d) price-rejected=%d shed=%d revenue=%.3f last-price=%.4f settlements=%d",
 			e.Admitted, e.AdmittedFree, e.PriceRejected, r.Shed, e.Revenue, e.LastPrice, e.Settlements)
 	}
+	if len(r.Slowest) > 0 {
+		b.WriteString("\nslowest:")
+		for _, s := range r.Slowest {
+			fmt.Fprintf(&b, "\n  %-12v %d->%d", s.Duration.Round(time.Microsecond), s.Src, s.Dst)
+			if s.TraceID != 0 {
+				fmt.Fprintf(&b, "  trace=%d", s.TraceID)
+			}
+		}
+	}
 	return b.String()
 }
 
@@ -178,6 +224,7 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	type workerStats struct {
 		requests, errors, shed, priceRej, retries, notFound, hits int
 		shedBy                                                    map[int]int
+		slow                                                      []SlowRequest
 	}
 	var (
 		wg      sync.WaitGroup
@@ -250,7 +297,11 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 				src, dst := gen.Pair()
 				t0 := time.Now()
 				out, err := target.Query(src, dst)
-				hist.Observe(time.Since(t0))
+				d := time.Since(t0)
+				hist.Observe(d)
+				if cfg.SlowK > 0 {
+					st.slow = insertSlow(st.slow, SlowRequest{Src: src, Dst: dst, Duration: d, TraceID: out.TraceID}, cfg.SlowK)
+				}
 				st.requests++
 				st.retries += out.Retries
 				switch {
@@ -282,7 +333,11 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	rep := &Report{Elapsed: elapsed}
 	shedBy := make(map[int]int)
 	federated := false
+	var slow []SlowRequest
 	for i := range stats {
+		for _, s := range stats[i].slow {
+			slow = insertSlow(slow, s, cfg.SlowK)
+		}
 		rep.Requests += stats[i].requests
 		rep.Errors += stats[i].errors
 		rep.Shed += stats[i].shed
@@ -302,6 +357,8 @@ func Run(target Target, newGen pairSource, cfg Config) (*Report, error) {
 	if federated {
 		rep.ShedByRegion = shedBy
 	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Duration > slow[j].Duration })
+	rep.Slowest = slow
 	if rep.Requests == 0 {
 		return nil, fmt.Errorf("workload: no requests completed")
 	}
@@ -335,6 +392,9 @@ type PlaneTarget struct {
 	// Bid, when non-nil, supplies the per-query bid (called once per query;
 	// must be safe for concurrent use). Nil bids zero, the free-rider tier.
 	Bid func() float64
+	// Tracer, when non-nil, roots a trace per query so the plane's spans
+	// (and the run's slowest-request table) carry trace IDs.
+	Tracer *obs.Tracer
 }
 
 // Query implements Target.
@@ -343,21 +403,29 @@ func (t *PlaneTarget) Query(src, dst int32) (Outcome, error) {
 	if t.Bid != nil {
 		bid = t.Bid()
 	}
-	_, cached, err := t.Plane.QueryBid(context.Background(), int(src), int(dst), t.Opts, bid)
+	ctx := context.Background()
+	var trace uint64
+	if t.Tracer != nil {
+		var span *obs.Span
+		ctx, span = t.Tracer.Root(ctx, "loadgen.query", 0)
+		trace = span.TraceID
+		defer span.End()
+	}
+	_, cached, err := t.Plane.QueryBid(ctx, int(src), int(dst), t.Opts, bid)
 	if err != nil {
 		var pe *queryplane.PriceError
 		switch {
 		case errors.As(err, &pe):
-			return Outcome{PriceRejected: true, Quote: pe.Quote}, nil
+			return Outcome{PriceRejected: true, Quote: pe.Quote, TraceID: trace}, nil
 		case errors.Is(err, queryplane.ErrShed):
-			return Outcome{Shed: true, ShedRegion: -1}, nil
+			return Outcome{Shed: true, ShedRegion: -1, TraceID: trace}, nil
 		// A clean routing miss is a valid outcome, not a target failure.
 		case strings.Contains(err.Error(), "no dominated path"):
-			return Outcome{}, nil
+			return Outcome{TraceID: trace}, nil
 		}
-		return Outcome{}, err
+		return Outcome{TraceID: trace}, err
 	}
-	return Outcome{Cached: cached, Found: true}, nil
+	return Outcome{Cached: cached, Found: true, TraceID: trace}, nil
 }
 
 // HTTPTarget drives a live brokerd over its /path endpoint. Cache hits are
@@ -434,6 +502,12 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 		retryAfter := resp.Header.Get("Retry-After")
 		econPrice := resp.Header.Get("X-Econ-Price")
 		cached := resp.Header.Get("X-Cache") == "hit"
+		// The server mints a trace per request and echoes its ID; retries
+		// are separate requests, so the last attempt's trace wins.
+		var trace uint64
+		if v := resp.Header.Get("X-Trace-ID"); v != "" {
+			trace, _ = strconv.ParseUint(v, 10, 64)
+		}
 		// A federated 429 names the region that refused via X-Shed-Region;
 		// a local shed (or a plain brokerd) leaves it unset.
 		shedRegion := -1
@@ -446,23 +520,23 @@ func (t *HTTPTarget) Query(src, dst int32) (Outcome, error) {
 		resp.Body.Close()
 		switch status {
 		case http.StatusOK:
-			return Outcome{Cached: cached, Found: true, Retries: retries}, nil
+			return Outcome{Cached: cached, Found: true, Retries: retries, TraceID: trace}, nil
 		case http.StatusNotFound:
-			return Outcome{Retries: retries}, nil
+			return Outcome{Retries: retries, TraceID: trace}, nil
 		case http.StatusTooManyRequests:
 			// An econ refusal carries the posted price in X-Econ-Price.
 			// Retrying with the same bid cannot succeed, so it is terminal.
 			if v := econPrice; v != "" {
 				quote, _ := strconv.ParseFloat(v, 64)
-				return Outcome{PriceRejected: true, Quote: quote, Retries: retries}, nil
+				return Outcome{PriceRejected: true, Quote: quote, Retries: retries, TraceID: trace}, nil
 			}
 			if retries >= t.MaxRetries {
-				return Outcome{Shed: true, Retries: retries, ShedRegion: shedRegion}, nil
+				return Outcome{Shed: true, Retries: retries, ShedRegion: shedRegion, TraceID: trace}, nil
 			}
 			retries++
 			time.Sleep(t.retryWait(retryAfter))
 		default:
-			return Outcome{Retries: retries}, fmt.Errorf("workload: %s status %d", path, status)
+			return Outcome{Retries: retries, TraceID: trace}, fmt.Errorf("workload: %s status %d", path, status)
 		}
 	}
 }
