@@ -49,6 +49,28 @@ func GenerateInternet(scale float64, seed int64) (*Network, error) {
 	return &Network{top: top}, nil
 }
 
+// GenerateTier builds one of the named calibrated topology tiers:
+// "smoke" (~1k nodes), "default" (~5.2k), "table2" (the paper's
+// 52,079-node Table-2 dataset), or "future" (a 10x, ~520k-node stress
+// tier). Equal seeds yield identical topologies.
+func GenerateTier(name string, seed int64) (*Network, error) {
+	top, err := topology.GenerateTier(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{top: top}, nil
+}
+
+// TierNames lists the named topology tiers in ascending size order.
+func TierNames() []string {
+	specs := topology.Tiers()
+	names := make([]string, len(specs))
+	for i, t := range specs {
+		names[i] = t.Name
+	}
+	return names
+}
+
 // Load reads a topology in the brokerset text format (see topology docs);
 // real datasets can be converted into it.
 func Load(r io.Reader) (*Network, error) {
@@ -162,6 +184,31 @@ func (n *Network) Select(s Strategy, k int) (*BrokerSet, error) {
 		members = broker.SetCover(g, nil)
 	default:
 		return nil, fmt.Errorf("brokerset: unknown strategy %q", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &BrokerSet{net: n, members: members}, nil
+}
+
+// SelectParallel runs a selection strategy with a worker pool of the given
+// size (0 = GOMAXPROCS). The greedy and maxsg strategies distribute their
+// gain recomputation across the workers and return sets bitwise-identical
+// to Select's at any worker count; other strategies are unaffected by
+// workers and fall through to Select.
+func (n *Network) SelectParallel(s Strategy, k, workers int) (*BrokerSet, error) {
+	g := n.top.Graph
+	var (
+		members []int32
+		err     error
+	)
+	switch s {
+	case StrategyGreedy:
+		members, err = broker.GreedyMCBParallel(g, k, workers)
+	case StrategyMaxSG:
+		members, err = broker.MaxSGParallel(g, k, workers)
+	default:
+		return n.Select(s, k)
 	}
 	if err != nil {
 		return nil, err

@@ -202,7 +202,16 @@ func (s *server) churnAndHeal(ctx context.Context, events []churn.Event, heal bo
 	}
 	hctx, cancel := context.WithTimeout(ctx, opTimeout)
 	defer cancel()
-	rep, err := s.healer.Heal(hctx)
+	// Churn damage comes with its blast radius, so the healer repairs the
+	// coalition with the localized incremental path (falling back to a full
+	// reselect only when the quality floor is breached). A heal-only call
+	// (nil events) has no blast information and runs the full maintain.
+	var rep *churn.HealReport
+	if len(events) > 0 {
+		rep, err = s.healer.HealWithBlast(hctx, blast)
+	} else {
+		rep, err = s.healer.Heal(hctx)
+	}
 	if rep != nil && healChangedState(rep) {
 		s.publishLocked(ctx)
 	}

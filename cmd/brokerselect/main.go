@@ -7,6 +7,7 @@
 //	brokerselect -topo topo.txt -strategy greedy -k 500 -lhop 8
 //	brokerselect -scale 0.1 -strategy maxsg -k 0          # complete alliance
 //	brokerselect -scale 0.02 -strategy maxsg -k 50 -list  # print members
+//	brokerselect -tier table2 -strategy greedy -k 1000 -workers 8
 package main
 
 import (
@@ -31,7 +32,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		topoFile = fs.String("topo", "", "topology file (brokerset text format); empty generates one")
 		scale    = fs.Float64("scale", 0.1, "generated topology scale (when -topo is empty)")
+		tier     = fs.String("tier", "", "named calibrated tier (smoke, default, table2, future); overrides -scale")
 		seed     = fs.Int64("seed", 1, "random seed for generation and sampling")
+		workers  = fs.Int("workers", 1, "selection worker pool size (0 = all CPUs); result is identical at any count")
 		strategy = fs.String("strategy", "maxsg", "selection strategy: greedy, approx, maxsg, degree, pagerank, ixp, tier1, setcover")
 		k        = fs.Int("k", 100, "broker budget; 0 with maxsg selects the complete alliance")
 		lhop     = fs.Int("lhop", 0, "also print the l-hop connectivity curve up to this bound")
@@ -47,14 +50,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		net *brokerset.Network
 		err error
 	)
-	if *topoFile != "" {
+	switch {
+	case *topoFile != "":
 		f, ferr := os.Open(*topoFile)
 		if ferr != nil {
 			return ferr
 		}
 		defer f.Close()
 		net, err = brokerset.Load(f)
-	} else {
+	case *tier != "":
+		net, err = brokerset.GenerateTier(*tier, *seed)
+	default:
 		net, err = brokerset.GenerateInternet(*scale, *seed)
 	}
 	if err != nil {
@@ -65,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *k == 0 && brokerset.Strategy(*strategy) == brokerset.StrategyMaxSG {
 		bs, err = net.SelectComplete()
 	} else {
-		bs, err = net.Select(brokerset.Strategy(*strategy), *k)
+		bs, err = net.SelectParallel(brokerset.Strategy(*strategy), *k, *workers)
 	}
 	if err != nil {
 		return err

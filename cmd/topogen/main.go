@@ -5,7 +5,8 @@
 //
 //	topogen -scale 0.1 -seed 1 -o topo.txt
 //	topogen -kind er -n 5000 -m 40000 -o er.txt
-//	topogen -scale 1.0 -stats            # paper-scale summary to stderr
+//	topogen -tier table2 -stats          # paper-scale (Table 2) summary
+//	topogen -tier future -o future.txt   # 10x future-Internet stress tier
 package main
 
 import (
@@ -32,6 +33,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		caida     = fs.String("caida", "", "convert a CAIDA AS-relationships file instead of generating")
 		ixpFile   = fs.String("ixp", "", "IXP membership file ('ixp|as' lines) to combine with -caida")
 		scale     = fs.Float64("scale", 0.1, "internet: scale relative to the paper's 52,079-node dataset")
+		tier      = fs.String("tier", "", "internet: named calibrated tier (smoke, default, table2, future); overrides -scale")
 		seed      = fs.Int64("seed", 1, "random seed")
 		n         = fs.Int("n", 5000, "er/ws/ba: number of nodes")
 		m         = fs.Int("m", 40000, "er: number of edges; ba: edges per node")
@@ -57,7 +59,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	switch *kind {
 	case "internet":
-		top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+		if *tier != "" {
+			top, err = topology.GenerateTier(*tier, *seed)
+		} else {
+			top, err = topology.GenerateInternet(topology.InternetConfig{Scale: *scale, Seed: *seed})
+		}
 	case "er":
 		top, err = topology.GenerateER(*n, *m, *seed)
 	case "ws":

@@ -167,13 +167,25 @@ func stitchCore(g *graph.Graph, core []int32) *ApproxResult {
 	return res
 }
 
+// appendUnique concatenates a then b, dropping duplicates while keeping
+// first-occurrence order.
 func appendUnique(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
-	seen := make(map[int32]bool, len(a)+len(b))
+	var maxID int32 = -1
 	for _, s := range [][]int32{a, b} {
 		for _, v := range s {
-			if !seen[v] {
-				seen[v] = true
+			if v > maxID {
+				maxID = v
+			}
+		}
+	}
+	// Dedup via one bitset over the id range: node ids are dense, so even
+	// at the future tier this is a few KB, and membership tests are a word
+	// probe instead of a map lookup (see BenchmarkAppendUnique).
+	out := make([]int32, 0, len(a)+len(b))
+	seen := graph.NewBitset(int(maxID + 1))
+	for _, s := range [][]int32{a, b} {
+		for _, v := range s {
+			if seen.TestAndSet(v) {
 				out = append(out, v)
 			}
 		}

@@ -15,6 +15,10 @@ type MaintainResult struct {
 	Added, Removed []int32
 	// Connectivity is the saturated E2E connectivity of Brokers.
 	Connectivity float64
+	// FullReselect reports that an incremental repair breached its quality
+	// floor and fell back to a full reselect (always false for Maintain and
+	// MaintainAvoiding themselves).
+	FullReselect bool
 }
 
 // Maintain adapts an existing broker set to a (possibly changed) topology:

@@ -1,8 +1,6 @@
 package broker
 
 import (
-	"container/heap"
-
 	"brokerset/internal/coverage"
 	"brokerset/internal/graph"
 )
@@ -114,6 +112,3 @@ func adjacentToBroker(g *graph.Graph, st *coverage.State, u int) bool {
 	}
 	return false
 }
-
-// verify the queue satisfies heap.Interface (compile-time check).
-var _ heap.Interface = (*gainQueue)(nil)

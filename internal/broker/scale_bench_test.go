@@ -1,0 +1,334 @@
+package broker
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"brokerset/internal/coverage"
+	"brokerset/internal/graph"
+	"brokerset/internal/topology"
+)
+
+// The Table-2-tier selection benchmarks. These run the paper-scale graph
+// (52,079 nodes), so they are wired into the nightly selection-scale CI
+// job rather than the per-PR bench smoke. Each benchmark self-asserts its
+// coverage/connectivity floor — a fast-but-wrong kernel fails the run, it
+// doesn't post a good number.
+
+var (
+	table2Mu    sync.Mutex
+	table2Cache *graph.Graph
+)
+
+// table2 returns the Table-2-tier graph, generated once per process.
+func table2(tb testing.TB) *graph.Graph {
+	tb.Helper()
+	table2Mu.Lock()
+	defer table2Mu.Unlock()
+	if table2Cache == nil {
+		top, err := topology.GenerateTier("table2", 1)
+		if err != nil {
+			tb.Fatalf("generate table2 tier: %v", err)
+		}
+		table2Cache = top.Graph
+	}
+	return table2Cache
+}
+
+// paperK is the paper's reported broker budget: 1,064 brokers reach 85.71%
+// coverage on the Table-2 dataset.
+const paperK = 1064
+
+// coverageFloor is the self-assert floor for greedy selection at paperK:
+// the paper reports 85.71%; the calibrated synthetic topology must stay in
+// that regime.
+const coverageFloor = 0.80
+
+func assertCoverage(tb testing.TB, g *graph.Graph, brokers []int32, floor float64) {
+	tb.Helper()
+	frac := float64(coverage.F(g, brokers)) / float64(g.NumNodes())
+	if frac < floor {
+		tb.Fatalf("coverage %.4f below floor %.4f (%d brokers)", frac, floor, len(brokers))
+	}
+}
+
+func BenchmarkTable2GreedyMCB(b *testing.B) {
+	g := table2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brokers, err := GreedyMCBParallel(g, paperK, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		assertCoverage(b, g, brokers, coverageFloor)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTable2GreedyMCBParallel8(b *testing.B) {
+	g := table2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brokers, err := GreedyMCBParallel(g, paperK, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		assertCoverage(b, g, brokers, coverageFloor)
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTable2MaxSG(b *testing.B) {
+	g := table2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brokers, err := MaxSGParallel(g, paperK, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		assertCoverage(b, g, brokers, 0.5) // MaxSG trades coverage for connectedness
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTable2MaxSGParallel8(b *testing.B) {
+	g := table2(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brokers, err := MaxSGParallel(g, paperK, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		assertCoverage(b, g, brokers, 0.5)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTable2BitBFSFlood measures the raw bit-packed kernel: one full
+// single-source sweep of the Table-2 graph.
+func BenchmarkTable2BitBFSFlood(b *testing.B) {
+	g := table2(b)
+	kern := graph.NewBitBFS(g)
+	src := []int32{int32(g.MaxDegreeNode())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern.Reset()
+		if n := kern.Flood(src); n < g.NumNodes()/2 {
+			b.Fatalf("flood reached only %d nodes", n)
+		}
+	}
+}
+
+// BenchmarkTable2SaturatedConnectivity measures the bitset dominated-
+// component sweep — the oracle cost every maintenance fallback pays.
+func BenchmarkTable2SaturatedConnectivity(b *testing.B) {
+	g := table2(b)
+	brokers := table2Brokers(b, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := coverage.SaturatedConnectivity(g, brokers); c < 0.5 {
+			b.Fatalf("connectivity %.4f implausibly low", c)
+		}
+	}
+}
+
+var (
+	brokersOnce   sync.Once
+	brokersCache  []int32
+	brokersTarget float64
+)
+
+// table2Brokers selects (once) the maintained coalition the repair
+// benchmarks start from, and records its achievable connectivity target.
+func table2Brokers(tb testing.TB, g *graph.Graph) []int32 {
+	tb.Helper()
+	brokersOnce.Do(func() {
+		brokers, err := GreedyMCBParallel(g, paperK, 1)
+		if err != nil {
+			tb.Fatalf("seed selection: %v", err)
+		}
+		brokersCache = brokers
+		brokersTarget = coverage.SaturatedConnectivity(g, brokers)
+	})
+	return brokersCache
+}
+
+// BenchmarkTable2MaintainIncremental measures one localized repair after a
+// single broker failure — the hot path of brokerd's churn loop. The
+// matching full-reselect cost is BenchmarkTable2MaintainFull; the
+// incremental path must stay ≥10x under it.
+func BenchmarkTable2MaintainIncremental(b *testing.B) {
+	g := table2(b)
+	base := table2Brokers(b, g)
+	target := brokersTarget
+	avoid := make([]bool, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := base[i%len(base)]
+		avoid[victim] = true
+		res, err := MaintainIncremental(g, base, []int32{victim}, RepairOptions{
+			Target:  target,
+			Avoid:   avoid,
+			Epsilon: 0.01,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		avoid[victim] = false
+		b.StopTimer()
+		if res.Connectivity < target-0.01 {
+			b.Fatalf("repair landed at %.4f, floor %.4f", res.Connectivity, target-0.01)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkTable2MaintainFull is the full-reselect baseline the
+// incremental path is measured against: same single-failure scenario
+// through MaintainAvoiding's global grow/prune.
+func BenchmarkTable2MaintainFull(b *testing.B) {
+	g := table2(b)
+	base := table2Brokers(b, g)
+	target := brokersTarget
+	avoid := make([]bool, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := base[i%len(base)]
+		avoid[victim] = true
+		res, err := MaintainAvoiding(g, base, target, avoid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avoid[victim] = false
+		b.StopTimer()
+		if res.Connectivity < target {
+			b.Fatalf("full maintain landed at %.4f, target %.4f", res.Connectivity, target)
+		}
+		b.StartTimer()
+	}
+}
+
+var (
+	futureMu    sync.Mutex
+	futureCache *graph.Graph
+)
+
+// future returns the 10x future-Internet tier graph (~520k nodes),
+// generated once per process (~8s).
+func future(tb testing.TB) *graph.Graph {
+	tb.Helper()
+	futureMu.Lock()
+	defer futureMu.Unlock()
+	if futureCache == nil {
+		top, err := topology.GenerateTier("future", 1)
+		if err != nil {
+			tb.Fatalf("generate future tier: %v", err)
+		}
+		futureCache = top.Graph
+	}
+	return futureCache
+}
+
+// BenchmarkFutureGreedyMCB stresses the kernels at 10x the paper's scale:
+// CELF greedy with a proportionally scaled budget on ~520k nodes / 4M
+// edges. Selection must stay tractable as the AS graph keeps growing.
+func BenchmarkFutureGreedyMCB(b *testing.B) {
+	g := future(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brokers, err := GreedyMCBParallel(g, 10*paperK, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		assertCoverage(b, g, brokers, coverageFloor)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkFutureBitBFSFlood is the raw kernel sweep at future scale.
+func BenchmarkFutureBitBFSFlood(b *testing.B) {
+	g := future(b)
+	kern := graph.NewBitBFS(g)
+	src := []int32{int32(g.MaxDegreeNode())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern.Reset()
+		if n := kern.Flood(src); n < g.NumNodes()/2 {
+			b.Fatalf("flood reached only %d nodes", n)
+		}
+	}
+}
+
+// TestIncrementalRepairSpeedup enforces the acceptance criterion that a
+// localized repair after one broker failure runs ≥10x faster than the
+// full reselect on the Table-2 tier (measured 18.7x when recorded).
+// Wall-clock assertions don't belong in the default suite, so it only
+// runs with SELECTION_SCALE=1 — the nightly selection-scale CI job sets
+// it.
+func TestIncrementalRepairSpeedup(t *testing.T) {
+	if os.Getenv("SELECTION_SCALE") == "" {
+		t.Skip("set SELECTION_SCALE=1 to run the paper-scale repair-speedup measurement")
+	}
+	g := table2(t)
+	base := table2Brokers(t, g)
+	target := brokersTarget
+	avoid := make([]bool, g.NumNodes())
+	victim := base[len(base)/2]
+	avoid[victim] = true
+	incT := bestOf(3, func() {
+		if _, err := MaintainIncremental(g, base, []int32{victim}, RepairOptions{
+			Target: target, Avoid: avoid, Epsilon: 0.01,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	fullT := bestOf(3, func() {
+		if _, err := MaintainAvoiding(g, base, target, avoid); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := float64(fullT) / float64(incT)
+	t.Logf("incremental %v, full reselect %v, speedup %.1fx", incT, fullT, ratio)
+	if ratio < 10 {
+		t.Errorf("incremental repair only %.1fx faster than full reselect, want >= 10x", ratio)
+	}
+}
+
+// BenchmarkTable2ChurnRepair200 replays a 200-event broker-failure storm
+// through the incremental repair path, one repair per event with the set
+// carried forward — the nightly churn-repair scenario. Reported ns/op is
+// per 200-event storm.
+func BenchmarkTable2ChurnRepair200(b *testing.B) {
+	g := table2(b)
+	base := table2Brokers(b, g)
+	target := brokersTarget
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avoid := make([]bool, g.NumNodes())
+		cur := base
+		for ev := 0; ev < 200; ev++ {
+			victim := cur[(7*ev+3)%len(cur)]
+			avoid[victim] = true
+			res, err := MaintainIncremental(g, cur, []int32{victim}, RepairOptions{
+				Target:  target,
+				Avoid:   avoid,
+				Epsilon: 0.02,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur = res.Brokers
+		}
+		b.StopTimer()
+		if c := coverage.SaturatedConnectivity(g, cur); c < target-0.02 {
+			b.Fatalf("post-storm connectivity %.4f below floor %.4f", c, target-0.02)
+		}
+		b.StartTimer()
+	}
+}

@@ -39,6 +39,14 @@ type HealerConfig struct {
 	// the ones it clears, so repeated heals within one epoch don't re-walk
 	// every session's path.
 	Epoch func() uint64
+	// Epsilon is the incremental-repair quality floor: HealWithBlast
+	// accepts a localized repair landing within Epsilon of Target, and
+	// falls back to a full reselect below that. 0 means Target is strict.
+	Epsilon float64
+	// RepairRadius bounds incremental-repair candidates to nodes within
+	// this many hops of the churn blast radius (0 = broker package
+	// default).
+	RepairRadius int
 }
 
 // HealReport summarizes one heal pass.
@@ -57,6 +65,11 @@ type HealReport struct {
 	// SickAvoided are brokers whose control-plane circuit breaker is open
 	// (persistently unresponsive, not known-dead): selection avoided them.
 	SickAvoided []int32 `json:"sick_avoided,omitempty"`
+	// Incremental reports that the pass used blast-radius-localized
+	// repair; FullReselect that the localized repair breached the quality
+	// floor and reconvened the full selection.
+	Incremental  bool `json:"incremental,omitempty"`
+	FullReselect bool `json:"full_reselect,omitempty"`
 	// Session repair outcome counts.
 	SessionsChecked  int `json:"sessions_checked"`
 	SessionsRepaired int `json:"sessions_repaired"`
@@ -68,14 +81,16 @@ type HealReport struct {
 // HealerMetrics is the cumulative, atomically-updated healer counter set
 // exported through /metrics.
 type HealerMetrics struct {
-	EventsApplied    atomic.Uint64
-	HealPasses       atomic.Uint64
-	MaintainPasses   atomic.Uint64
-	BrokerAdds       atomic.Uint64
-	BrokerRemoves    atomic.Uint64
-	BrokerRecoveries atomic.Uint64
-	SessionsRepaired atomic.Uint64
-	SessionsAborted  atomic.Uint64
+	EventsApplied      atomic.Uint64
+	HealPasses         atomic.Uint64
+	MaintainPasses     atomic.Uint64
+	IncrementalRepairs atomic.Uint64
+	FullReselects      atomic.Uint64
+	BrokerAdds         atomic.Uint64
+	BrokerRemoves      atomic.Uint64
+	BrokerRecoveries   atomic.Uint64
+	SessionsRepaired   atomic.Uint64
+	SessionsAborted    atomic.Uint64
 
 	mu      sync.Mutex
 	repairs []time.Duration // heal-pass wall times, for quantiles
@@ -83,9 +98,12 @@ type HealerMetrics struct {
 
 // MetricsSnapshot is the JSON shape of HealerMetrics.
 type MetricsSnapshot struct {
-	EventsApplied    uint64  `json:"events_applied"`
-	HealPasses       uint64  `json:"heal_passes"`
-	MaintainPasses   uint64  `json:"maintain_passes"`
+	EventsApplied      uint64 `json:"events_applied"`
+	HealPasses         uint64 `json:"heal_passes"`
+	MaintainPasses     uint64 `json:"maintain_passes"`
+	IncrementalRepairs uint64 `json:"incremental_repairs"`
+	FullReselects      uint64 `json:"full_reselects"`
+
 	BrokerAdds       uint64  `json:"broker_adds"`
 	BrokerRemoves    uint64  `json:"broker_removes"`
 	BrokerRecoveries uint64  `json:"broker_recoveries"`
@@ -136,6 +154,8 @@ func (m *HealerMetrics) RegisterMetrics(reg *obs.Registry) {
 			{"healer_events_applied_total", "churn events applied", obs.KindCounter, float64(s.EventsApplied)},
 			{"healer_heal_passes_total", "heal passes run", obs.KindCounter, float64(s.HealPasses)},
 			{"healer_maintain_passes_total", "maintain-only passes run", obs.KindCounter, float64(s.MaintainPasses)},
+			{"healer_incremental_repairs_total", "blast-radius-localized repairs", obs.KindCounter, float64(s.IncrementalRepairs)},
+			{"healer_full_reselects_total", "incremental repairs that fell back to full reselect", obs.KindCounter, float64(s.FullReselects)},
 			{"healer_broker_adds_total", "brokers added to the coalition", obs.KindCounter, float64(s.BrokerAdds)},
 			{"healer_broker_removes_total", "brokers removed from the coalition", obs.KindCounter, float64(s.BrokerRemoves)},
 			{"healer_broker_recoveries_total", "crashed brokers recovered", obs.KindCounter, float64(s.BrokerRecoveries)},
@@ -152,9 +172,12 @@ func (m *HealerMetrics) RegisterMetrics(reg *obs.Registry) {
 // Snapshot captures the counters and repair quantiles.
 func (m *HealerMetrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		EventsApplied:    m.EventsApplied.Load(),
-		HealPasses:       m.HealPasses.Load(),
-		MaintainPasses:   m.MaintainPasses.Load(),
+		EventsApplied:      m.EventsApplied.Load(),
+		HealPasses:         m.HealPasses.Load(),
+		MaintainPasses:     m.MaintainPasses.Load(),
+		IncrementalRepairs: m.IncrementalRepairs.Load(),
+		FullReselects:      m.FullReselects.Load(),
+
 		BrokerAdds:       m.BrokerAdds.Load(),
 		BrokerRemoves:    m.BrokerRemoves.Load(),
 		BrokerRecoveries: m.BrokerRecoveries.Load(),
@@ -200,10 +223,25 @@ func NewHealer(state *State, plane *ctrlplane.Plane, sessions *queryplane.Sessio
 	return &Healer{cfg: cfg, state: state, plane: plane, sessions: sessions, inval: inval}, nil
 }
 
-// Heal runs one repair pass and returns its report. ctx bounds the 2PC
-// repath traffic (nil means no deadline). It is not safe for concurrent
-// use with control-plane writes; callers hold the state lock.
+// Heal runs one full repair pass and returns its report. ctx bounds the
+// 2PC repath traffic (nil means no deadline). It is not safe for
+// concurrent use with control-plane writes; callers hold the state lock.
 func (h *Healer) Heal(ctx context.Context) (*HealReport, error) {
+	return h.heal(ctx, nil)
+}
+
+// HealWithBlast runs one repair pass localized to a churn blast radius:
+// instead of the full Maintain grow/prune, broker replacement candidates
+// come from the neighbourhood of the damaged nodes/links, with the
+// configured Epsilon quality floor triggering a full reselect when
+// localized repair cannot hold the target. This is the fast path brokerd's
+// churn loop uses — at Internet scale a heal pass is dominated by
+// selection, not session re-pathing.
+func (h *Healer) HealWithBlast(ctx context.Context, blast BlastRadius) (*HealReport, error) {
+	return h.heal(ctx, &blast)
+}
+
+func (h *Healer) heal(ctx context.Context, blast *BlastRadius) (*HealReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -246,7 +284,33 @@ func (h *Healer) Heal(ctx context.Context) (*HealReport, error) {
 		}
 	}
 
-	res, err := broker.MaintainAvoiding(live, survivors, h.cfg.Target, avoid)
+	var res *broker.MaintainResult
+	var err error
+	if blast != nil {
+		// Localized repair: seed the candidate pool with every node whose
+		// incident topology changed — churned nodes, severed-link
+		// endpoints, and dead broker processes.
+		seeds := append([]int32(nil), blast.Nodes...)
+		for _, l := range blast.Links {
+			seeds = append(seeds, l[0], l[1])
+		}
+		seeds = append(seeds, h.state.DownBrokers()...)
+		res, err = broker.MaintainIncremental(live, survivors, seeds, broker.RepairOptions{
+			Target:  h.cfg.Target,
+			Avoid:   avoid,
+			Epsilon: h.cfg.Epsilon,
+			Radius:  h.cfg.RepairRadius,
+		})
+		rep.Incremental = true
+		if res != nil && res.FullReselect {
+			rep.FullReselect = true
+			h.Metrics.FullReselects.Add(1)
+		} else if err == nil {
+			h.Metrics.IncrementalRepairs.Add(1)
+		}
+	} else {
+		res, err = broker.MaintainAvoiding(live, survivors, h.cfg.Target, avoid)
+	}
 	h.Metrics.MaintainPasses.Add(1)
 	if err != nil {
 		// Target unreachable on the damaged graph: fall back to best

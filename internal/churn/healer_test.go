@@ -246,3 +246,54 @@ func TestHealAfterRecovery(t *testing.T) {
 		t.Fatalf("target unmet after full recovery: %+v", rep)
 	}
 }
+
+// HealWithBlast must repair localized damage through the incremental
+// maintain path (not a full reselect), reach the target, and account the
+// pass in the incremental-repair counters.
+func TestHealWithBlastIncrementalRepair(t *testing.T) {
+	top, err := topology.GenerateInternet(topology.InternetConfig{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokers, err := broker.MaxSG(top.Graph, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := routing.DefaultMetrics(top, nil)
+	plane := ctrlplane.New(top, m, brokers)
+	st := NewState(top, m)
+	target := coverage.SaturatedConnectivity(top.Graph, brokers)
+	h, err := NewHealer(st, plane, nil, nil, HealerConfig{Target: target, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewApplier(st)
+	dead := brokers[len(brokers)/2]
+	blast, err := a.ApplyAll([]Event{{Type: BrokerFail, Node: dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := h.HealWithBlast(context.Background(), blast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incremental {
+		t.Fatalf("expected incremental pass: %+v", rep)
+	}
+	if rep.Connectivity < target-0.01 {
+		t.Fatalf("repair landed at %f, floor %f", rep.Connectivity, target-0.01)
+	}
+	oracle := coverage.SaturatedConnectivity(st.LiveGraph(), plane.Brokers())
+	if rep.Connectivity > oracle+1e-12 {
+		t.Fatalf("reported connectivity %f exceeds oracle %f", rep.Connectivity, oracle)
+	}
+	for _, b := range plane.Brokers() {
+		if b == dead {
+			t.Fatalf("failed broker %d still in coalition", dead)
+		}
+	}
+	snap := h.Metrics.Snapshot()
+	if snap.IncrementalRepairs+snap.FullReselects != 1 {
+		t.Fatalf("repair accounting: %+v", snap)
+	}
+}

@@ -6,29 +6,52 @@ import (
 
 // Dominated is a view of the B-dominated subgraph G_B of a graph: the
 // subgraph whose edges have at least one endpoint in B. Only nodes in
-// B ∪ N(B) can have incident dominated edges.
+// B ∪ N(B) can have incident dominated edges. Membership is bit-packed and
+// component sweeps run on the word-parallel BFS kernel, which is what keeps
+// connectivity evaluation tractable at the paper's 52k-node scale.
 type Dominated struct {
-	g   *graph.Graph
-	inB []bool
-	bfs *graph.BFS
+	g        *graph.Graph
+	inB      graph.Bitset
+	brokers  []int32
+	kern     *graph.BitBFS
+	eligible graph.Bitset // B ∪ N(B), lazily built
 }
 
 // NewDominated builds a dominated-subgraph view for broker set B.
 func NewDominated(g *graph.Graph, brokers []int32) *Dominated {
-	return &Dominated{
-		g:   g,
-		inB: MaskOf(g, brokers),
-		bfs: graph.NewBFS(g),
+	d := &Dominated{
+		g:       g,
+		inB:     BitMaskOf(g, brokers),
+		brokers: append([]int32(nil), brokers...),
+		kern:    graph.NewBitBFS(g),
 	}
+	return d
 }
 
 // allow is the dominated-edge predicate: (u,v) is usable iff u∈B or v∈B.
 func (d *Dominated) allow(u, v int32) bool {
-	return d.inB[u] || d.inB[v]
+	return d.inB.Has(u) || d.inB.Has(v)
 }
 
 // InB reports whether u is a broker.
-func (d *Dominated) InB(u int) bool { return d.inB[u] }
+func (d *Dominated) InB(u int) bool { return d.inB.Has(int32(u)) }
+
+// eligibleSet returns B ∪ N(B): the nodes that can appear on a dominated
+// path. Built once per view in O(Σ deg(B)).
+func (d *Dominated) eligibleSet() graph.Bitset {
+	if d.eligible != nil {
+		return d.eligible
+	}
+	el := graph.NewBitset(d.g.NumNodes())
+	for _, b := range d.brokers {
+		el.Set(b)
+		for _, v := range d.g.Neighbors(int(b)) {
+			el.Set(v)
+		}
+	}
+	d.eligible = el
+	return el
+}
 
 // Components labels nodes by their component in G_B. Nodes with no incident
 // dominated edge (and not in B) get label graph.Unreached. Returns the
@@ -39,50 +62,45 @@ func (d *Dominated) Components() (comp []int32, sizes []int) {
 	for i := range comp {
 		comp[i] = graph.Unreached
 	}
-	queue := make([]int32, 0, n)
-	for s := 0; s < n; s++ {
-		if comp[s] != graph.Unreached || !d.eligible(s) {
-			continue
+	el := d.eligibleSet()
+	d.kern.Reset()
+	visited := d.kern.Visited()
+	var seed [1]int32
+	el.ForEach(func(s int32) {
+		if visited.Has(s) {
+			return
 		}
 		id := int32(len(sizes))
-		comp[s] = id
-		queue = append(queue[:0], int32(s))
-		size := 1
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			for _, v := range d.g.Neighbors(int(u)) {
-				if comp[v] != graph.Unreached || !d.allow(u, v) {
-					continue
-				}
-				comp[v] = id
-				queue = append(queue, v)
-				size++
-			}
-		}
+		seed[0] = s
+		size := d.kern.FloodFunc(seed[:], d.inB, func(v int32) { comp[v] = id })
 		sizes = append(sizes, size)
-	}
+	})
 	return comp, sizes
 }
 
-// eligible reports whether u can appear on any dominated path: u must be a
-// broker or adjacent to one.
-func (d *Dominated) eligible(u int) bool {
-	if d.inB[u] {
-		return true
-	}
-	for _, v := range d.g.Neighbors(u) {
-		if d.inB[v] {
-			return true
+// ComponentSizes returns only the per-component sizes of G_B, skipping the
+// label array — the fast path for connectivity evaluation.
+func (d *Dominated) ComponentSizes() []int {
+	var sizes []int
+	el := d.eligibleSet()
+	d.kern.Reset()
+	visited := d.kern.Visited()
+	var seed [1]int32
+	el.ForEach(func(s int32) {
+		if visited.Has(s) {
+			return
 		}
-	}
-	return false
+		seed[0] = s
+		sizes = append(sizes, d.kern.FloodDominated(seed[:], d.inB))
+	})
+	return sizes
 }
 
 // SaturatedConnectivity returns the fraction of all unordered node pairs of
 // the full graph joined by some B-dominated path of any length — the
 // paper's "saturated E2E connectivity". It runs in O(V+E).
 func (d *Dominated) SaturatedConnectivity() float64 {
-	_, sizes := d.Components()
+	sizes := d.ComponentSizes()
 	total := graph.TotalPairs(d.g.NumNodes())
 	if total == 0 {
 		return 0
@@ -152,13 +170,13 @@ func VerifyDominated(g *graph.Graph, brokers []int32, path []int32) bool {
 	if len(path) == 0 {
 		return false
 	}
-	inB := MaskOf(g, brokers)
+	inB := BitMaskOf(g, brokers)
 	for i := 0; i+1 < len(path); i++ {
 		u, v := path[i], path[i+1]
 		if !g.HasEdge(int(u), int(v)) {
 			return false
 		}
-		if !inB[u] && !inB[v] {
+		if !inB.Has(u) && !inB.Has(v) {
 			return false
 		}
 	}

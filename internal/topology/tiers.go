@@ -1,0 +1,87 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TierSpec is a named, calibrated topology size used by the CLIs,
+// benchmarks, and the nightly selection-scale CI job, so "the Table-2
+// topology" means the same graph everywhere.
+type TierSpec struct {
+	// Name is the CLI-visible tier name.
+	Name string
+	// Scale is the generator scale relative to the paper's dataset.
+	Scale float64
+	// Description explains what the tier calibrates to.
+	Description string
+}
+
+// The named tiers.
+var tierSpecs = map[string]TierSpec{
+	"smoke": {
+		Name:  "smoke",
+		Scale: 0.02,
+		// ~1k nodes: CI smoke tests and -race runs.
+		Description: "~1k nodes, smoke-test size",
+	},
+	"default": {
+		Name:        "default",
+		Scale:       0.1,
+		Description: "~5.2k nodes, 1/10 of the paper's dataset (test-suite default)",
+	},
+	"table2": {
+		Name:  "table2",
+		Scale: 1.0,
+		// The paper's Table 2 dataset: 51,757 ASes + 322 IXPs = 52,079
+		// nodes, 347k AS-AS edges, 55k IXP memberships.
+		Description: "52,079 nodes, the paper's Table-2 dataset scale",
+	},
+	"future": {
+		Name:  "future",
+		Scale: 10.0,
+		// A 10× "future Internet": stress tier for the bit-packed kernels;
+		// selection must stay tractable as the AS graph keeps growing.
+		Description: "~520k nodes, 10x future-Internet stress tier",
+	},
+}
+
+// Tiers lists the named tiers, sorted by scale.
+func Tiers() []TierSpec {
+	out := make([]TierSpec, 0, len(tierSpecs))
+	for _, t := range tierSpecs {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scale < out[j].Scale })
+	return out
+}
+
+// TierByName resolves a tier name.
+func TierByName(name string) (TierSpec, error) {
+	if t, ok := tierSpecs[name]; ok {
+		return t, nil
+	}
+	names := make([]string, 0, len(tierSpecs))
+	for _, t := range Tiers() {
+		names = append(names, t.Name)
+	}
+	return TierSpec{}, fmt.Errorf("topology: unknown tier %q (want one of %v)", name, names)
+}
+
+// TierConfig returns the generator configuration for a named tier.
+func TierConfig(name string, seed int64) (InternetConfig, error) {
+	t, err := TierByName(name)
+	if err != nil {
+		return InternetConfig{}, err
+	}
+	return InternetConfig{Scale: t.Scale, Seed: seed}, nil
+}
+
+// GenerateTier generates the named tier's topology.
+func GenerateTier(name string, seed int64) (*Topology, error) {
+	cfg, err := TierConfig(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateInternet(cfg)
+}

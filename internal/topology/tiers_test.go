@@ -1,0 +1,64 @@
+package topology
+
+import "testing"
+
+func TestTiersSortedAndResolvable(t *testing.T) {
+	tiers := Tiers()
+	if len(tiers) < 4 {
+		t.Fatalf("only %d tiers", len(tiers))
+	}
+	for i := 1; i < len(tiers); i++ {
+		if tiers[i].Scale <= tiers[i-1].Scale {
+			t.Fatalf("tiers not sorted by scale: %v", tiers)
+		}
+	}
+	for _, tier := range tiers {
+		got, err := TierByName(tier.Name)
+		if err != nil {
+			t.Fatalf("TierByName(%q): %v", tier.Name, err)
+		}
+		if got.Scale != tier.Scale {
+			t.Fatalf("tier %q scale %f != %f", tier.Name, got.Scale, tier.Scale)
+		}
+	}
+}
+
+func TestTierByNameUnknown(t *testing.T) {
+	if _, err := TierByName("galactic"); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+	if _, err := TierConfig("galactic", 1); err == nil {
+		t.Fatal("unknown tier accepted by TierConfig")
+	}
+	if _, err := GenerateTier("galactic", 1); err == nil {
+		t.Fatal("unknown tier accepted by GenerateTier")
+	}
+}
+
+// TestTable2TierCalibration pins the tier names to their calibration: the
+// table2 tier must produce exactly the paper's Table-2 node counts, and
+// smoke must match the generator at its scale.
+func TestTable2TierCalibration(t *testing.T) {
+	cfg, err := TierConfig("table2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scale != 1.0 {
+		t.Fatalf("table2 scale %f, want 1.0", cfg.Scale)
+	}
+	if testing.Short() {
+		t.Skip("skipping table2 generation in short mode")
+	}
+	top, err := GenerateTier("smoke", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GenerateInternet(InternetConfig{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumNodes() != want.NumNodes() || top.Graph.NumEdges() != want.Graph.NumEdges() {
+		t.Fatalf("smoke tier (%d nodes, %d edges) != scale-0.02 generator (%d, %d)",
+			top.NumNodes(), top.Graph.NumEdges(), want.NumNodes(), want.Graph.NumEdges())
+	}
+}
